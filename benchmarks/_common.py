@@ -1,0 +1,32 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one paper table/figure, saves the rendered
+rows under ``benchmarks/results/<figure_id>.txt``, prints them (visible
+with ``pytest -s``), and asserts the figure's headline shape.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.core.metrics import FigureResult
+from repro.core.report import render_figure
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(result: FigureResult) -> FigureResult:
+    """Persist and print a figure reproduction; returns it unchanged."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = render_figure(result)
+    (RESULTS_DIR / f"{result.figure_id}.txt").write_text(text + "\n")
+    print()
+    print(text)
+    return result
+
+
+def reduction(figure: FigureResult, better: str, worse: str, x) -> float:
+    """Fractional latency reduction of ``better`` over ``worse`` at x."""
+    return 1.0 - figure.find(*better.split()).value_at(x) / figure.find(
+        *worse.split()
+    ).value_at(x)

@@ -1,0 +1,108 @@
+"""Ablation benches: how much of each figure each mechanism carries."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import emit  # noqa: E402
+
+from repro.core.ablations import (  # noqa: E402
+    gc_policy_ablation,
+    hybrid_sleep_ablation,
+    map_cache_ablation,
+    overprovision_ablation,
+    suspend_resume_ablation,
+    write_buffer_ablation,
+)
+
+
+def test_ablation_suspend_resume(benchmark):
+    result = emit(
+        benchmark.pedantic(
+            suspend_resume_ablation, kwargs=dict(io_count=2500),
+            rounds=1, iterations=1,
+        )
+    )
+    on = result.get("suspend/resume ON")
+    off = result.get("suspend/resume OFF")
+    # Without suspend/resume, reads queue behind 100us programs: the
+    # average degrades by >1.8x (tails are dominated by common-mode
+    # device stalls, so the mean carries the signal).
+    assert off.value_at("mean") > 1.8 * on.value_at("mean")
+    assert off.value_at("p99.999") >= on.value_at("p99.999")
+
+
+def test_ablation_map_cache(benchmark):
+    result = emit(
+        benchmark.pedantic(
+            map_cache_ablation, kwargs=dict(io_count=1000),
+            rounds=1, iterations=1,
+        )
+    )
+    cached = result.get("map cache ON")
+    uncached = result.get("map cache OFF (full map in SRAM)")
+    # The cache only hurts random reads; with a full in-SRAM map the
+    # random/sequential gap collapses.
+    gap_on = cached.value_at("RndRd") - cached.value_at("SeqRd")
+    gap_off = uncached.value_at("RndRd") - uncached.value_at("SeqRd")
+    assert gap_on > 2.0  # paper: 15.9 vs 12.6 us
+    assert gap_off < gap_on / 2
+
+
+def test_ablation_write_buffer(benchmark):
+    result = emit(
+        benchmark.pedantic(
+            write_buffer_ablation, kwargs=dict(io_count=2500),
+            rounds=1, iterations=1,
+        )
+    )
+    means = result.get("mean")
+    # A tiny buffer exposes flash programs; a big one restores the
+    # buffered fast path.
+    assert means.value_at("64u") > 1.5 * means.value_at("8192u")
+
+
+def test_ablation_overprovision(benchmark):
+    result = emit(
+        benchmark.pedantic(
+            overprovision_ablation, kwargs=dict(io_count=9000),
+            rounds=1, iterations=1,
+        )
+    )
+    waf = result.get("write amplification")
+    # More spare blocks, cheaper GC.
+    assert waf.value_at("8%") > waf.value_at("28%")
+    latency = result.get("write latency")
+    assert latency.value_at("8%") >= latency.value_at("28%")
+
+
+def test_ablation_gc_policy(benchmark):
+    result = emit(
+        benchmark.pedantic(
+            gc_policy_ablation, kwargs=dict(io_count=30000),
+            rounds=1, iterations=1,
+        )
+    )
+    waf = result.get("write amplification")
+    erases = result.get("erases")
+    # Both policies must sustain the storm; with stream separation doing
+    # the hot/cold segregation their WAFs converge.
+    assert erases.value_at("greedy") > 100
+    assert erases.value_at("cost-benefit") > 100
+    ratio = waf.value_at("cost-benefit") / waf.value_at("greedy")
+    assert 0.8 < ratio < 1.2
+
+
+def test_ablation_hybrid_sleep(benchmark):
+    result = emit(
+        benchmark.pedantic(
+            hybrid_sleep_ablation, kwargs=dict(io_count=1500),
+            rounds=1, iterations=1,
+        )
+    )
+    cpu = result.get("CPU utilization")
+    latency = result.get("latency")
+    # Sleeping longer saves CPU...
+    assert cpu.value_at("0.75") < cpu.value_at("0.25")
+    # ...but oversleeping costs latency (the paper's inaccuracy point).
+    assert latency.value_at("0.75") > latency.value_at("0.25")

@@ -1,0 +1,38 @@
+"""Extension bench: latency anatomy — the paper's argument in one table."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import emit  # noqa: E402
+
+import pytest  # noqa: E402
+
+from repro.core.extensions import latency_anatomy  # noqa: E402
+
+
+def test_latency_anatomy(benchmark):
+    result = emit(
+        benchmark.pedantic(
+            latency_anatomy, kwargs=dict(io_count=1000), rounds=1, iterations=1
+        )
+    )
+    interrupt = result.get("Kernel interrupt")
+    poll = result.get("Kernel poll")
+    spdk = result.get("SPDK")
+    # The device stage is stack-invariant: all three see the same flash.
+    devices = [s.value_at("device") for s in (interrupt, poll, spdk)]
+    assert max(devices) == pytest.approx(min(devices), rel=0.05)
+    # Polling's entire win is the completion side (no MSI/ISR/wake-up)...
+    assert poll.value_at("complete") < 0.5 * interrupt.value_at("complete")
+    assert poll.value_at("submit") == pytest.approx(
+        interrupt.value_at("submit"), rel=0.01
+    )
+    # ...while SPDK also strips the submission side (no syscall/blk-mq).
+    assert spdk.value_at("submit") < 0.6 * poll.value_at("submit")
+    assert spdk.value_at("complete") < poll.value_at("complete")
+    # And the device dominates everything — the reason SPDK is only
+    # worth it once the device itself is ultra-low latency.
+    assert interrupt.value_at("device") > 2 * (
+        interrupt.value_at("submit") + interrupt.value_at("complete")
+    )

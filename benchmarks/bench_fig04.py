@@ -1,0 +1,48 @@
+"""Figure 4: latency vs. queue depth, ULL vs. NVMe (libaio, 4 KB)."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import emit  # noqa: E402
+
+from repro.core.figures_device import fig04a, fig04b  # noqa: E402
+
+# Must exceed the NVMe write buffer (2048 units) so write points reach
+# steady state rather than pure DRAM absorption.
+IO_COUNT = 6000
+DEPTHS = (1, 2, 4, 8, 16, 32)
+
+
+def test_fig04a(benchmark):
+    result = emit(
+        benchmark.pedantic(
+            fig04a, kwargs=dict(io_count=IO_COUNT, depths=DEPTHS),
+            rounds=1, iterations=1,
+        )
+    )
+    ull_rnd = result.find("ULL", "RndRd")
+    nvme_rnd = result.find("NVME", "RndRd")
+    # Paper: 15.9 us vs 82.9 us at low depth (~5.2x).
+    assert 3.5 < nvme_rnd.value_at(1) / ull_rnd.value_at(1) < 7.5
+    # Paper: NVMe random reads reach ~159 us at QD32; ULL stays sustainable.
+    assert nvme_rnd.value_at(32) > 100
+    assert ull_rnd.value_at(32) < 70
+    # NVMe buffered writes start near the ULL's but blow up with depth.
+    nvme_wr = result.find("NVME", "RndWr")
+    assert nvme_wr.value_at(32) > 2.5 * nvme_wr.value_at(1)
+
+
+def test_fig04b(benchmark):
+    result = emit(
+        benchmark.pedantic(
+            fig04b, kwargs=dict(io_count=IO_COUNT, depths=DEPTHS),
+            rounds=1, iterations=1,
+        )
+    )
+    # Paper: NVMe five-nines write latency is ~108x its average —
+    # millisecond scale; ULL tails stay in the hundreds of microseconds.
+    nvme_wr_tail = result.find("NVME", "RndWr").value_at(16)
+    ull_wr_tail = result.find("ULL", "RndWr").value_at(16)
+    assert nvme_wr_tail > 3 * ull_wr_tail
+    assert result.find("ULL", "RndRd").value_at(16) < 600  # "hundreds of us"

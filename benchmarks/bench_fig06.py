@@ -1,0 +1,38 @@
+"""Figure 6: read/write interference (mixed random workload)."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import emit  # noqa: E402
+
+from repro.core.figures_device import fig06a, fig06b  # noqa: E402
+
+IO_COUNT = 3500
+
+
+def test_fig06a_average(benchmark):
+    result = emit(
+        benchmark.pedantic(
+            fig06a, kwargs=dict(io_count=IO_COUNT), rounds=1, iterations=1
+        )
+    )
+    nvme = result.get("NVME SSD")
+    ull = result.get("ULL SSD")
+    # Paper: NVMe read latency degrades sharply once writes are mixed in;
+    # ULL stays essentially flat (suspend/resume).
+    assert nvme.value_at(20) > 1.5 * nvme.value_at(0)
+    assert ull.value_at(80) < 1.6 * ull.value_at(0)
+    assert nvme.value_at(80) > 5 * ull.value_at(80)
+
+
+def test_fig06b_five_nines(benchmark):
+    result = emit(
+        benchmark.pedantic(
+            fig06b, kwargs=dict(io_count=IO_COUNT), rounds=1, iterations=1
+        )
+    )
+    # Paper: NVMe 99.999th reaches ~4.5 ms with 20% writes; ULL stays
+    # under ~120 us.
+    assert result.get("NVME SSD").value_at(20) > 800
+    assert result.get("ULL SSD").value_at(20) < 450

@@ -1,0 +1,40 @@
+"""Figure 7: power consumption and the onset of garbage collection."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import emit  # noqa: E402
+
+from repro.core.figures_device import fig07a, fig07b  # noqa: E402
+
+
+def test_fig07a_power(benchmark):
+    result = emit(
+        benchmark.pedantic(
+            fig07a, kwargs=dict(io_count=1200), rounds=1, iterations=1
+        )
+    )
+    ull = result.get("ULL SSD")
+    nvme = result.get("NVME SSD")
+    # Paper: idle ~3.8 W on both; reads similar (~4.1 W); ULL consumes
+    # ~30% less than NVMe for async writes (SLC-like programs).
+    assert abs(ull.value_at("Idle") - 3.8) < 0.15
+    assert abs(nvme.value_at("Idle") - 3.8) < 0.15
+    assert nvme.value_at("Async SeqWr") > 1.15 * ull.value_at("Async SeqWr")
+    # Sync (QD1) traffic barely lifts power above idle.
+    assert ull.value_at("Sync RndRd") < ull.value_at("Async RndRd") + 0.5
+
+
+def test_fig07b_gc_latency(benchmark):
+    result = emit(
+        benchmark.pedantic(fig07b, rounds=1, iterations=1)
+    )
+    ull = result.get("ULL SSD")
+    nvme = result.get("NVME SSD")
+    # Paper: NVMe write latency rises sharply once GC begins (~6.3x);
+    # ULL stays sustained.
+    assert max(nvme.y) > 3 * nvme.y[0]
+    assert max(ull.y[1:-1]) < 2.5 * ull.y[0]
+    assert result.extras["nvme_gc_events"] > 0
+    assert result.extras["ull_gc_events"] > 0

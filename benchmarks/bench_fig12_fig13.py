@@ -1,0 +1,42 @@
+"""Figures 12 and 13: CPU utilization of the completion methods."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import emit  # noqa: E402
+
+from repro.core.figures_completion import fig12, fig13  # noqa: E402
+
+IO_COUNT = 1000
+
+
+def test_fig12_hybrid_cpu(benchmark):
+    result = emit(
+        benchmark.pedantic(
+            fig12, kwargs=dict(io_count=IO_COUNT), rounds=1, iterations=1
+        )
+    )
+    # Paper: hybrid polling still burns 56-58% of the core.
+    for series in result.series:
+        for value in series.y:
+            assert 30 < value < 80
+
+
+def test_fig13_interrupt_vs_poll_cpu(benchmark):
+    result = emit(
+        benchmark.pedantic(
+            fig13, kwargs=dict(io_count=IO_COUNT), rounds=1, iterations=1
+        )
+    )
+    # Paper: polling's kernel-mode cycles dominate the whole execution
+    # (96.4%), while interrupts leave the core mostly idle.
+    for rw in ("SeqRd", "RndRd", "SeqWr", "RndWr"):
+        poll_kernel = result.find(rw, "Poll", "kernel").value_at("4KB")
+        int_kernel = result.find(rw, "Interrupt", "kernel").value_at("4KB")
+        assert poll_kernel > 80
+        assert int_kernel < 45
+        assert poll_kernel > 2.5 * int_kernel
+        # User-mode cycles are similar in absolute terms (small share).
+        poll_user = result.find(rw, "Poll", "user").value_at("4KB")
+        assert poll_user < 20

@@ -1,0 +1,53 @@
+"""Figures 14 and 15: where polling spends cycles and memory traffic."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import emit  # noqa: E402
+
+from repro.core.figures_completion import fig14a, fig14b, fig15  # noqa: E402
+
+IO_COUNT = 1200
+
+
+def test_fig14a_module_breakdown(benchmark):
+    result = emit(
+        benchmark.pedantic(
+            fig14a, kwargs=dict(io_count=IO_COUNT), rounds=1, iterations=1
+        )
+    )
+    # Paper: the NVMe driver itself is only ~17.5% of kernel cycles.
+    for value in result.get("NVMe Driver").y:
+        assert 8 < value < 30
+
+
+def test_fig14b_function_breakdown(benchmark):
+    result = emit(
+        benchmark.pedantic(
+            fig14b, kwargs=dict(io_count=IO_COUNT), rounds=1, iterations=1
+        )
+    )
+    # Paper: blk_mq_poll ~67% and nvme_poll ~17% of kernel cycles (84%
+    # combined).
+    for x in result.get("blk_mq_poll").x:
+        blk = result.get("blk_mq_poll").value_at(x)
+        nvme = result.get("nvme_poll").value_at(x)
+        assert 50 < blk < 80
+        assert 8 < nvme < 28
+        assert blk + nvme > 70
+
+
+def test_fig15_memory_instructions(benchmark):
+    result = emit(
+        benchmark.pedantic(
+            fig15, kwargs=dict(io_count=IO_COUNT), rounds=1, iterations=1
+        )
+    )
+    # Paper: polling executes ~137% more loads (2.37x) and ~78% more
+    # stores (1.78x) than the interrupt path.
+    read_loads = result.get("Reads Load").value_at("4KB")
+    read_stores = result.get("Reads Store").value_at("4KB")
+    assert 1.8 < read_loads < 3.5
+    assert 1.3 < read_stores < 2.6
+    assert read_loads > read_stores  # loads grow faster (CQ checks)

@@ -1,0 +1,25 @@
+"""Figure 16: latency reduction of polling vs. hybrid polling."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import emit  # noqa: E402
+
+from repro.core.figures_completion import fig16  # noqa: E402
+
+
+def test_fig16(benchmark):
+    result = emit(
+        benchmark.pedantic(
+            fig16, kwargs=dict(io_count=1500), rounds=1, iterations=1
+        )
+    )
+    # Paper: hybrid reduces latency by at most ~8%; pure polling far
+    # more; hybrid trails polling by ~5% (sleep misprediction).
+    for rw in ("SeqRd", "RndRd", "SeqWr", "RndWr"):
+        poll = result.get(f"{rw} Polling").value_at("4KB")
+        hybrid = result.get(f"{rw} Hybrid Polling").value_at("4KB")
+        assert poll > hybrid, f"{rw}: hybrid must trail pure polling"
+        assert hybrid > -4.0, f"{rw}: hybrid should not be slower than interrupts"
+        assert 8 < poll < 30

@@ -1,0 +1,56 @@
+"""Figures 17-19: SPDK vs. the kernel interrupt path."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import emit, reduction  # noqa: E402
+
+from repro.core.figures_spdk import fig17, fig18, fig19  # noqa: E402
+
+IO_COUNT = 1200
+
+
+def test_fig17_nvme(benchmark):
+    result = emit(
+        benchmark.pedantic(
+            fig17, kwargs=dict(io_count=IO_COUNT), rounds=1, iterations=1
+        )
+    )
+    # Paper: on the NVMe SSD the difference is ~4.3% (reads) / ~11.1%
+    # (writes) — "almost similar to each other and negligible".
+    assert reduction(result, "RndRd SPDK", "RndRd Kernel", "4KB") < 0.08
+    assert reduction(result, "SeqRd SPDK", "SeqRd Kernel", "4KB") < 0.15
+    assert reduction(result, "SeqWr SPDK", "SeqWr Kernel", "4KB") < 0.35
+
+
+def test_fig18_ull(benchmark):
+    result = emit(
+        benchmark.pedantic(
+            fig18, kwargs=dict(io_count=IO_COUNT), rounds=1, iterations=1
+        )
+    )
+    # Paper: 25.2% / 6.3% / 13.7% / 13.3% reductions for SeqRd / RndRd /
+    # SeqWr / RndWr.  Our random reads keep more of the win (see
+    # EXPERIMENTS.md); the ordering SeqRd > RndRd holds.
+    seq_rd = reduction(result, "SeqRd SPDK", "SeqRd Kernel", "4KB")
+    rnd_rd = reduction(result, "RndRd SPDK", "RndRd Kernel", "4KB")
+    assert 0.15 < seq_rd < 0.40
+    assert rnd_rd < seq_rd
+    assert reduction(result, "SeqWr SPDK", "SeqWr Kernel", "4KB") > 0.10
+
+
+def test_fig19_big_blocks(benchmark):
+    result = emit(
+        benchmark.pedantic(
+            fig19, kwargs=dict(io_count=250), rounds=1, iterations=1
+        )
+    )
+    # Paper: with >=64KB requests the SPDK and kernel curves overlap.
+    for rw in ("SeqRd", "RndRd", "SeqWr", "RndWr"):
+        saving_1m = reduction(result, f"{rw} SPDK", f"{rw} Kernel", "1MB")
+        assert saving_1m < 0.06, f"{rw}: SPDK advantage must vanish at 1MB"
+    # And the shrink is monotone-ish from 64KB to 1MB.
+    saving_64k = reduction(result, "SeqRd SPDK", "SeqRd Kernel", "64KB")
+    saving_1m = reduction(result, "SeqRd SPDK", "SeqRd Kernel", "1MB")
+    assert saving_1m < saving_64k

@@ -1,0 +1,80 @@
+"""Figures 20-22: SPDK's CPU and memory-instruction footprint."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import emit  # noqa: E402
+
+from repro.core.figures_spdk import fig20, fig21, fig22a, fig22b  # noqa: E402
+
+IO_COUNT = 1000
+
+
+def test_fig20_cpu(benchmark):
+    result = emit(
+        benchmark.pedantic(
+            fig20, kwargs=dict(io_count=IO_COUNT), rounds=1, iterations=1
+        )
+    )
+    # Paper: SPDK consumes the entire core from user space; the
+    # conventional path uses ~10% user + ~15% kernel.
+    for rw in ("SeqRd", "RndRd", "SeqWr", "RndWr"):
+        spdk_user = result.get(f"{rw} SPDK user").value_at("4KB")
+        spdk_kernel = result.get(f"{rw} SPDK kernel").value_at("4KB")
+        assert spdk_user > 95
+        assert spdk_kernel < 1
+        int_user = result.get(f"{rw} Kernel Interrupt user").value_at("4KB")
+        int_kernel = result.get(f"{rw} Kernel Interrupt kernel").value_at("4KB")
+        assert int_user + int_kernel < 60
+
+
+def test_fig21_memory_instructions(benchmark):
+    result = emit(
+        benchmark.pedantic(
+            fig21, kwargs=dict(io_count=IO_COUNT), rounds=1, iterations=1
+        )
+    )
+    # Paper: SPDK issues ~23x the loads and ~16.2x the stores of the
+    # conventional interrupt path, growing with wait time (random reads
+    # poll longer than sequential ones on the ULL SSD).
+    seq_loads = result.get("SeqRd Load").value_at("4KB")
+    seq_stores = result.get("SeqRd Store").value_at("4KB")
+    assert 12 < seq_loads < 40
+    assert 6 < seq_stores < 30
+    assert result.get("RndRd Load").value_at("4KB") > seq_loads
+
+
+def test_fig22a_poll_breakdown(benchmark):
+    result = emit(
+        benchmark.pedantic(
+            fig22a, kwargs=dict(io_count=IO_COUNT), rounds=1, iterations=1
+        )
+    )
+    # Paper: kernel polling's two functions take ~39% of load/stores;
+    # our path model attributes less base traffic outside the poll loop,
+    # so the share runs higher (see EXPERIMENTS.md) — the shape claim is
+    # that the two poll functions dominate and blk_mq_poll > nvme_poll.
+    for x in result.get("blk_mq_poll").x:
+        blk = result.get("blk_mq_poll").value_at(x)
+        nvme = result.get("nvme_poll").value_at(x)
+        assert 30 < blk + nvme < 90
+        assert blk > nvme
+
+
+def test_fig22b_spdk_breakdown(benchmark):
+    result = emit(
+        benchmark.pedantic(
+            fig22b, kwargs=dict(io_count=IO_COUNT), rounds=1, iterations=1
+        )
+    )
+    # Paper (loads): process_completions ~37%, pcie variant ~22%,
+    # check_enabled ~20%, others the rest.
+    outer = result.get("spdk_nvme_qpair_process_completions")
+    inner = result.get("nvme_pcie_qpair_process_completions")
+    check = result.get("nvme_qpair_check_enabled")
+    for x in outer.x:
+        if x.endswith("LD"):
+            assert 25 < outer.value_at(x) < 50
+            assert 12 < inner.value_at(x) < 32
+            assert 10 < check.value_at(x) < 30

@@ -1,0 +1,22 @@
+"""Table I: 3D flash characteristics."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import emit  # noqa: E402
+
+from repro.core.figures import table1  # noqa: E402
+
+
+def test_table1(benchmark):
+    result = emit(benchmark.pedantic(table1, rounds=1, iterations=1))
+    tR = result.get("tR (us)")
+    assert tR.value_at("Z-NAND") == 3.0
+    assert tR.value_at("BiCS") == 45.0
+    assert tR.value_at("V-NAND") == 60.0
+    tprog = result.get("tPROG (us)")
+    assert tprog.value_at("Z-NAND") == 100.0
+    # Z-NAND reads 15-20x faster, programs ~7x faster (Section II-A1).
+    assert 15 <= tR.value_at("V-NAND") / tR.value_at("Z-NAND") <= 20
+    assert 6 <= tprog.value_at("V-NAND") / tprog.value_at("Z-NAND") <= 7.5

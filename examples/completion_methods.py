@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Compare the three kernel I/O completion methods on a ULL SSD.
+
+Reproduces the paper's Section V story in one run: polling shaves the
+MSI + ISR + context-switch path off every I/O, but burns the entire core
+in kernel mode; hybrid polling sleeps half the expected wait and lands
+in between on both axes.  The five-nines column shows polling's darker
+side — long device stalls cost the spinning thread scheduler goodwill.
+
+Run:  python examples/completion_methods.py
+"""
+
+from repro import (
+    CompletionMethod,
+    FioJob,
+    IoEngineKind,
+    KernelStack,
+    Simulator,
+    SsdDevice,
+    ull_ssd_config,
+    run_job,
+)
+from repro.host.accounting import ExecMode
+
+IO_COUNT = 8000
+
+
+def measure(method: CompletionMethod):
+    sim = Simulator()
+    device = SsdDevice(sim, ull_ssd_config())
+    device.precondition()
+    stack = KernelStack(sim, device, completion=method)
+    job = FioJob(
+        name=f"ull-{method.value}",
+        rw="randread",
+        engine=IoEngineKind.PSYNC,
+        io_count=IO_COUNT,
+    )
+    return run_job(sim, stack, job)
+
+
+def main() -> None:
+    print(f"ULL SSD, 4KB random reads, pvsync2, {IO_COUNT} I/Os per method\n")
+    print(f"{'method':12s} {'mean':>8s} {'p99.999':>10s} "
+          f"{'CPU user':>9s} {'CPU kern':>9s}")
+    baseline = None
+    for method in CompletionMethod:
+        result = measure(method)
+        if baseline is None:
+            baseline = result.latency.mean_ns
+        saving = 100.0 * (1 - result.latency.mean_ns / baseline)
+        print(
+            f"{method.value:12s} {result.latency.mean_us:7.1f}us "
+            f"{result.latency.p99999_us:9.1f}us "
+            f"{100 * result.cpu_utilization(ExecMode.USER):8.1f}% "
+            f"{100 * result.cpu_utilization(ExecMode.KERNEL):8.1f}%"
+            + (f"   ({saving:+.1f}% vs interrupt)" if method is not CompletionMethod.INTERRUPT else "")
+        )
+    print("\nPolling wins the average but owns the core (Figs. 10, 13);")
+    print("its 99.999th percentile is *worse* than interrupts (Fig. 11);")
+    print("hybrid polling halves the spin at a small latency cost (Figs. 12, 16).")
+
+
+if __name__ == "__main__":
+    main()

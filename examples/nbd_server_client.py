@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""A server-client deployment: ext4 over NBD, kernel vs. SPDK server.
+
+The paper's Section VI-C reality check: kernel bypass is easy to sell in
+a microbenchmark, but a real deployment has a client file system that
+cannot be bypassed.  This example mounts the ext4 cost model on a
+network block device backed by a ULL SSD and compares the kernel NBD
+server against the SPDK NBD target.
+
+Reads (which block the server on flash) keep almost all of SPDK's
+benefit; writes (buffered, journal-amplified on the client) keep almost
+none — the deployment eats the microbenchmark win.
+
+Run:  python examples/nbd_server_client.py
+"""
+
+from repro import NbdServerKind, Simulator
+from repro.core.figures_server import FileSystemOverNbd
+from repro.workloads import FioJob, run_job
+from repro.workloads.job import IoEngineKind
+
+IO_COUNT = 600
+
+
+def measure(server: NbdServerKind, rw: str, block_size: int):
+    sim = Simulator()
+    stack = FileSystemOverNbd(sim, server)
+    job = FioJob(
+        name=f"nbd-{server.value}-{rw}",
+        rw=rw,
+        block_size=block_size,
+        engine=IoEngineKind.PSYNC,
+        io_count=IO_COUNT,
+        region_bytes=(stack.data_region_bytes // block_size) * block_size,
+    )
+    return run_job(sim, stack, job)
+
+
+def main() -> None:
+    print(f"fio over ext4 over NBD, ULL SSD backend, {IO_COUNT} file I/Os\n")
+    print(f"{'workload':12s} {'size':>6s} {'kernel NBD':>11s} {'SPDK NBD':>10s} {'saving':>8s}")
+    for rw in ("randread", "randwrite"):
+        for block_size in (4096, 16384, 65536):
+            kernel = measure(NbdServerKind.KERNEL, rw, block_size)
+            spdk = measure(NbdServerKind.SPDK, rw, block_size)
+            saving = 100 * (1 - spdk.latency.mean_ns / kernel.latency.mean_ns)
+            print(
+                f"{rw:12s} {block_size // 1024:5d}K "
+                f"{kernel.latency.mean_us:10.1f}us {spdk.latency.mean_us:9.1f}us "
+                f"{saving:7.1f}%"
+            )
+    print("\nReads: the kernel server pays socket + block wake-ups per request,")
+    print("all of which SPDK's polled reactor removes (~39% in the paper).")
+    print("Writes: client-side journaling/metadata dominate and the buffered")
+    print("device write never blocks the server (<5% in the paper).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Quickstart: measure a ULL SSD through the kernel stack.
+
+Builds the paper's two devices, runs a 4 KB random-read job on each
+through the interrupt-driven kernel path, and prints the fio-style
+summary — the numbers behind the paper's headline claim that the Z-SSD
+serves random reads ~5x faster than a high-end NVMe SSD.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CompletionMethod,
+    FioJob,
+    IoEngineKind,
+    KernelStack,
+    Simulator,
+    SsdDevice,
+    nvme_ssd_config,
+    run_job,
+    ull_ssd_config,
+)
+
+
+def measure(config, label: str) -> None:
+    sim = Simulator()
+    device = SsdDevice(sim, config)
+    device.precondition()  # write the whole drive once, like the paper
+    stack = KernelStack(sim, device, completion=CompletionMethod.INTERRUPT)
+    job = FioJob(
+        name=f"{label}-randread",
+        rw="randread",
+        block_size=4096,
+        engine=IoEngineKind.LIBAIO,
+        iodepth=1,
+        io_count=3000,
+    )
+    result = run_job(sim, stack, job)
+    summary = result.latency
+    print(f"{label:28s} mean={summary.mean_us:6.1f}us  "
+          f"p99={summary.p99_us:7.1f}us  p99.999={summary.p99999_us:8.1f}us  "
+          f"IOPS={result.iops:9.0f}  power={result.avg_power_w:.2f}W")
+
+
+def main() -> None:
+    print("4KB random reads, libaio QD1, interrupt completion\n")
+    measure(ull_ssd_config(), "ULL SSD (Z-SSD)")
+    measure(nvme_ssd_config(), "NVMe SSD (Intel 750-class)")
+    print("\nThe ULL SSD's Z-NAND (tR = 3us) keeps random reads near 16us;")
+    print("the NVMe SSD's MLC (tR = 70us) exposes raw flash latency on")
+    print("cache misses - the paper's 5.2x gap (Section IV-A).")
+
+
+if __name__ == "__main__":
+    main()

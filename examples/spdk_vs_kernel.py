@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""SPDK kernel bypass vs. the kernel stack, on both devices.
+
+Reproduces the Section VI contrast: on the NVMe SSD the device dominates
+and SPDK buys almost nothing; on the ULL SSD, removing syscalls, blk-mq
+and the interrupt path is worth ~25% — but the user-space poll loop
+pins the core at 100% and multiplies memory traffic by an order of
+magnitude (Figs. 17, 18, 20, 21).
+
+Run:  python examples/spdk_vs_kernel.py
+"""
+
+from repro import (
+    CompletionMethod,
+    FioJob,
+    IoEngineKind,
+    KernelStack,
+    Simulator,
+    SpdkStack,
+    SsdDevice,
+    nvme_ssd_config,
+    run_job,
+    ull_ssd_config,
+)
+
+IO_COUNT = 4000
+
+
+def measure(config, use_spdk: bool):
+    sim = Simulator()
+    device = SsdDevice(sim, config)
+    device.precondition()
+    if use_spdk:
+        stack = SpdkStack(sim, device)
+        engine = IoEngineKind.SPDK
+    else:
+        stack = KernelStack(sim, device, completion=CompletionMethod.INTERRUPT)
+        engine = IoEngineKind.PSYNC
+    job = FioJob(name="cmp", rw="read", engine=engine, io_count=IO_COUNT)
+    result = run_job(sim, stack, job)
+    per_io_loads = stack.accounting.total_loads() / IO_COUNT
+    return result, per_io_loads
+
+
+def main() -> None:
+    print(f"4KB sequential reads, QD1, {IO_COUNT} I/Os per configuration\n")
+    print(f"{'device':28s} {'stack':18s} {'mean':>8s} {'CPU':>7s} {'loads/IO':>9s}")
+    for config in (nvme_ssd_config(), ull_ssd_config()):
+        rows = []
+        for use_spdk in (False, True):
+            result, loads = measure(config, use_spdk)
+            rows.append((result, loads, "SPDK" if use_spdk else "kernel interrupt"))
+        for result, loads, label in rows:
+            print(
+                f"{config.name:28s} {label:18s} {result.latency.mean_us:7.1f}us "
+                f"{100 * result.cpu_utilization():6.1f}% {loads:9.0f}"
+            )
+        kernel, spdk = rows[0][0], rows[1][0]
+        saving = 100 * (1 - spdk.latency.mean_ns / kernel.latency.mean_ns)
+        print(f"{'':28s} -> SPDK saves {saving:.1f}% "
+              f"({'worth it' if saving > 15 else 'negligible'})\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""repro — a mechanism-level reproduction of "Faster than Flash" (IISWC'19).
+
+The paper characterizes an ultra-low-latency (Z-NAND) SSD against a
+high-end NVMe SSD across the whole storage stack: device internals,
+kernel completion methods (interrupt / poll / hybrid), SPDK kernel
+bypass, and a server-client NBD deployment.  This package simulates that
+entire system and regenerates every table and figure.
+
+Quickstart::
+
+    from repro import (
+        Simulator, SsdDevice, ull_ssd_config, KernelStack,
+        CompletionMethod, FioJob, IoEngineKind, run_job,
+    )
+
+    sim = Simulator()
+    device = SsdDevice(sim, ull_ssd_config())
+    device.precondition()
+    stack = KernelStack(sim, device, completion=CompletionMethod.POLL)
+    job = FioJob(name="demo", rw="randread", io_count=1000)
+    result = run_job(sim, stack, job)
+    print(result.latency.mean_us, "us")
+
+Figure reproductions live in :data:`repro.core.figures.FIGURES`.
+"""
+
+from repro.core.experiment import DeviceKind, StackKind, build_device, build_stack
+from repro.core.figures import FIGURES, run_figure
+from repro.core.report import render_figure
+from repro.kstack.completion import CompletionMethod
+from repro.kstack.stack import KernelStack
+from repro.net.nbd import NbdServerKind, NbdSystem
+from repro.sim.engine import Simulator
+from repro.spdk.stack import SpdkStack
+from repro.ssd.config import SsdConfig
+from repro.ssd.device import IoOp, SsdDevice
+from repro.ssd.presets import nvme_ssd_config, ull_ssd_config
+from repro.workloads.job import FioJob, IoEngineKind
+from repro.workloads.runner import JobResult, run_job
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Simulator",
+    "SsdDevice",
+    "SsdConfig",
+    "IoOp",
+    "ull_ssd_config",
+    "nvme_ssd_config",
+    "KernelStack",
+    "SpdkStack",
+    "CompletionMethod",
+    "NbdSystem",
+    "NbdServerKind",
+    "FioJob",
+    "IoEngineKind",
+    "JobResult",
+    "run_job",
+    "DeviceKind",
+    "StackKind",
+    "build_device",
+    "build_stack",
+    "FIGURES",
+    "run_figure",
+    "render_figure",
+    "__version__",
+]

@@ -1,0 +1,65 @@
+"""Command-line entry point: ``python -m repro <figure-id> [...]``.
+
+Runs one or more figure reproductions and prints their tables.  Use
+``--scale`` to shrink I/O counts for a quick look (0.1 = 10 % of the
+default samples), ``--list`` to enumerate figure ids.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+import time
+
+from repro.core.figures import FIGURES, run_figure
+from repro.core.report import render_figure
+
+
+def _scaled_kwargs(figure_id: str, scale: float) -> dict:
+    fn = FIGURES[figure_id]
+    params = inspect.signature(fn).parameters
+    if scale == 1.0 or "io_count" not in params:
+        return {}
+    default = params["io_count"].default
+    if not default:  # figures that choose their own count (GC runs)
+        return {}
+    return {"io_count": max(100, int(default * scale))}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce figures from 'Faster than Flash' (IISWC'19)",
+    )
+    parser.add_argument("figures", nargs="*", help="figure ids (e.g. fig10 fig18)")
+    parser.add_argument("--list", action="store_true", help="list figure ids")
+    parser.add_argument("--all", action="store_true", help="run every figure")
+    parser.add_argument(
+        "--scale", type=float, default=1.0, help="I/O-count scale factor (default 1.0)"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for figure_id, fn in sorted(FIGURES.items()):
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{figure_id:8s} {doc}")
+        return 0
+
+    targets = sorted(FIGURES) if args.all else args.figures
+    if not targets:
+        parser.print_usage()
+        return 2
+    for figure_id in targets:
+        if figure_id not in FIGURES:
+            print(f"unknown figure {figure_id!r}; try --list", file=sys.stderr)
+            return 2
+        started = time.time()
+        result = run_figure(figure_id, **_scaled_kwargs(figure_id, args.scale))
+        print(render_figure(result))
+        print(f"   [{time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

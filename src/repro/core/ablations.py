@@ -1,0 +1,240 @@
+"""Ablation studies: isolate each design choice DESIGN.md calls out.
+
+Every mechanism the reproduction credits for a paper observation can be
+switched off; these experiments measure how much of the observed
+behavior that mechanism actually carries:
+
+* program **suspend/resume** — the anti-interference mechanism (Fig. 6);
+* the **map-segment cache** — the random-vs-sequential read gap;
+* **write-buffer size** — buffered write latency vs. backlog;
+* **overprovisioning** — GC's ability to keep up with overwrites
+  (the flat ULL line of Fig. 7b);
+* the **hybrid-poll sleep fraction** — the latency/CPU trade the kernel
+  fixed at 1/2.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+from repro.core.experiment import DeviceKind, device_config
+from repro.core.metrics import FigureResult, Series
+from repro.kstack.completion import CompletionMethod
+from repro.kstack.stack import KernelStack
+from repro.sim.engine import Simulator
+from repro.ssd.device import SsdDevice
+from repro.workloads.job import FioJob, IoEngineKind
+from repro.workloads.runner import JobResult, run_job
+
+
+def _run_on_config(
+    config,
+    job: FioJob,
+    *,
+    completion: CompletionMethod = CompletionMethod.INTERRUPT,
+    sleep_fraction: float = None,
+) -> Tuple[JobResult, SsdDevice]:
+    sim = Simulator()
+    device = SsdDevice(sim, config)
+    device.precondition()
+    stack = KernelStack(sim, device, completion=completion)
+    if sleep_fraction is not None:
+        stack.engine.sleep_fraction = sleep_fraction
+    return run_job(sim, stack, job), device
+
+
+def suspend_resume_ablation(io_count: int = 3000) -> FigureResult:
+    """Fig. 6 without the suspend/resume engine: reads queue behind
+    programs even on Z-NAND."""
+    base = device_config(DeviceKind.ULL)
+    job = FioJob(
+        name="mix", rw="randrw", write_fraction=0.5,
+        engine=IoEngineKind.LIBAIO, iodepth=8, io_count=io_count,
+    )
+    series = []
+    for label, enabled in (("suspend/resume ON", True), ("suspend/resume OFF", False)):
+        config = dataclasses.replace(base, suspend_resume=enabled)
+        result, _ = _run_on_config(config, job)
+        series.append(
+            Series.from_points(
+                label,
+                ("mean", "p99.999"),
+                (result.read_latency.mean_us, result.read_latency.p99999_us),
+                "us",
+            )
+        )
+    return FigureResult(
+        figure_id="abl-suspend",
+        title="Read latency under 50% writes, with/without suspend/resume (ULL)",
+        x_label="metric",
+        y_label="read latency (us)",
+        series=tuple(series),
+    )
+
+
+def map_cache_ablation(io_count: int = 1200) -> FigureResult:
+    """The ULL random-vs-sequential read gap is the map-segment cache."""
+    base = device_config(DeviceKind.ULL)
+    series = []
+    for label, segments in (("map cache ON", base.map_cache_segments),
+                            ("map cache OFF (full map in SRAM)", 0)):
+        config = dataclasses.replace(base, map_cache_segments=segments)
+        ys = []
+        for rw in ("read", "randread"):
+            job = FioJob(name=rw, rw=rw, engine=IoEngineKind.PSYNC,
+                         io_count=io_count)
+            result, _ = _run_on_config(config, job)
+            ys.append(result.latency.mean_us)
+        series.append(Series.from_points(label, ("SeqRd", "RndRd"), ys, "us"))
+    return FigureResult(
+        figure_id="abl-mapcache",
+        title="Sequential vs random reads, with/without the map cache (ULL)",
+        x_label="pattern",
+        y_label="avg latency (us)",
+        series=tuple(series),
+    )
+
+
+def write_buffer_ablation(
+    io_count: int = 3000, sizes: Tuple[int, ...] = (64, 512, 2048, 8192)
+) -> FigureResult:
+    """NVMe buffered writes: the buffer hides tPROG until it fills."""
+    series = []
+    mean_ys, tail_ys = [], []
+    for units in sizes:
+        config = device_config(DeviceKind.NVME, write_buffer_units=units)
+        job = FioJob(
+            name="wr", rw="randwrite", engine=IoEngineKind.LIBAIO,
+            iodepth=16, io_count=io_count,
+        )
+        result, _ = _run_on_config(config, job)
+        mean_ys.append(result.latency.mean_us)
+        tail_ys.append(result.latency.p99999_us)
+    labels = [f"{units}u" for units in sizes]
+    series.append(Series.from_points("mean", labels, mean_ys, "us"))
+    series.append(Series.from_points("p99.999", labels, tail_ys, "us"))
+    return FigureResult(
+        figure_id="abl-writebuffer",
+        title="NVMe random-write latency vs write-buffer size (QD16)",
+        x_label="buffer size (4KB units)",
+        y_label="latency (us)",
+        series=tuple(series),
+    )
+
+
+def overprovision_ablation(
+    io_count: int = 12_000, ratios: Tuple[float, ...] = (0.08, 0.125, 0.20, 0.28)
+) -> FigureResult:
+    """The flat ULL GC line needs headroom: WAF and write latency vs OP."""
+    labels = [f"{int(100 * ratio)}%" for ratio in ratios]
+    latency_ys, waf_ys = [], []
+    for ratio in ratios:
+        config = dataclasses.replace(
+            device_config(DeviceKind.ULL), overprovision=ratio
+        )
+        job = FioJob(
+            name="ow", rw="randwrite", engine=IoEngineKind.PSYNC,
+            io_count=io_count,
+        )
+        result, device = _run_on_config(config, job)
+        latency_ys.append(result.latency.mean_us)
+        waf_ys.append(device.ftl.write_amplification())
+    return FigureResult(
+        figure_id="abl-overprovision",
+        title="Sustained overwrites vs overprovisioning (ULL)",
+        x_label="overprovisioning",
+        y_label="write latency (us) / WAF",
+        series=(
+            Series.from_points("write latency", labels, latency_ys, "us"),
+            Series.from_points("write amplification", labels, waf_ys, "x"),
+        ),
+    )
+
+
+def gc_policy_ablation(io_count: int = 30_000, hot_fraction: float = 0.2):
+    """Greedy vs. cost-benefit GC under skewed (hot/cold) overwrites.
+
+    80 % of the overwrites hit ``hot_fraction`` of the space.  With the
+    allocator's host/GC stream separation doing the hot/cold
+    segregation, migrated cold data settles into near-fully-valid
+    blocks that neither policy selects — so the two victim scores end
+    up within a few percent of each other.  The experiment documents
+    that convergence (and that both sustain the storm at equal WAF);
+    cost-benefit's distinct *choices* are covered by unit tests.
+    """
+    import numpy as np
+
+    results = {}
+    for policy in ("greedy", "cost-benefit"):
+        # A smaller array reaches GC steady state (where the policies
+        # diverge) within a tractable number of overwrites.
+        config = dataclasses.replace(
+            device_config(
+                DeviceKind.ULL, blocks_per_die=12, pages_per_block=64
+            ),
+            gc_policy=policy,
+        )
+        sim = Simulator()
+        device = SsdDevice(sim, config)
+        device.precondition()
+        rng = np.random.default_rng(17)
+        pages = device.logical_pages
+        hot_pages = max(1, int(pages * hot_fraction))
+        for _ in range(io_count):
+            if rng.random() < 0.8:
+                lpn = int(rng.integers(0, hot_pages))
+            else:
+                lpn = int(rng.integers(hot_pages, pages))
+            device.write(lpn * 4096, 4096)
+        sim.run()
+        results[policy] = device
+    labels = tuple(results)
+    return FigureResult(
+        figure_id="abl-gcpolicy",
+        title="GC victim policy under 80/20 skewed overwrites (ULL)",
+        x_label="policy",
+        y_label="WAF / erases",
+        series=(
+            Series.from_points(
+                "write amplification",
+                labels,
+                [results[p].ftl.write_amplification() for p in labels],
+                "x",
+            ),
+            Series.from_points(
+                "erases",
+                labels,
+                [float(results[p].ftl.erases) for p in labels],
+            ),
+        ),
+    )
+
+
+def hybrid_sleep_ablation(
+    io_count: int = 2000, fractions: Tuple[float, ...] = (0.25, 0.5, 0.75)
+) -> FigureResult:
+    """The kernel's sleep-half heuristic: latency vs CPU across fractions."""
+    config = device_config(DeviceKind.ULL)
+    labels = [f"{fraction:.2f}" for fraction in fractions]
+    latency_ys, cpu_ys = [], []
+    for fraction in fractions:
+        job = FioJob(name="hy", rw="randread", engine=IoEngineKind.PSYNC,
+                     io_count=io_count)
+        result, _ = _run_on_config(
+            config, job,
+            completion=CompletionMethod.HYBRID,
+            sleep_fraction=fraction,
+        )
+        latency_ys.append(result.latency.mean_us)
+        cpu_ys.append(100.0 * result.cpu_utilization())
+    return FigureResult(
+        figure_id="abl-hybridsleep",
+        title="Hybrid polling: sleep fraction vs latency and CPU (ULL)",
+        x_label="sleep fraction of estimated wait",
+        y_label="latency (us) / CPU (%)",
+        series=(
+            Series.from_points("latency", labels, latency_ys, "us"),
+            Series.from_points("CPU utilization", labels, cpu_ys, "%"),
+        ),
+    )

@@ -1,0 +1,145 @@
+"""Build-and-run helpers: one call per measurement.
+
+Every figure function composes these.  Each measurement gets a *fresh*
+simulator and device (preconditioned unless told otherwise), so runs are
+independent and deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Tuple
+
+from repro.host.costs import DEFAULT_COSTS, SoftwareCosts
+from repro.kstack.completion import CompletionMethod
+from repro.kstack.stack import KernelStack
+from repro.sim.engine import Simulator
+from repro.spdk.stack import SpdkStack
+from repro.ssd.config import SsdConfig
+from repro.ssd.device import SsdDevice
+from repro.ssd.presets import nvme_ssd_config, ull_ssd_config
+from repro.workloads.job import FioJob, IoEngineKind
+from repro.workloads.runner import JobResult, run_job
+
+
+class DeviceKind(enum.Enum):
+    """Which of the paper's two SSDs to instantiate."""
+
+    ULL = "ull"
+    NVME = "nvme"
+
+
+class StackKind(enum.Enum):
+    """Which host I/O path drives the device."""
+
+    KERNEL = "kernel"
+    SPDK = "spdk"
+
+
+def device_config(kind: DeviceKind, **overrides) -> SsdConfig:
+    """The preset config for ``kind`` (keyword overrides pass through)."""
+    if kind is DeviceKind.ULL:
+        return ull_ssd_config(**overrides)
+    return nvme_ssd_config(**overrides)
+
+
+def build_device(
+    sim: Simulator,
+    kind: DeviceKind,
+    *,
+    precondition: float = 1.0,
+    seed: int = 42,
+    config: Optional[SsdConfig] = None,
+) -> SsdDevice:
+    """A fresh device, optionally preconditioned (whole-drive fill)."""
+    device = SsdDevice(sim, config or device_config(kind), seed=seed)
+    if precondition > 0:
+        device.precondition(precondition)
+    return device
+
+
+def build_stack(
+    sim: Simulator,
+    device: SsdDevice,
+    *,
+    stack: StackKind = StackKind.KERNEL,
+    completion: CompletionMethod = CompletionMethod.INTERRUPT,
+    costs: Optional[SoftwareCosts] = None,
+    seed: int = 11,
+):
+    """The host path: kernel (with a completion method) or SPDK."""
+    if stack is StackKind.SPDK:
+        return SpdkStack(sim, device, costs=costs or DEFAULT_COSTS)
+    return KernelStack(
+        sim, device, completion=completion, costs=costs or DEFAULT_COSTS, seed=seed
+    )
+
+
+def run_sync_job(
+    device_kind: DeviceKind,
+    rw: str,
+    *,
+    block_size: int = 4096,
+    io_count: int = 2000,
+    stack: StackKind = StackKind.KERNEL,
+    completion: CompletionMethod = CompletionMethod.INTERRUPT,
+    write_fraction: float = 0.5,
+    precondition: float = 1.0,
+    seed: int = 42,
+    costs: Optional[SoftwareCosts] = None,
+    capture_timeseries: bool = False,
+) -> JobResult:
+    """One synchronous (pvsync2 / SPDK-plugin) measurement."""
+    sim = Simulator()
+    device = build_device(sim, device_kind, precondition=precondition, seed=seed)
+    host = build_stack(sim, device, stack=stack, completion=completion,
+                       costs=costs, seed=seed)
+    engine = IoEngineKind.SPDK if stack is StackKind.SPDK else IoEngineKind.PSYNC
+    job = FioJob(
+        name=f"{device_kind.value}-{rw}-{block_size}",
+        rw=rw,
+        block_size=block_size,
+        engine=engine,
+        io_count=io_count,
+        write_fraction=write_fraction,
+        seed=seed,
+        capture_timeseries=capture_timeseries,
+    )
+    return run_job(sim, host, job)
+
+
+def run_async_job(
+    device_kind: DeviceKind,
+    rw: str,
+    *,
+    block_size: int = 4096,
+    iodepth: int = 1,
+    io_count: int = 2000,
+    write_fraction: float = 0.5,
+    precondition: float = 1.0,
+    seed: int = 42,
+    capture_timeseries: bool = False,
+    config: Optional[SsdConfig] = None,
+) -> Tuple[JobResult, SsdDevice]:
+    """One asynchronous (libaio, interrupt-completed) measurement.
+
+    Returns the result *and* the device, because several figures also
+    read device-side state (power series, GC events).
+    """
+    sim = Simulator()
+    device = build_device(
+        sim, device_kind, precondition=precondition, seed=seed, config=config
+    )
+    host = build_stack(sim, device)
+    job = FioJob(
+        name=f"{device_kind.value}-{rw}-qd{iodepth}",
+        rw=rw,
+        block_size=block_size,
+        engine=IoEngineKind.LIBAIO,
+        iodepth=iodepth,
+        io_count=io_count,
+        write_fraction=write_fraction,
+        seed=seed,
+        capture_timeseries=capture_timeseries,
+    )
+    return run_job(sim, host, job), device

@@ -1,0 +1,132 @@
+"""Registry of every paper table/figure reproduction.
+
+``FIGURES`` maps figure ids (``"table1"``, ``"fig04a"`` ... ``"fig23"``)
+to zero-config callables; ``run_figure`` invokes one with optional scale
+overrides.  All heavy lifting lives in the per-section modules.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.core.figures_completion import (
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14a,
+    fig14b,
+    fig15,
+    fig16,
+)
+from repro.core.figures_device import (
+    fig04a,
+    fig04b,
+    fig05a,
+    fig05b,
+    fig06a,
+    fig06b,
+    fig07a,
+    fig07b,
+    fig08a,
+    fig08b,
+)
+from repro.core.figures_server import fig23
+from repro.core.figures_spdk import fig17, fig18, fig19, fig20, fig21, fig22a, fig22b
+from repro.core.ablations import (
+    gc_policy_ablation,
+    hybrid_sleep_ablation,
+    map_cache_ablation,
+    overprovision_ablation,
+    suspend_resume_ablation,
+    write_buffer_ablation,
+)
+from repro.core.extensions import (
+    latency_anatomy,
+    lightqueue_depth_limit,
+    lightqueue_study,
+)
+from repro.core.metrics import FigureResult, Series
+from repro.flash.timing import TABLE_I
+
+
+def table1() -> FigureResult:
+    """Table I: 3D flash technology characteristics."""
+    names = [timing.name for timing in TABLE_I]
+    series = (
+        Series.from_points("# layers", names, [t.layers for t in TABLE_I]),
+        Series.from_points(
+            "tR (us)", names, [t.read_ns / 1000 for t in TABLE_I], "us"
+        ),
+        Series.from_points(
+            "tPROG (us)", names, [t.program_ns / 1000 for t in TABLE_I], "us"
+        ),
+        Series.from_points(
+            "Capacity (Gb)", names, [t.die_capacity_gbit for t in TABLE_I], "Gb"
+        ),
+        Series.from_points(
+            "Page size (KB)", names, [t.page_size / 1024 for t in TABLE_I], "KB"
+        ),
+    )
+    return FigureResult(
+        figure_id="table1",
+        title="Analysis of 3D flash characteristics (Table I)",
+        x_label="technology",
+        y_label="value",
+        series=series,
+    )
+
+
+FIGURES: Dict[str, Callable[..., FigureResult]] = {
+    "table1": table1,
+    "fig04a": fig04a,
+    "fig04b": fig04b,
+    "fig05a": fig05a,
+    "fig05b": fig05b,
+    "fig06a": fig06a,
+    "fig06b": fig06b,
+    "fig07a": fig07a,
+    "fig07b": fig07b,
+    "fig08a": fig08a,
+    "fig08b": fig08b,
+    "fig09": fig09,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "fig13": fig13,
+    "fig14a": fig14a,
+    "fig14b": fig14b,
+    "fig15": fig15,
+    "fig16": fig16,
+    "fig17": fig17,
+    "fig18": fig18,
+    "fig19": fig19,
+    "fig20": fig20,
+    "fig21": fig21,
+    "fig22a": fig22a,
+    "fig22b": fig22b,
+    "fig23": fig23,
+    # Beyond the paper: ablations of the modeled mechanisms...
+    "abl-suspend": suspend_resume_ablation,
+    "abl-mapcache": map_cache_ablation,
+    "abl-writebuffer": write_buffer_ablation,
+    "abl-overprovision": overprovision_ablation,
+    "abl-gcpolicy": gc_policy_ablation,
+    "abl-hybridsleep": hybrid_sleep_ablation,
+    # ...and the paper's implications, implemented.
+    "ext-lightqueue": lightqueue_study,
+    "ext-lightqueue-depth": lightqueue_depth_limit,
+    "ext-anatomy": latency_anatomy,
+}
+
+
+def run_figure(figure_id: str, **kwargs) -> FigureResult:
+    """Run one figure reproduction by id."""
+    try:
+        fn = FIGURES[figure_id]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown figure {figure_id!r}; choose from {sorted(FIGURES)}"
+        ) from exc
+    return fn(**kwargs)

@@ -1,0 +1,82 @@
+"""Figure result containers.
+
+A :class:`FigureResult` is the reproduction of one paper figure/table: a
+set of :class:`Series` (label + x/y arrays) plus provenance notes.  The
+benchmark harness renders these and asserts their headline shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Series:
+    """One line/bar group of a figure."""
+
+    label: str
+    x: Tuple
+    y: Tuple[float, ...]
+    unit: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(
+                f"series {self.label!r}: x has {len(self.x)} points, "
+                f"y has {len(self.y)}"
+            )
+
+    @classmethod
+    def from_points(
+        cls, label: str, x: Sequence, y: Sequence[float], unit: str = ""
+    ) -> "Series":
+        return cls(label=label, x=tuple(x), y=tuple(y), unit=unit)
+
+    def value_at(self, x_value) -> float:
+        """y value for an exact x (raises if absent)."""
+        try:
+            return self.y[self.x.index(x_value)]
+        except ValueError as exc:
+            raise KeyError(f"x={x_value!r} not in series {self.label!r}") from exc
+
+
+@dataclass
+class FigureResult:
+    """A reproduced table or figure."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: Tuple[Series, ...]
+    notes: str = ""
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def get(self, label: str) -> Series:
+        """Series by exact label."""
+        for series in self.series:
+            if series.label == label:
+                return series
+        raise KeyError(
+            f"{self.figure_id}: no series {label!r}; have "
+            f"{[s.label for s in self.series]}"
+        )
+
+    def find(self, *substrings: str) -> Series:
+        """The unique series whose label contains all ``substrings``."""
+        matches = [
+            series
+            for series in self.series
+            if all(sub.lower() in series.label.lower() for sub in substrings)
+        ]
+        if len(matches) != 1:
+            raise KeyError(
+                f"{self.figure_id}: {substrings} matched "
+                f"{[s.label for s in matches]}"
+            )
+        return matches[0]
+
+    @property
+    def labels(self) -> Tuple[str, ...]:
+        return tuple(series.label for series in self.series)

@@ -1,0 +1,91 @@
+"""Plain-text rendering of figure results.
+
+The benchmark harness prints these tables — the same rows/series the
+paper's plots show, one series per row.
+"""
+
+from __future__ import annotations
+
+from repro.core.metrics import FigureResult
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, str):
+        return value
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if abs(value) >= 10:
+        return f"{value:.1f}"
+    return f"{value:.2f}"
+
+
+#: Unicode block characters, shortest to tallest.
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def render_sparkline(values, *, width: int = 60) -> str:
+    """A one-line unicode plot of a numeric series.
+
+    Long series are bucketed down to ``width`` columns (bucket means);
+    the scale runs from the series minimum (▁) to maximum (█) — made
+    for eyeballing the GC time-series figures in a terminal.
+    """
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    if len(values) > width:
+        bucket = len(values) / width
+        values = [
+            sum(values[int(i * bucket): max(int(i * bucket) + 1, int((i + 1) * bucket))])
+            / max(1, len(values[int(i * bucket): max(int(i * bucket) + 1, int((i + 1) * bucket))]))
+            for i in range(width)
+        ]
+    low, high = min(values), max(values)
+    span = high - low
+    if span <= 0:
+        return _SPARK_LEVELS[0] * len(values)
+    top = len(_SPARK_LEVELS) - 1
+    return "".join(
+        _SPARK_LEVELS[min(top, int((v - low) / span * top + 0.5))] for v in values
+    )
+
+
+def render_timeseries(result: FigureResult) -> str:
+    """Figure rendering for time-series results: label, range, sparkline."""
+    lines = [f"== {result.figure_id}: {result.title} =="]
+    if result.notes:
+        lines.append(f"   ({result.notes})")
+    label_width = max(len(s.label) for s in result.series)
+    for series in result.series:
+        low, high = min(series.y), max(series.y)
+        lines.append(
+            f"{series.label.ljust(label_width)} "
+            f"[{low:8.2f} .. {high:8.2f} {series.unit}] "
+            f"{render_sparkline(series.y)}"
+        )
+    return "\n".join(lines)
+
+
+def render_figure(result: FigureResult, *, width: int = 14) -> str:
+    """One table: x values as columns, one series per row."""
+    lines = [f"== {result.figure_id}: {result.title} =="]
+    if result.notes:
+        lines.append(f"   ({result.notes})")
+    xs = result.series[0].x if result.series else ()
+    label_width = max([len(s.label) for s in result.series] + [len(result.x_label)])
+    header = result.x_label.ljust(label_width) + " | " + " ".join(
+        str(x)[:width].rjust(min(width, max(6, len(str(x))))) for x in xs
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for series in result.series:
+        row = series.label.ljust(label_width) + " | " + " ".join(
+            _fmt(y).rjust(min(width, max(6, len(str(x))))) for x, y in zip(series.x, series.y)
+        )
+        if series.unit:
+            row += f"  [{series.unit}]"
+        lines.append(row)
+    if result.extras:
+        extras = ", ".join(f"{key}={_fmt(val)}" for key, val in result.extras.items())
+        lines.append(f"   extras: {extras}")
+    return "\n".join(lines)

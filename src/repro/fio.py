@@ -1,0 +1,123 @@
+"""``python -m repro.fio <jobfile> [options]`` — run fio job files.
+
+The simulated counterpart of invoking fio on the paper's testbed:
+
+    python -m repro.fio examples/jobs/randread.fio --device ull \\
+        --completion poll
+
+Each job in the file runs on a fresh, preconditioned device and prints a
+fio-style summary line.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.experiment import DeviceKind, StackKind, build_device, build_stack
+from repro.host.accounting import ExecMode
+from repro.kstack.completion import CompletionMethod
+from repro.sim.engine import Simulator
+from repro.workloads.fiofile import load_fio_file
+from repro.workloads.job import IoEngineKind
+from repro.workloads.runner import run_job, run_jobs
+
+
+def run_jobfile(
+    path: str,
+    *,
+    device: DeviceKind = DeviceKind.ULL,
+    completion: CompletionMethod = CompletionMethod.INTERRUPT,
+    precondition: float = 1.0,
+    concurrent: bool = False,
+):
+    """Run every job in ``path``; returns the list of JobResults.
+
+    ``concurrent=True`` gives fio's default semantics — all jobs hammer
+    one shared device simultaneously, each from its own stack/core.
+    The default runs each job on a fresh device (fio's ``stonewall``
+    between independent measurements).
+    """
+    jobs = load_fio_file(path)
+    engines = {job.engine is IoEngineKind.SPDK for job in jobs}
+    if concurrent and len(engines) > 1:
+        raise ValueError(
+            "cannot mix spdk and kernel jobs on one device: SPDK unbinds "
+            "the kernel driver"
+        )
+
+    def make_stack(sim, dev, job, seed):
+        stack_kind = (
+            StackKind.SPDK if job.engine is IoEngineKind.SPDK else StackKind.KERNEL
+        )
+        return build_stack(
+            sim, dev, stack=stack_kind, completion=completion, seed=seed
+        )
+
+    if concurrent:
+        sim = Simulator()
+        dev = build_device(sim, device, precondition=precondition)
+        pairs = [
+            (make_stack(sim, dev, job, seed=index + 1), job)
+            for index, job in enumerate(jobs)
+        ]
+        return run_jobs(sim, pairs)
+    results = []
+    for job in jobs:
+        sim = Simulator()
+        dev = build_device(sim, device, precondition=precondition)
+        results.append(run_job(sim, make_stack(sim, dev, job, seed=1), job))
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fio",
+        description="Run a fio job file against a simulated SSD",
+    )
+    parser.add_argument("jobfile", help="fio-format job file")
+    parser.add_argument(
+        "--device", choices=[k.value for k in DeviceKind], default="ull"
+    )
+    parser.add_argument(
+        "--completion",
+        choices=[m.value for m in CompletionMethod],
+        default="interrupt",
+        help="kernel completion method (ignored for spdk jobs)",
+    )
+    parser.add_argument(
+        "--precondition", type=float, default=1.0,
+        help="fraction of the drive written before the run (default 1.0)",
+    )
+    parser.add_argument(
+        "--concurrent", action="store_true",
+        help="run all jobs simultaneously on one shared device "
+             "(fio's default semantics)",
+    )
+    args = parser.parse_args(argv)
+    results = run_jobfile(
+        args.jobfile,
+        device=DeviceKind(args.device),
+        completion=CompletionMethod(args.completion),
+        precondition=args.precondition,
+        concurrent=args.concurrent,
+    )
+    for result in results:
+        summary = result.latency
+        print(
+            f"{result.job.name}: ({result.job.rw}, bs={result.job.block_size}, "
+            f"qd={result.job.iodepth}, {result.job.engine.value})"
+        )
+        print(
+            f"  lat (usec): avg={summary.mean_us:.1f}, p50={summary.p50_ns / 1000:.1f}, "
+            f"p99={summary.p99_us:.1f}, p99.999={summary.p99999_us:.1f}"
+        )
+        print(
+            f"  bw={result.bandwidth_mbps:.0f}MB/s, iops={result.iops:.0f}, "
+            f"cpu usr={100 * result.cpu_utilization(ExecMode.USER):.1f}% "
+            f"sys={100 * result.cpu_utilization(ExecMode.KERNEL):.1f}%"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,121 @@
+"""Flash timing parameters and the Table I technology presets.
+
+All latencies are integer nanoseconds.  The three 3D technologies come
+straight from the paper's Table I (sourced from Cheong et al., ISSCC'18);
+the planar-MLC preset models the flash inside the Intel 750 NVMe SSD the
+paper uses as its comparison device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+US = 1_000  # ns per microsecond
+MS = 1_000_000  # ns per millisecond
+
+
+@dataclass(frozen=True)
+class FlashTiming:
+    """Per-die operation latencies and interface speed.
+
+    ``bus_mbps`` is the channel interface throughput (MB/s) used to
+    compute data-transfer time for a page moving over the channel.
+    Suspend/resume overheads only matter when the die model is created
+    with suspend support (Z-NAND).
+    """
+
+    name: str
+    read_ns: int  # tR: cell array -> page register
+    program_ns: int  # tPROG
+    erase_ns: int  # tBERS
+    bus_mbps: int  # channel interface throughput
+    suspend_ns: int = 2 * US  # latency to park an in-flight program
+    resume_ns: int = 2 * US  # latency to restore the parked program
+    max_suspends_per_op: int = 4
+    # Per-operation latency variation (word-line position, page type —
+    # MLC lower/upper pages differ by ~2x): each read/program takes
+    # ``base * (1 + U(-jitter, +jitter))``.
+    read_jitter: float = 0.0
+    program_jitter: float = 0.0
+    # Table I bookkeeping (reporting only)
+    layers: int = 0
+    die_capacity_gbit: int = 0
+    page_size: int = 0
+
+    def __post_init__(self) -> None:
+        if min(self.read_ns, self.program_ns, self.erase_ns) <= 0:
+            raise ValueError("operation latencies must be positive")
+        if self.bus_mbps <= 0:
+            raise ValueError("bus throughput must be positive")
+
+    def transfer_ns(self, nbytes: int) -> int:
+        """Time to move ``nbytes`` over the channel interface."""
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        # MB/s == bytes/us; convert to ns.
+        return int(round(nbytes * 1_000 / self.bus_mbps))
+
+    def with_overrides(self, **kwargs) -> "FlashTiming":
+        """A copy with selected fields replaced."""
+        return replace(self, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Table I: "Analysis of 3D flash characteristics" + the planar MLC used
+# by the Intel 750.
+# ----------------------------------------------------------------------
+
+Z_NAND = FlashTiming(
+    name="Z-NAND",
+    read_ns=3 * US,
+    program_ns=100 * US,
+    erase_ns=1 * MS,
+    bus_mbps=1200,  # high-speed DDR interface (Section II-A1)
+    suspend_ns=1 * US,
+    resume_ns=1 * US,
+    read_jitter=0.20,
+    program_jitter=0.10,
+    layers=48,
+    die_capacity_gbit=64,
+    page_size=2048,
+)
+
+V_NAND = FlashTiming(
+    name="V-NAND",
+    read_ns=60 * US,
+    program_ns=700 * US,
+    erase_ns=5 * MS,
+    bus_mbps=800,
+    layers=64,
+    die_capacity_gbit=512,
+    page_size=16384,
+)
+
+BICS_3D = FlashTiming(
+    name="BiCS",
+    read_ns=45 * US,
+    program_ns=660 * US,
+    erase_ns=5 * MS,
+    bus_mbps=800,
+    layers=48,
+    die_capacity_gbit=256,
+    page_size=16384,
+)
+
+# Intel 750-class planar MLC.  tR chosen so that a cache-missing 4 KB
+# random read lands near the paper's observed 82.9 us device latency
+# (tR + transfer + controller firmware time).
+PLANAR_MLC = FlashTiming(
+    name="planar-MLC",
+    read_ns=70 * US,
+    program_ns=1100 * US,
+    erase_ns=6 * MS,
+    bus_mbps=800,
+    read_jitter=0.30,
+    program_jitter=0.25,
+    layers=1,
+    die_capacity_gbit=128,
+    page_size=16384,
+)
+
+TABLE_I = (BICS_3D, V_NAND, Z_NAND)

@@ -1,0 +1,34 @@
+"""Flash translation layer.
+
+A page-mapped FTL with per-die block allocation, greedy garbage
+collection, and a bad-block remap checker (the super-channel remap engine
+of paper Section II-A2).  The FTL operates on *mapping units* — host-
+visible 4 KB pages — independent of the physical flash page size; the SSD
+controller translates a unit into the right physical operations
+(super-channel striping for Z-NAND, page coalescing for 16 KB-page MLC).
+"""
+
+from repro.ftl.layout import FtlLayout
+from repro.ftl.mapping import MappingTable, PageState
+from repro.ftl.allocator import BlockAllocator, OutOfSpace, WriteStream
+from repro.ftl.gc import CostBenefitVictimPolicy, GreedyVictimPolicy
+from repro.ftl.badblocks import BadBlockTable, RemapChecker
+from repro.ftl.core import PageMappedFtl, WritePlacement
+from repro.ftl.wear import WearSummary, WearTracker
+
+__all__ = [
+    "FtlLayout",
+    "MappingTable",
+    "PageState",
+    "BlockAllocator",
+    "OutOfSpace",
+    "WriteStream",
+    "GreedyVictimPolicy",
+    "CostBenefitVictimPolicy",
+    "BadBlockTable",
+    "RemapChecker",
+    "PageMappedFtl",
+    "WritePlacement",
+    "WearTracker",
+    "WearSummary",
+]

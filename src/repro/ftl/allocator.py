@@ -1,0 +1,156 @@
+"""Per-die block allocation with striped placement and dual streams.
+
+Each die keeps a FIFO pool of erased blocks and *two* active blocks with
+sequential write pointers (flash pages inside a block must be programmed
+in order): one for **host** data and one for **GC** migrations.  Keeping
+the streams separate is what lets garbage collection segregate cold data
+from hot data — if migrations shared the host write point, every
+reclaimed cold page would be re-mixed with fresh hot pages and
+age-aware victim policies could never pay off.
+
+Host writes stripe round-robin across dies — the channel-level striping
+the paper credits for device parallelism.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.ftl.layout import FtlLayout
+
+
+class OutOfSpace(Exception):
+    """Raised when a die has no erased blocks left to open."""
+
+
+class WriteStream(enum.Enum):
+    """Which write point an allocation draws from."""
+
+    HOST = "host"
+    GC = "gc"
+
+
+class BlockAllocator:
+    """Erased-block pools and dual active write points, one set per die."""
+
+    def __init__(self, layout: FtlLayout) -> None:
+        self.layout = layout
+        self._free: List[Deque[int]] = []
+        for die in range(layout.dies):
+            self._free.append(deque(layout.blocks_of_die(die)))
+        self._active: Dict[Tuple[int, WriteStream], Optional[int]] = {}
+        self._write_ptr: Dict[Tuple[int, WriteStream], int] = {}
+        for die in range(layout.dies):
+            for stream in WriteStream:
+                self._active[(die, stream)] = None
+                self._write_ptr[(die, stream)] = 0
+        self._closed: List[set] = [set() for _ in range(layout.dies)]
+        self._next_die = 0
+        # Monotonic allocation clock; closed blocks remember when they
+        # filled, which age-aware GC policies (cost-benefit) consume.
+        self.sequence = 0
+        self._closed_at: dict = {}
+
+    # ------------------------------------------------------------------
+    def free_blocks(self, die: int) -> int:
+        """Erased blocks pooled on ``die`` (excluding active blocks)."""
+        return len(self._free[die])
+
+    def min_free_blocks(self) -> int:
+        """The scarcest die's pool size — the GC trigger signal."""
+        return min(len(pool) for pool in self._free)
+
+    def active_block(
+        self, die: int, stream: WriteStream = WriteStream.HOST
+    ) -> Optional[int]:
+        return self._active[(die, stream)]
+
+    def is_active(self, block: int) -> bool:
+        die = self.layout.die_of_block(block)
+        return any(
+            self._active[(die, stream)] == block for stream in WriteStream
+        )
+
+    # ------------------------------------------------------------------
+    def next_die(self) -> int:
+        """Round-robin die choice for the next striped host write."""
+        die = self._next_die
+        self._next_die = (die + 1) % self.layout.dies
+        return die
+
+    def can_host_write(self, die: int) -> bool:
+        """True if a host write may land on ``die`` without consuming
+        the erased block reserved for garbage collection.
+
+        The last erased block of every die is a GC reserve: migrations
+        must always have somewhere to land, otherwise a die that fills
+        up with valid data can never be reclaimed (pages cannot migrate
+        across dies).
+        """
+        if self.remaining_in_active(die, WriteStream.HOST) > 0:
+            return True
+        # Opening a host block must leave at least one erased block in
+        # the pool: a GC migration may need a fresh block mid-cycle even
+        # while its own write point is partially open.
+        return len(self._free[die]) >= 2
+
+    def allocate_page(
+        self, die: int, stream: WriteStream = WriteStream.HOST
+    ) -> int:
+        """Take the next free page on ``die``'s ``stream`` write point;
+        opens a new block as needed.
+
+        Raises :class:`OutOfSpace` when the die's pool is empty and the
+        stream's active block is full — the caller (GC) must reclaim
+        first.
+        """
+        layout = self.layout
+        key = (die, stream)
+        block = self._active[key]
+        if block is None:
+            if not self._free[die]:
+                raise OutOfSpace(f"die {die} has no erased blocks")
+            block = self._free[die].popleft()
+            self._active[key] = block
+            self._write_ptr[key] = 0
+        ppa = layout.first_page_of_block(block) + self._write_ptr[key]
+        self._write_ptr[key] += 1
+        self.sequence += 1
+        if self._write_ptr[key] >= layout.pages_per_block:
+            # Close eagerly: a full block is immediately GC-eligible.
+            self._closed[die].add(block)
+            self._closed_at[block] = self.sequence
+            self._active[key] = None
+        return ppa
+
+    def closed_blocks(self, die: int) -> frozenset:
+        """Fully-programmed blocks on ``die`` — the GC candidate set."""
+        return frozenset(self._closed[die])
+
+    def closed_at(self, block: int) -> int:
+        """Allocation-clock reading when ``block`` filled (its "age"
+        anchor for cost-benefit GC)."""
+        return self._closed_at.get(block, 0)
+
+    def release_block(self, block: int) -> None:
+        """Return an erased block to its die's pool."""
+        die = self.layout.die_of_block(block)
+        if block in self._free[die]:
+            raise ValueError(f"block {block} already in the free pool")
+        if self.is_active(block):
+            raise ValueError(f"block {block} is an active block")
+        if block not in self._closed[die]:
+            raise ValueError(f"block {block} was never fully programmed")
+        self._closed[die].discard(block)
+        self._free[die].append(block)
+
+    def remaining_in_active(
+        self, die: int, stream: WriteStream = WriteStream.HOST
+    ) -> int:
+        """Unwritten pages left in the stream's active block."""
+        key = (die, stream)
+        if self._active[key] is None:
+            return 0
+        return self.layout.pages_per_block - self._write_ptr[key]

@@ -1,0 +1,89 @@
+"""Garbage-collection victim selection policies.
+
+* :class:`GreedyVictimPolicy` — reclaim the closed block with the
+  fewest valid pages (cheapest migration *right now*).  Optimal for
+  uniform traffic, short-sighted under skew: a hot block about to be
+  invalidated anyway gets collected just before its pages die.
+* :class:`CostBenefitVictimPolicy` — Kawaguchi et al.'s classic
+  ``benefit/cost = age * (1 - u) / (2u)`` score (``u`` = valid ratio):
+  prefers old, cold blocks whose valid pages are worth moving once,
+  and leaves hot blocks to self-invalidate.  Wins under skewed
+  (hot/cold) overwrite traffic — see the GC-policy ablation.
+
+Ties break on the lower block number, keeping runs deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ftl.allocator import BlockAllocator
+from repro.ftl.layout import FtlLayout
+from repro.ftl.mapping import MappingTable
+
+
+class GreedyVictimPolicy:
+    """Pick the min-valid-count closed block on a die."""
+
+    def __init__(self, layout: FtlLayout) -> None:
+        self.layout = layout
+
+    def select(
+        self,
+        die: int,
+        mapping: MappingTable,
+        allocator: BlockAllocator,
+    ) -> Optional[int]:
+        """Best victim on ``die``, or ``None`` if nothing is reclaimable.
+
+        A fully-valid block is never a victim: erasing it reclaims
+        nothing (every page must be rewritten first), so collecting it
+        would be pure churn — and when space is genuinely tight a
+        partially-invalid block always exists (the valid total is capped
+        by the logical space, which overprovisioning keeps strictly
+        below the physical space).
+        """
+        candidates = allocator.closed_blocks(die)
+        if not candidates:
+            return None
+        counts = mapping.valid_counts()
+        victim = min(candidates, key=lambda block: (int(counts[block]), block))
+        if counts[victim] >= self.layout.pages_per_block:
+            return None
+        return victim
+
+
+class CostBenefitVictimPolicy:
+    """Pick the closed block maximizing ``age * (1 - u) / (2u)``."""
+
+    def __init__(self, layout: FtlLayout) -> None:
+        self.layout = layout
+
+    def select(
+        self,
+        die: int,
+        mapping: MappingTable,
+        allocator: BlockAllocator,
+    ) -> Optional[int]:
+        """Best victim on ``die``, or ``None`` if nothing is reclaimable."""
+        candidates = allocator.closed_blocks(die)
+        if not candidates:
+            return None
+        pages = self.layout.pages_per_block
+        counts = mapping.valid_counts()
+        now = allocator.sequence
+
+        def score(block: int) -> float:
+            valid = int(counts[block])
+            if valid >= pages:
+                return -1.0  # no gain: never a victim
+            age = max(1, now - allocator.closed_at(block))
+            if valid == 0:
+                return float("inf")  # free win
+            u = valid / pages
+            return age * (1.0 - u) / (2.0 * u)
+
+        victim = max(candidates, key=lambda block: (score(block), -block))
+        if score(victim) < 0.0:
+            return None
+        return victim

@@ -1,0 +1,62 @@
+"""The FTL's view of the flash array: dies x blocks x unit pages.
+
+The FTL does not care about channels, planes, or the physical page size;
+it allocates *mapping units* (host 4 KB pages) out of blocks that belong
+to dies.  The SSD controller decides how a unit maps onto physical flash
+operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FtlLayout:
+    """Flat description of the space the FTL manages."""
+
+    dies: int
+    blocks_per_die: int
+    pages_per_block: int  # mapping units per block
+    unit_size: int = 4096  # bytes per mapping unit
+
+    def __post_init__(self) -> None:
+        for field in ("dies", "blocks_per_die", "pages_per_block", "unit_size"):
+            if getattr(self, field) < 1:
+                raise ValueError(f"{field} must be >= 1")
+
+    @property
+    def total_blocks(self) -> int:
+        return self.dies * self.blocks_per_die
+
+    @property
+    def total_pages(self) -> int:
+        return self.total_blocks * self.pages_per_block
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.total_pages * self.unit_size
+
+    def die_of_block(self, block: int) -> int:
+        if not 0 <= block < self.total_blocks:
+            raise ValueError(f"block out of range: {block}")
+        return block // self.blocks_per_die
+
+    def die_of_page(self, ppa: int) -> int:
+        return self.die_of_block(self.block_of_page(ppa))
+
+    def block_of_page(self, ppa: int) -> int:
+        if not 0 <= ppa < self.total_pages:
+            raise ValueError(f"page out of range: {ppa}")
+        return ppa // self.pages_per_block
+
+    def first_page_of_block(self, block: int) -> int:
+        if not 0 <= block < self.total_blocks:
+            raise ValueError(f"block out of range: {block}")
+        return block * self.pages_per_block
+
+    def blocks_of_die(self, die: int) -> range:
+        if not 0 <= die < self.dies:
+            raise ValueError(f"die out of range: {die}")
+        first = die * self.blocks_per_die
+        return range(first, first + self.blocks_per_die)

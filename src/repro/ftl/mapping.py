@@ -1,0 +1,152 @@
+"""Logical-to-physical page mapping state.
+
+The table keeps the forward map (LPN -> PPA), the reverse map
+(PPA -> LPN, needed by garbage collection to find whose data lives in a
+victim block), the per-page state, and per-block valid-page counts.
+
+Invariants (exercised by the property tests):
+
+* ``l2p[lpn] == ppa`` implies ``p2l[ppa] == lpn`` and ``state[ppa] == VALID``;
+* a block's valid count equals the number of its pages in state VALID;
+* at most one PPA is VALID for any LPN.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.ftl.layout import FtlLayout
+
+UNMAPPED = -1
+
+
+class PageState(enum.IntEnum):
+    """Lifecycle of a physical page between erases."""
+
+    FREE = 0
+    VALID = 1
+    INVALID = 2
+
+
+class MappingTable:
+    """Page-level mapping with reverse map and valid counters."""
+
+    def __init__(self, layout: FtlLayout, logical_pages: int) -> None:
+        if logical_pages < 1:
+            raise ValueError("logical_pages must be >= 1")
+        if logical_pages > layout.total_pages:
+            raise ValueError(
+                "logical space cannot exceed physical space "
+                f"({logical_pages} > {layout.total_pages})"
+            )
+        self.layout = layout
+        self.logical_pages = logical_pages
+        self._l2p = np.full(logical_pages, UNMAPPED, dtype=np.int64)
+        self._p2l = np.full(layout.total_pages, UNMAPPED, dtype=np.int64)
+        self._state = np.full(layout.total_pages, PageState.FREE, dtype=np.int8)
+        self._valid_per_block = np.zeros(layout.total_blocks, dtype=np.int32)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def lookup(self, lpn: int) -> int:
+        """PPA holding ``lpn``'s data, or ``UNMAPPED`` if never written."""
+        self._check_lpn(lpn)
+        return int(self._l2p[lpn])
+
+    def owner(self, ppa: int) -> int:
+        """LPN whose data is at ``ppa``, or ``UNMAPPED``."""
+        return int(self._p2l[ppa])
+
+    def state(self, ppa: int) -> PageState:
+        return PageState(self._state[ppa])
+
+    def valid_count(self, block: int) -> int:
+        return int(self._valid_per_block[block])
+
+    def valid_counts(self) -> np.ndarray:
+        """Per-block valid-page counts (a view; do not mutate)."""
+        return self._valid_per_block
+
+    def valid_lpns_in_block(self, block: int) -> list:
+        """LPNs whose current data lives in ``block`` (GC migration set)."""
+        first = self.layout.first_page_of_block(block)
+        pages = slice(first, first + self.layout.pages_per_block)
+        owners = self._p2l[pages]
+        states = self._state[pages]
+        return [int(lpn) for lpn, st in zip(owners, states) if st == PageState.VALID]
+
+    @property
+    def mapped_lpn_count(self) -> int:
+        return int(np.count_nonzero(self._l2p != UNMAPPED))
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def bind(self, lpn: int, ppa: int) -> int:
+        """Point ``lpn`` at freshly-programmed ``ppa``.
+
+        Returns the previous PPA (now invalidated) or ``UNMAPPED``.
+        """
+        self._check_lpn(lpn)
+        if self._state[ppa] != PageState.FREE:
+            raise ValueError(f"cannot bind to non-free page {ppa}")
+        previous = int(self._l2p[lpn])
+        if previous != UNMAPPED:
+            self._invalidate(previous)
+        self._l2p[lpn] = ppa
+        self._p2l[ppa] = lpn
+        self._state[ppa] = PageState.VALID
+        self._valid_per_block[self.layout.block_of_page(ppa)] += 1
+        return previous
+
+    def trim(self, lpn: int) -> int:
+        """Discard ``lpn``'s mapping (TRIM); returns the freed PPA."""
+        self._check_lpn(lpn)
+        previous = int(self._l2p[lpn])
+        if previous != UNMAPPED:
+            self._invalidate(previous)
+            self._l2p[lpn] = UNMAPPED
+        return previous
+
+    def erase_block(self, block: int) -> None:
+        """Reset a block's pages to FREE.  All pages must be non-valid."""
+        if self._valid_per_block[block] != 0:
+            raise ValueError(
+                f"block {block} still has {self._valid_per_block[block]} "
+                "valid pages; migrate before erasing"
+            )
+        first = self.layout.first_page_of_block(block)
+        pages = slice(first, first + self.layout.pages_per_block)
+        self._p2l[pages] = UNMAPPED
+        self._state[pages] = PageState.FREE
+
+    def _invalidate(self, ppa: int) -> None:
+        if self._state[ppa] != PageState.VALID:
+            raise ValueError(f"page {ppa} is not valid")
+        self._state[ppa] = PageState.INVALID
+        self._p2l[ppa] = UNMAPPED
+        self._valid_per_block[self.layout.block_of_page(ppa)] -= 1
+
+    def _check_lpn(self, lpn: int) -> None:
+        if not 0 <= lpn < self.logical_pages:
+            raise ValueError(f"logical page out of range: {lpn}")
+
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Verify the structural invariants (used by property tests)."""
+        layout = self.layout
+        valid = np.zeros(layout.total_blocks, dtype=np.int32)
+        for ppa in range(layout.total_pages):
+            state = self._state[ppa]
+            lpn = self._p2l[ppa]
+            if state == PageState.VALID:
+                if lpn == UNMAPPED or self._l2p[lpn] != ppa:
+                    raise AssertionError(f"broken forward/reverse map at ppa {ppa}")
+                valid[layout.block_of_page(ppa)] += 1
+            elif lpn != UNMAPPED:
+                raise AssertionError(f"non-valid page {ppa} has an owner")
+        if not np.array_equal(valid, self._valid_per_block):
+            raise AssertionError("valid-per-block counters out of sync")

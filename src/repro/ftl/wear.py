@@ -1,0 +1,66 @@
+"""Wear tracking: per-block erase counts and endurance statistics.
+
+Z-NAND is SLC-like and endures ~10x the program/erase cycles of MLC,
+but a greedy GC policy can still concentrate erases on a few blocks.
+The tracker records every erase and summarizes the wear distribution —
+used by the GC tests and the endurance example, and available to any
+future wear-leveling policy as its input signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class WearSummary:
+    """Distribution of per-block erase counts."""
+
+    total_erases: int
+    max_erases: int
+    min_erases: int
+    mean_erases: float
+    stdev_erases: float
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean — 1.0 is perfectly level wear."""
+        if self.mean_erases == 0:
+            return 1.0
+        return self.max_erases / self.mean_erases
+
+
+class WearTracker:
+    """Counts erases per physical block."""
+
+    def __init__(self, total_blocks: int, *, endurance_limit: int = 0) -> None:
+        if total_blocks < 1:
+            raise ValueError("total_blocks must be >= 1")
+        self.endurance_limit = endurance_limit
+        self._erases = np.zeros(total_blocks, dtype=np.int64)
+
+    def record_erase(self, block: int) -> int:
+        """Count one erase; returns the block's new cycle count."""
+        self._erases[block] += 1
+        return int(self._erases[block])
+
+    def erases_of(self, block: int) -> int:
+        return int(self._erases[block])
+
+    def worn_out_blocks(self) -> list:
+        """Blocks past the endurance limit (empty if no limit set)."""
+        if self.endurance_limit <= 0:
+            return []
+        return [int(b) for b in np.nonzero(self._erases >= self.endurance_limit)[0]]
+
+    def summary(self) -> WearSummary:
+        data = self._erases
+        return WearSummary(
+            total_erases=int(data.sum()),
+            max_erases=int(data.max()),
+            min_erases=int(data.min()),
+            mean_erases=float(data.mean()),
+            stdev_erases=float(data.std()),
+        )

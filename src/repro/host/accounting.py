@@ -1,0 +1,160 @@
+"""VTune-style attribution of CPU time and memory instructions.
+
+Every piece of host software work in the simulation is *charged* to a
+``(mode, module, function)`` label together with the load/store
+instructions it executes.  The experiment harness then renders:
+
+* CPU utilization split user/kernel (Figs. 12, 13, 20) — busy time over
+  wall time;
+* per-module / per-function cycle breakdowns (Fig. 14);
+* normalized load/store counts and per-function instruction breakdowns
+  (Figs. 15, 21, 22).
+
+Charging records bookkeeping only; advancing simulated time is the
+caller's job (the stack processes yield matching timeouts).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+class ExecMode(enum.Enum):
+    """Privilege mode a cycle is spent in."""
+
+    USER = "user"
+    KERNEL = "kernel"
+
+
+@dataclass(frozen=True)
+class FunctionProfile:
+    """Aggregate cost attributed to one function."""
+
+    mode: ExecMode
+    module: str
+    function: str
+    cycles_ns: int
+    loads: int
+    stores: int
+
+
+class CpuAccounting:
+    """Accumulates attributed CPU time and memory instructions."""
+
+    def __init__(self) -> None:
+        self._cycles: Dict[Tuple[ExecMode, str, str], int] = defaultdict(int)
+        self._loads: Dict[Tuple[ExecMode, str, str], int] = defaultdict(int)
+        self._stores: Dict[Tuple[ExecMode, str, str], int] = defaultdict(int)
+
+    # ------------------------------------------------------------------
+    def charge(
+        self,
+        ns: int,
+        mode: ExecMode,
+        module: str,
+        function: str,
+        *,
+        loads: int = 0,
+        stores: int = 0,
+    ) -> int:
+        """Attribute ``ns`` of CPU time (and instructions); returns ``ns``
+        so call sites can pass it straight into a timeout."""
+        if ns < 0 or loads < 0 or stores < 0:
+            raise ValueError("charges must be non-negative")
+        key = (mode, module, function)
+        self._cycles[key] += ns
+        self._loads[key] += loads
+        self._stores[key] += stores
+        return ns
+
+    # ------------------------------------------------------------------
+    # Cycle views
+    # ------------------------------------------------------------------
+    def busy_ns(self, mode: ExecMode = None) -> int:
+        """Total attributed CPU time, optionally filtered by mode."""
+        return sum(
+            ns for (m, _, _), ns in self._cycles.items() if mode is None or m is mode
+        )
+
+    def utilization(self, elapsed_ns: int, mode: ExecMode = None) -> float:
+        """Busy fraction of ``elapsed_ns`` (one core)."""
+        if elapsed_ns <= 0:
+            return 0.0
+        return min(1.0, self.busy_ns(mode) / elapsed_ns)
+
+    def cycles_by_module(self, mode: ExecMode = None) -> Dict[str, int]:
+        out: Dict[str, int] = defaultdict(int)
+        for (m, module, _), ns in self._cycles.items():
+            if mode is None or m is mode:
+                out[module] += ns
+        return dict(out)
+
+    def cycles_by_function(self, mode: ExecMode = None) -> Dict[str, int]:
+        out: Dict[str, int] = defaultdict(int)
+        for (m, _, function), ns in self._cycles.items():
+            if mode is None or m is mode:
+                out[function] += ns
+        return dict(out)
+
+    def cycle_share_by_function(self, mode: ExecMode = None) -> Dict[str, float]:
+        """Fraction of attributed cycles per function (Fig. 14b)."""
+        per_function = self.cycles_by_function(mode)
+        total = sum(per_function.values())
+        if total == 0:
+            return {}
+        return {fn: ns / total for fn, ns in per_function.items()}
+
+    # ------------------------------------------------------------------
+    # Instruction views
+    # ------------------------------------------------------------------
+    def total_loads(self) -> int:
+        return sum(self._loads.values())
+
+    def total_stores(self) -> int:
+        return sum(self._stores.values())
+
+    def loads_by_function(self) -> Dict[str, int]:
+        out: Dict[str, int] = defaultdict(int)
+        for (_, _, function), count in self._loads.items():
+            out[function] += count
+        return dict(out)
+
+    def stores_by_function(self) -> Dict[str, int]:
+        out: Dict[str, int] = defaultdict(int)
+        for (_, _, function), count in self._stores.items():
+            out[function] += count
+        return dict(out)
+
+    def load_share_by_function(self) -> Dict[str, float]:
+        per_function = self.loads_by_function()
+        total = sum(per_function.values())
+        if total == 0:
+            return {}
+        return {fn: count / total for fn, count in per_function.items()}
+
+    def store_share_by_function(self) -> Dict[str, float]:
+        per_function = self.stores_by_function()
+        total = sum(per_function.values())
+        if total == 0:
+            return {}
+        return {fn: count / total for fn, count in per_function.items()}
+
+    # ------------------------------------------------------------------
+    def profiles(self) -> list:
+        """All function profiles, largest cycle consumers first."""
+        rows = [
+            FunctionProfile(
+                mode=mode,
+                module=module,
+                function=function,
+                cycles_ns=ns,
+                loads=self._loads.get((mode, module, function), 0),
+                stores=self._stores.get((mode, module, function), 0),
+            )
+            for (mode, module, function), ns in self._cycles.items()
+        ]
+        rows.sort(key=lambda row: row.cycles_ns, reverse=True)
+        return rows

@@ -1,0 +1,162 @@
+"""Host software path costs — the central calibration table.
+
+Every named constant is one step of the I/O path, with its CPU time and
+the load/store instructions it executes.  The values are chosen so the
+end-to-end numbers land near the paper's measurements on the i7-8700 @
+4.6 GHz testbed:
+
+* kernel submission + interrupt completion overhead ~4 µs per 4 KB I/O
+  (ULL interrupt read 11.8 µs = ~8 µs device + ~4 µs software);
+* polling saves the MSI delivery, ISR, and wake-up context switch
+  (~2.2 µs — the paper's 11.8 -> 9.6 µs);
+* the polled-mode spin executes ~2.4x the loads and ~1.8x the stores of
+  the interrupt path (Fig. 15), split ~80/20 between ``blk_mq_poll`` and
+  ``nvme_poll`` (Fig. 14b);
+* SPDK's user-space spin iterates an order of magnitude faster than the
+  kernel poll loop, which is why its memory instruction counts explode
+  to ~23x/16x (Fig. 21) even though each iteration is cheap.
+
+Module names follow the paper's breakdowns: ``fio`` (user), ``vfs``,
+``blk-mq``, ``nvme-driver``, ``sched``, ``spdk``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class StepCost:
+    """CPU time and memory instructions of one software step."""
+
+    ns: int
+    loads: int = 0
+    stores: int = 0
+
+    def __post_init__(self) -> None:
+        if self.ns < 0 or self.loads < 0 or self.stores < 0:
+            raise ValueError("step costs must be non-negative")
+
+
+@dataclass(frozen=True)
+class SoftwareCosts:
+    """All host-side step costs.  Instances are immutable; experiments
+    that need variants use :func:`dataclasses.replace`."""
+
+    # --- user land (fio) -------------------------------------------------
+    user_io_prep: StepCost = StepCost(ns=700, loads=190, stores=120)
+    user_async_reap: StepCost = StepCost(ns=350, loads=60, stores=35)
+
+    # --- async (libaio) path, amortized over io_submit batches -------------
+    async_submit_user: StepCost = StepCost(ns=300, loads=55, stores=35)
+    async_submit_kernel: StepCost = StepCost(ns=700, loads=130, stores=90)
+    async_complete_kernel: StepCost = StepCost(ns=500, loads=95, stores=60)
+
+    # --- syscall boundary -------------------------------------------------
+    syscall_entry: StepCost = StepCost(ns=150, loads=25, stores=18)
+    syscall_exit: StepCost = StepCost(ns=150, loads=22, stores=15)
+
+    # --- submission path --------------------------------------------------
+    vfs_submit: StepCost = StepCost(ns=250, loads=85, stores=55)
+    blkmq_submit: StepCost = StepCost(ns=300, loads=95, stores=65)
+    nvme_driver_submit: StepCost = StepCost(ns=250, loads=65, stores=45)
+    doorbell_write: StepCost = StepCost(ns=100, loads=2, stores=3)
+
+    # A register-latched "light queue" dispatch (the Section IV-C
+    # implication prototype): replaces blk-mq tagging + SQE build +
+    # doorbell with one MMIO burst.
+    light_queue_dispatch: StepCost = StepCost(ns=220, loads=30, stores=25)
+
+    # --- interrupt completion ----------------------------------------------
+    irq_delivery_ns: int = 1_000  # MSI flight + vector dispatch (latency only)
+    isr: StepCost = StepCost(ns=500, loads=95, stores=60)
+    context_switch_out: StepCost = StepCost(ns=350, loads=100, stores=80)
+    context_switch_in: StepCost = StepCost(ns=800, loads=115, stores=90)
+    blkmq_complete: StepCost = StepCost(ns=300, loads=70, stores=45)
+
+    # --- kernel polled mode -------------------------------------------------
+    # One spin iteration = blk_mq_poll bookkeeping (need_resched, pending
+    # work, cookie lookup) + nvme_poll CQ phase-tag check.  CQ entries are
+    # DMA-written by the device, so every check is an uncached load burst.
+    blk_mq_poll_iter: StepCost = StepCost(ns=160, loads=28, stores=11)
+    nvme_poll_iter: StepCost = StepCost(ns=40, loads=9, stores=3)
+    poll_complete: StepCost = StepCost(ns=300, loads=60, stores=40)
+
+    # Scheduler pressure under spinning: a spin that outlives one
+    # scheduling quantum (``poll_preempt_grace_ns``) starts losing CPU
+    # share at ``poll_preempt_rate`` to the kernel work it displaced
+    # (softirqs, kworkers, need_resched victims).  Interrupt-mode absorbs
+    # the same work during its idle wait, so only polling pays — which
+    # hurts exactly the long-stall requests that define the five-nines
+    # tail (Fig. 11) while leaving the microsecond-scale average intact.
+    poll_preempt_grace_ns: int = 100_000
+    poll_preempt_rate: float = 0.12
+    # Instruction density of the displaced kernel work (per bg_yield.ns).
+    bg_yield: StepCost = StepCost(ns=6_000, loads=900, stores=700)
+
+    # --- hybrid polling -----------------------------------------------------
+    hybrid_timer_setup: StepCost = StepCost(ns=250, loads=40, stores=30)
+    # Timer IRQ + idle C-state exit + scheduler-in.  Several microseconds
+    # on a sleeping core — this is what makes half-mean sleeps overshoot
+    # the CQE often enough that hybrid trails pure polling by ~5%
+    # (the paper's "expected time to sleep is highly inaccurate").
+    hybrid_wakeup: StepCost = StepCost(ns=3_800, loads=220, stores=160)
+    # hrtimer slack + softirq dispatch delay: the actual wake-up lands
+    # uniformly up to this much *after* the requested instant — the sleep
+    # inaccuracy the paper blames for hybrid polling's shortfall.
+    hybrid_timer_slack_ns: int = 2_000
+    # First iterations after the wake-up run cache-cold (poll state and
+    # CQ lines were evicted during the sleep).
+    hybrid_cold_detect: StepCost = StepCost(ns=400, loads=80, stores=40)
+
+    # --- SPDK user-space driver ----------------------------------------------
+    spdk_submit: StepCost = StepCost(ns=250, loads=45, stores=35)
+    # fio plugin + hugepage buffer handling; the paper's "others" slice of
+    # the SPDK memory-instruction breakdown (Fig. 22b).
+    spdk_user_prep: StepCost = StepCost(ns=450, loads=3500, stores=2500)
+    # One user-space completion-loop iteration, split by function as the
+    # paper's Fig. 22b attributes it.  ~16 ns per iteration: a tight
+    # cache-resident loop plus the uncached CQ read.
+    spdk_outer_iter: StepCost = StepCost(ns=8, loads=14, stores=7)  # spdk_nvme_qpair_process_completions
+    spdk_inner_iter: StepCost = StepCost(ns=5, loads=8, stores=4)  # nvme_pcie_qpair_process_completions
+    spdk_check_enabled_iter: StepCost = StepCost(ns=3, loads=7, stores=0)  # nvme_qpair_check_enabled
+    spdk_complete: StepCost = StepCost(ns=200, loads=40, stores=30)
+
+    @property
+    def spdk_iter_ns(self) -> int:
+        """Period of one full SPDK completion-loop iteration."""
+        return (
+            self.spdk_outer_iter.ns
+            + self.spdk_inner_iter.ns
+            + self.spdk_check_enabled_iter.ns
+        )
+
+    @property
+    def kernel_poll_iter_ns(self) -> int:
+        """Period of one full kernel poll iteration."""
+        return self.blk_mq_poll_iter.ns + self.nvme_poll_iter.ns
+
+    @property
+    def submit_path_ns(self) -> int:
+        """Kernel submission latency, syscall entry through doorbell."""
+        return (
+            self.syscall_entry.ns
+            + self.vfs_submit.ns
+            + self.blkmq_submit.ns
+            + self.nvme_driver_submit.ns
+            + self.doorbell_write.ns
+        )
+
+    @property
+    def interrupt_completion_ns(self) -> int:
+        """Completion latency from CQE to syscall return, interrupt mode."""
+        return (
+            self.irq_delivery_ns
+            + self.isr.ns
+            + self.context_switch_in.ns
+            + self.blkmq_complete.ns
+            + self.syscall_exit.ns
+        )
+
+
+DEFAULT_COSTS = SoftwareCosts()

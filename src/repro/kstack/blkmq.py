@@ -1,0 +1,136 @@
+"""blk-mq: the multi-queue block layer (Section II-B1).
+
+Structure follows Bjorling et al. [11]: a *software queue* per CPU core
+accepts file-system ``bio`` requests; *hardware queues* map one-to-one
+onto the NVMe driver's queue pairs.  Submission returns a *cookie*
+identifying the hardware queue and tag, which ``blk_mq_poll`` later uses
+to find the completion queue to spin on.
+
+The timing of these steps is charged by the stack layer; this module is
+the structural substrate (queues, tags, cookies) that the driver and
+completion engines operate on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.ssd.device import IoOp
+
+
+class BioDirection(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+
+    @classmethod
+    def from_op(cls, op: IoOp) -> "BioDirection":
+        return cls.READ if op is IoOp.READ else cls.WRITE
+
+
+@dataclass(frozen=True)
+class Bio:
+    """A file-system block request (struct bio)."""
+
+    direction: BioDirection
+    offset: int
+    nbytes: int
+    hipri: bool = False  # high-priority flag set for polled I/O
+
+    def __post_init__(self) -> None:
+        if self.offset < 0 or self.nbytes <= 0:
+            raise ValueError("bio must cover a positive byte range")
+
+
+@dataclass(frozen=True)
+class Cookie:
+    """Returned at submission; identifies where to poll (hw queue, tag)."""
+
+    hw_queue: int
+    tag: int
+
+
+@dataclass
+class BlkRequest:
+    """A bio after it has been tagged into a hardware queue."""
+
+    bio: Bio
+    cookie: Cookie
+    submit_ns: int
+    completed: bool = False
+
+
+class SoftwareQueue:
+    """Per-CPU staging queue (struct blk_mq_ctx)."""
+
+    def __init__(self, cpu: int) -> None:
+        self.cpu = cpu
+        self.queued = 0  # lifetime count; requests pass straight through
+
+    def enqueue(self, bio: Bio) -> Bio:
+        self.queued += 1
+        return bio
+
+
+class HardwareQueue:
+    """Dispatch queue mapped to one NVMe queue pair (struct blk_mq_hw_ctx)."""
+
+    def __init__(self, index: int, tag_count: int) -> None:
+        if tag_count < 1:
+            raise ValueError("need at least one tag")
+        self.index = index
+        self.tag_count = tag_count
+        self._free_tags: List[int] = list(range(tag_count))
+        self.inflight: Dict[int, BlkRequest] = {}
+
+    @property
+    def has_free_tag(self) -> bool:
+        return bool(self._free_tags)
+
+    def allocate(self, bio: Bio, now_ns: int) -> BlkRequest:
+        if not self._free_tags:
+            raise RuntimeError(f"hardware queue {self.index} out of tags")
+        tag = self._free_tags.pop()
+        request = BlkRequest(
+            bio=bio, cookie=Cookie(hw_queue=self.index, tag=tag), submit_ns=now_ns
+        )
+        self.inflight[tag] = request
+        return request
+
+    def complete(self, tag: int) -> BlkRequest:
+        request = self.inflight.pop(tag, None)
+        if request is None:
+            raise KeyError(f"no in-flight request with tag {tag}")
+        request.completed = True
+        self._free_tags.append(tag)
+        return request
+
+
+class BlkMq:
+    """The multi-queue block layer: software queues x hardware queues."""
+
+    def __init__(self, *, cpus: int = 1, hw_queues: int = 1, tags_per_queue: int = 1024) -> None:
+        if cpus < 1 or hw_queues < 1:
+            raise ValueError("need at least one CPU and one hardware queue")
+        self.software_queues = [SoftwareQueue(cpu) for cpu in range(cpus)]
+        self.hardware_queues = [
+            HardwareQueue(index, tags_per_queue) for index in range(hw_queues)
+        ]
+
+    def map_queue(self, cpu: int) -> HardwareQueue:
+        """CPU -> hardware queue mapping (round-robin like blk_mq_map_queue)."""
+        if not 0 <= cpu < len(self.software_queues):
+            raise ValueError(f"cpu out of range: {cpu}")
+        return self.hardware_queues[cpu % len(self.hardware_queues)]
+
+    def submit_bio(self, cpu: int, bio: Bio, now_ns: int) -> BlkRequest:
+        """The blk_mq_make_request path: stage, tag, dispatch."""
+        self.software_queues[cpu].enqueue(bio)
+        return self.map_queue(cpu).allocate(bio, now_ns)
+
+    def complete(self, cookie: Cookie) -> BlkRequest:
+        return self.hardware_queues[cookie.hw_queue].complete(cookie.tag)
+
+    def request_of(self, cookie: Cookie) -> Optional[BlkRequest]:
+        return self.hardware_queues[cookie.hw_queue].inflight.get(cookie.tag)

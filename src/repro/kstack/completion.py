@@ -1,0 +1,259 @@
+"""The three I/O completion methods (paper Section II-B3, Figs. 9-16).
+
+Each engine is a generator that runs from "command submitted" to "request
+completed back through blk-mq", charging CPU time and memory instructions
+to the functions the paper's profiler attributes them to.
+
+* :class:`InterruptEngine` — the process context-switches away; the MSI
+  arrives, the ISR runs, the scheduler switches back.
+* :class:`PollEngine` — ``blk_mq_poll``/``nvme_poll`` spin on the CQ
+  phase tag.  The spin holds the core: every
+  ``resched_check_period_ns`` the poller hits a need_resched window and,
+  if deferred kernel work is pending, loses ``bg_yield`` — work the
+  interrupt path absorbs for free during its idle wait.  That asymmetry
+  is why polling's 99.999th percentile is *worse* than interrupts
+  (Fig. 11) even though its average is better.
+* :class:`HybridPollEngine` — sleeps half the running mean device wait,
+  then polls (the Linux 4.10+ ``io_poll_delay`` heuristic).  Device-time
+  variance makes the estimate misfire: oversleeping adds the timer
+  wake-up to the latency, undersleeping wastes spin — hybrid lands
+  between interrupts and pure polling (Fig. 16) while still burning
+  half the core (Fig. 12).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+import numpy as np
+
+from repro.host.accounting import CpuAccounting, ExecMode
+from repro.host.costs import SoftwareCosts
+from repro.kstack.driver import DriverRequest, KernelNvmeDriver
+from repro.sim.engine import Simulator
+
+
+class CompletionMethod(enum.Enum):
+    """Selector used by experiment configs."""
+
+    INTERRUPT = "interrupt"
+    POLL = "poll"
+    HYBRID = "hybrid"
+
+
+class _EngineBase:
+    """Shared plumbing: sim, cost table, profiler, seeded randomness."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        costs: SoftwareCosts,
+        accounting: CpuAccounting,
+        *,
+        seed: int = 11,
+    ) -> None:
+        self.sim = sim
+        self.costs = costs
+        self.accounting = accounting
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def _charge_and_wait(self, step, mode: ExecMode, module: str, function: str):
+        """Charge one step and advance the clock by its duration."""
+        self.accounting.charge(
+            step.ns, mode, module, function, loads=step.loads, stores=step.stores
+        )
+        return self.sim.timeout(step.ns)
+
+    def _spin_until_cqe(self, driver_request: DriverRequest):
+        """Generator: spin on the CQ until the CQE lands.
+
+        Returns the nanoseconds spent spinning.  Wall time advances to
+        one poll iteration past the CQE (the iteration that observes the
+        phase-tag flip), plus the scheduler-fairness penalty for spins
+        that outlive the grace window: the spinning thread holds the core
+        with spin locks taken, so once it exceeds a scheduling quantum it
+        loses CPU share to the kernel work it displaced.  Short spins are
+        free — which is why polling's *average* wins while its
+        *five-nines* (dominated by long device stalls) loses (Fig. 11).
+        """
+        costs = self.costs
+        cqe_event = driver_request.pending.cqe_event
+        started = self.sim.now
+        if not cqe_event.triggered:
+            yield cqe_event
+        detect = costs.kernel_poll_iter_ns
+        yield self.sim.timeout(detect)
+        spun = self.sim.now - started
+        self._charge_spin(spun)
+        over = spun - costs.poll_preempt_grace_ns
+        if over > 0:
+            penalty = int(over * costs.poll_preempt_rate)
+            density = costs.bg_yield
+            self.accounting.charge(
+                penalty,
+                ExecMode.KERNEL,
+                "sched",
+                "deferred_kernel_work",
+                loads=int(density.loads * penalty / density.ns),
+                stores=int(density.stores * penalty / density.ns),
+            )
+            yield self.sim.timeout(penalty)
+        return spun
+
+    def _charge_spin(self, spun_ns: int) -> None:
+        """Attribute spin time/instructions to blk_mq_poll + nvme_poll."""
+        costs = self.costs
+        period = costs.kernel_poll_iter_ns
+        iters = max(1, round(spun_ns / period))
+        blk_share = costs.blk_mq_poll_iter.ns / period
+        self.accounting.charge(
+            int(round(spun_ns * blk_share)),
+            ExecMode.KERNEL,
+            "blk-mq",
+            "blk_mq_poll",
+            loads=iters * costs.blk_mq_poll_iter.loads,
+            stores=iters * costs.blk_mq_poll_iter.stores,
+        )
+        self.accounting.charge(
+            spun_ns - int(round(spun_ns * blk_share)),
+            ExecMode.KERNEL,
+            "nvme-driver",
+            "nvme_poll",
+            loads=iters * costs.nvme_poll_iter.loads,
+            stores=iters * costs.nvme_poll_iter.stores,
+        )
+
+    def _finish(self, driver: KernelNvmeDriver, driver_request: DriverRequest):
+        """Complete the request through blk-mq (poll flavors)."""
+        completed = driver.nvme_poll(driver_request.blk_request.cookie)
+        assert completed is not None, "poll finished before CQE?"
+        yield self._charge_and_wait(
+            self.costs.poll_complete,
+            ExecMode.KERNEL,
+            "blk-mq",
+            "blk_mq_complete_request",
+        )
+
+
+class InterruptEngine(_EngineBase):
+    """MSI-driven completion: sleep, ISR, wake."""
+
+    method = CompletionMethod.INTERRUPT
+
+    def complete(self, driver: KernelNvmeDriver, driver_request: DriverRequest):
+        costs = self.costs
+        # Switch away; the core is free for other work while the device runs.
+        yield self._charge_and_wait(
+            costs.context_switch_out, ExecMode.KERNEL, "sched", "context_switch"
+        )
+        cqe_event = driver_request.pending.cqe_event
+        if not cqe_event.triggered:
+            yield cqe_event
+        # MSI flight, then the ISR completes the command.
+        yield self.sim.timeout(costs.irq_delivery_ns)
+        yield self._charge_and_wait(
+            costs.isr, ExecMode.KERNEL, "nvme-driver", "nvme_irq"
+        )
+        driver.complete_by_cid(driver_request.pending.command.cid)
+        yield self._charge_and_wait(
+            costs.context_switch_in, ExecMode.KERNEL, "sched", "context_switch"
+        )
+        yield self._charge_and_wait(
+            costs.blkmq_complete, ExecMode.KERNEL, "blk-mq", "blk_mq_complete_request"
+        )
+
+
+class PollEngine(_EngineBase):
+    """Pure polled mode: spin from submission to completion."""
+
+    method = CompletionMethod.POLL
+
+    def complete(self, driver: KernelNvmeDriver, driver_request: DriverRequest):
+        yield from self._spin_until_cqe(driver_request)
+        yield from self._finish(driver, driver_request)
+
+
+class HybridPollEngine(_EngineBase):
+    """Sleep half the mean device wait, then poll.
+
+    The kernel tracks a mean completion time per request class; we keep
+    an exponential moving average (weight 1/8, matching the flavor of the
+    kernel's statistics) of the submission-to-CQE wait.
+    """
+
+    method = CompletionMethod.HYBRID
+
+    #: EMA weight for the wait estimate.
+    EMA_WEIGHT = 0.125
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._mean_wait_ns: Optional[float] = None
+        #: Fraction of the estimated wait to sleep (the kernel uses 1/2;
+        #: the ablation study varies it).
+        self.sleep_fraction = 0.5
+
+    @property
+    def mean_wait_ns(self) -> Optional[float]:
+        return self._mean_wait_ns
+
+    def complete(self, driver: KernelNvmeDriver, driver_request: DriverRequest):
+        costs = self.costs
+        wait_started = self.sim.now
+        cqe_event = driver_request.pending.cqe_event
+        yield self._charge_and_wait(
+            costs.hybrid_timer_setup, ExecMode.KERNEL, "blk-mq", "blk_mq_poll_hybrid_sleep"
+        )
+        sleep_ns = (
+            int(self._mean_wait_ns * self.sleep_fraction)
+            if self._mean_wait_ns
+            else 0
+        )
+        if sleep_ns > 0 and not cqe_event.triggered:
+            # hrtimer slack: the wake-up lands a little late, sometimes
+            # past the CQE — the oversleep the paper measures.
+            slack = int(self.rng.integers(0, costs.hybrid_timer_slack_ns + 1))
+            yield self.sim.timeout(sleep_ns + slack)  # core released: no charge
+            yield self._charge_and_wait(
+                costs.hybrid_wakeup, ExecMode.KERNEL, "sched", "timer_wakeup"
+            )
+            # Poll state comes back cache-cold after the sleep.
+            yield self._charge_and_wait(
+                costs.hybrid_cold_detect, ExecMode.KERNEL, "blk-mq", "blk_mq_poll"
+            )
+        if cqe_event.triggered:
+            # Overslept: the CQE beat us; pay one observing iteration.
+            detect = costs.kernel_poll_iter_ns
+            yield self.sim.timeout(detect)
+            self._charge_spin(detect)
+        else:
+            yield from self._spin_until_cqe(driver_request)
+        self._update_mean(driver_request, wait_started)
+        yield from self._finish(driver, driver_request)
+
+    def _update_mean(self, driver_request: DriverRequest, wait_started: int) -> None:
+        cqe_ns = driver_request.pending.cqe_ns
+        observed = (cqe_ns if cqe_ns is not None else self.sim.now) - wait_started
+        if self._mean_wait_ns is None:
+            self._mean_wait_ns = float(observed)
+        else:
+            self._mean_wait_ns += self.EMA_WEIGHT * (observed - self._mean_wait_ns)
+
+
+def make_engine(
+    method: CompletionMethod,
+    sim: Simulator,
+    costs: SoftwareCosts,
+    accounting: CpuAccounting,
+    *,
+    seed: int = 11,
+) -> _EngineBase:
+    """Build the completion engine for ``method``."""
+    engines = {
+        CompletionMethod.INTERRUPT: InterruptEngine,
+        CompletionMethod.POLL: PollEngine,
+        CompletionMethod.HYBRID: HybridPollEngine,
+    }
+    return engines[method](sim, costs, accounting, seed=seed)

@@ -1,0 +1,92 @@
+"""The kernel NVMe driver: submission and ``nvme_poll``.
+
+Binds a blk-mq hardware queue to an NVMe queue pair.  ``submit`` turns a
+tagged block request into an SQE; ``nvme_poll`` is the literal CQ check
+the kernel's polled mode iterates — it peeks the completion queue's
+head entry and compares the phase tag (Section II-B3).
+
+The completion *engines* charge the CPU/instruction cost of calling
+these functions; the driver itself is the functional substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.kstack.blkmq import BlkMq, BlkRequest, Cookie
+from repro.nvme.controller import NvmeQueuePair, PendingCommand
+from repro.ssd.device import IoOp
+
+
+@dataclass
+class DriverRequest:
+    """Book-keeping tying a blk-mq request to its NVMe command."""
+
+    blk_request: BlkRequest
+    pending: PendingCommand
+
+
+class KernelNvmeDriver:
+    """One hardware-queue <-> queue-pair binding."""
+
+    def __init__(self, blkmq: BlkMq, qpair: NvmeQueuePair) -> None:
+        self.blkmq = blkmq
+        self.qpair = qpair
+        self._by_cookie: Dict[Cookie, DriverRequest] = {}
+        self._by_cid: Dict[int, Cookie] = {}
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._by_cookie)
+
+    # ------------------------------------------------------------------
+    def submit(self, cpu: int, op: IoOp, offset: int, nbytes: int, *,
+               hipri: bool = False, now_ns: int = 0) -> DriverRequest:
+        """Stage a bio through blk-mq and issue the NVMe command."""
+        from repro.kstack.blkmq import Bio, BioDirection
+
+        bio = Bio(
+            direction=BioDirection.from_op(op),
+            offset=offset,
+            nbytes=nbytes,
+            hipri=hipri,
+        )
+        blk_request = self.blkmq.submit_bio(cpu, bio, now_ns)
+        pending = self.qpair.submit(op, offset, nbytes)
+        request = DriverRequest(blk_request=blk_request, pending=pending)
+        self._by_cookie[blk_request.cookie] = request
+        self._by_cid[pending.command.cid] = blk_request.cookie
+        return request
+
+    # ------------------------------------------------------------------
+    def nvme_poll(self, cookie: Cookie) -> Optional[DriverRequest]:
+        """One CQ check: is the request behind ``cookie`` complete?
+
+        Mirrors the kernel function: load the CQ head entry, compare the
+        phase tag, and if it is ours, complete the request through
+        blk-mq.  Returns the completed request or ``None``.
+        """
+        request = self._by_cookie.get(cookie)
+        if request is None:
+            raise KeyError(f"unknown cookie {cookie}")
+        if not request.pending.cqe_event.triggered:
+            return None
+        return self._complete(cookie)
+
+    def complete_by_cid(self, cid: int) -> DriverRequest:
+        """ISR path: MSI names the queue; the CQE names the command."""
+        cookie = self._by_cid.get(cid)
+        if cookie is None:
+            raise KeyError(f"no outstanding command with cid {cid}")
+        return self._complete(cookie)
+
+    def _complete(self, cookie: Cookie) -> DriverRequest:
+        request = self._by_cookie.pop(cookie)
+        cid = request.pending.command.cid
+        # Shallow queues recycle cids; only drop the mapping if it still
+        # points at this request's cookie.
+        if self._by_cid.get(cid) == cookie:
+            del self._by_cid[cid]
+        self.blkmq.complete(cookie)
+        return request

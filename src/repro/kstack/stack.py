@@ -1,0 +1,175 @@
+"""The kernel storage stack facade.
+
+Assembles blk-mq, the kernel NVMe driver, a queue pair, and a completion
+engine into the object workload engines drive.  ``sync_io`` is the
+pvsync2 path the paper uses for completion-method studies; the async
+(libaio) path reuses the same submission plumbing through
+:meth:`submit_async` with batched-amortized costs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.host.accounting import CpuAccounting, ExecMode
+from repro.host.costs import DEFAULT_COSTS, SoftwareCosts
+from repro.kstack.blkmq import BlkMq
+from repro.kstack.completion import CompletionMethod, make_engine
+from repro.kstack.driver import DriverRequest, KernelNvmeDriver
+from repro.nvme.controller import NvmeController, NvmeTimings
+from repro.sim.engine import Simulator
+from repro.ssd.device import IoOp, SsdDevice
+
+
+class KernelStack:
+    """Syscall-to-doorbell kernel I/O path over one queue pair."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: SsdDevice,
+        *,
+        completion: CompletionMethod = CompletionMethod.INTERRUPT,
+        costs: Optional[SoftwareCosts] = None,
+        accounting: Optional[CpuAccounting] = None,
+        queue_depth: int = 1024,
+        nvme_timings: Optional[NvmeTimings] = None,
+        qpair=None,
+        thin_submit: bool = False,
+        seed: int = 11,
+    ) -> None:
+        self.sim = sim
+        self.device = device
+        self.costs = costs or DEFAULT_COSTS
+        self.accounting = accounting or CpuAccounting()
+        self.completion_method = completion
+        self.thin_submit = thin_submit
+        if qpair is None:
+            controller = NvmeController(sim, device, timings=nvme_timings)
+            qpair = controller.create_queue_pair(
+                depth=queue_depth,
+                interrupts_enabled=(completion is CompletionMethod.INTERRUPT),
+            )
+        self.qpair = qpair
+        self.blkmq = BlkMq(cpus=1, hw_queues=1, tags_per_queue=queue_depth)
+        self.driver = KernelNvmeDriver(self.blkmq, self.qpair)
+        self.engine = make_engine(
+            completion, sim, self.costs, self.accounting, seed=seed
+        )
+        #: When set to a list, sync_io appends per-I/O stage timestamps
+        #: ``(start, submitted, cqe, done)`` — the latency-anatomy probe.
+        self.stage_log = None
+
+    # ------------------------------------------------------------------
+    @property
+    def hipri(self) -> bool:
+        """Polled submissions carry the high-priority flag."""
+        return self.completion_method is not CompletionMethod.INTERRUPT
+
+    def _charge_and_wait(self, step, mode, module, function):
+        self.accounting.charge(
+            step.ns, mode, module, function, loads=step.loads, stores=step.stores
+        )
+        return self.sim.timeout(step.ns)
+
+    # ------------------------------------------------------------------
+    def sync_io(self, op: IoOp, offset: int, nbytes: int):
+        """Process: one synchronous (pvsync2-style) I/O.
+
+        Returns the application-observed latency in nanoseconds.
+        """
+        costs = self.costs
+        started = self.sim.now
+        yield self._charge_and_wait(costs.user_io_prep, ExecMode.USER, "fio", "fio_rw")
+        yield from self._submit_path(op, offset, nbytes)
+        request = self.driver.submit(
+            0, op, offset, nbytes, hipri=self.hipri, now_ns=self.sim.now
+        )
+        submitted = self.sim.now
+        yield from self.engine.complete(self.driver, request)
+        yield self._charge_and_wait(
+            costs.syscall_exit, ExecMode.KERNEL, "vfs", "syscall"
+        )
+        if self.stage_log is not None:
+            self.stage_log.append(
+                (started, submitted, request.pending.cqe_ns, self.sim.now)
+            )
+        return self.sim.now - started
+
+    def _submit_path(self, op: IoOp, offset: int, nbytes: int):
+        costs = self.costs
+        yield self._charge_and_wait(
+            costs.syscall_entry, ExecMode.KERNEL, "vfs", "syscall"
+        )
+        yield self._charge_and_wait(costs.vfs_submit, ExecMode.KERNEL, "vfs", "vfs_rw")
+        if self.thin_submit:
+            # Lightweight-protocol dispatch: no blk-mq tag machinery, no
+            # SQE build — the driver latches the command into device
+            # registers directly (Section IV-C's "lighter queue").
+            yield self._charge_and_wait(
+                costs.light_queue_dispatch,
+                ExecMode.KERNEL,
+                "nvme-driver",
+                "light_queue_issue",
+            )
+            return
+        yield self._charge_and_wait(
+            costs.blkmq_submit, ExecMode.KERNEL, "blk-mq", "blk_mq_make_request"
+        )
+        yield self._charge_and_wait(
+            costs.nvme_driver_submit, ExecMode.KERNEL, "nvme-driver", "nvme_queue_rq"
+        )
+        yield self._charge_and_wait(
+            costs.doorbell_write, ExecMode.KERNEL, "nvme-driver", "doorbell_write"
+        )
+
+    # ------------------------------------------------------------------
+    def submit_async(self, op: IoOp, offset: int, nbytes: int):
+        """Process: queue one libaio I/O (batched io_submit, amortized).
+
+        Returns the :class:`DriverRequest`; the caller observes
+        ``request.pending.cqe_event`` and applies the interrupt-side
+        completion costs through :meth:`async_completion_ns`.
+        """
+        costs = self.costs
+        yield self._charge_and_wait(
+            costs.async_submit_user, ExecMode.USER, "fio", "io_submit"
+        )
+        yield self._charge_and_wait(
+            costs.async_submit_kernel, ExecMode.KERNEL, "blk-mq", "aio_submit_path"
+        )
+        request = self.driver.submit(
+            0, op, offset, nbytes, hipri=False, now_ns=self.sim.now
+        )
+        return request
+
+    def async_completion_ns(self) -> int:
+        """Charge and return the CQE-to-application completion delay for
+        the interrupt-driven async path (MSI + ISR + io_getevents)."""
+        costs = self.costs
+        self.accounting.charge(
+            costs.async_complete_kernel.ns,
+            ExecMode.KERNEL,
+            "nvme-driver",
+            "nvme_irq",
+            loads=costs.async_complete_kernel.loads,
+            stores=costs.async_complete_kernel.stores,
+        )
+        self.accounting.charge(
+            costs.user_async_reap.ns,
+            ExecMode.USER,
+            "fio",
+            "io_getevents",
+            loads=costs.user_async_reap.loads,
+            stores=costs.user_async_reap.stores,
+        )
+        return (
+            costs.irq_delivery_ns
+            + costs.async_complete_kernel.ns
+            + costs.user_async_reap.ns
+        )
+
+    def complete_async(self, request: DriverRequest) -> None:
+        """Release blk-mq/driver state for an async request."""
+        completed = self.driver.nvme_poll(request.blk_request.cookie)
+        assert completed is request

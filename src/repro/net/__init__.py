@@ -1,0 +1,12 @@
+"""Server-client substrate: network link and NBD block servers.
+
+Models the paper's Section VI-C testbed: a client whose ext4 file system
+sits on a network block device, served either by the Linux kernel NBD
+server (full server-side storage stack, interrupt completion, process
+wake-ups) or by SPDK NBD (server-side kernel bypass, polled completion).
+"""
+
+from repro.net.link import NetworkLink
+from repro.net.nbd import NbdServerKind, NbdSystem, NbdServerCosts
+
+__all__ = ["NetworkLink", "NbdServerKind", "NbdServerCosts", "NbdSystem"]

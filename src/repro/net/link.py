@@ -1,0 +1,52 @@
+"""A full-duplex point-to-point network link.
+
+Each direction is an independent serializing resource (10 GbE-class by
+default): a message occupies the wire for ``bytes/rate`` after a fixed
+propagation + NIC latency.  Protocol/stack processing costs live in the
+NBD layer, because that is exactly what differs between the kernel and
+DPDK paths.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.sim.engine import Simulator
+from repro.sim.resources import TimelineResource
+
+
+class NetworkLink:
+    """Two independent directional wires between client and server."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        mbps: int = 1_100,  # 10 GbE payload rate after framing
+        propagation_ns: int = 2_500,  # wire + switch + NIC DMA
+    ) -> None:
+        if mbps <= 0 or propagation_ns < 0:
+            raise ValueError("link parameters must be positive")
+        self.sim = sim
+        self.mbps = mbps
+        self.propagation_ns = propagation_ns
+        self._to_server = TimelineResource(sim)
+        self._to_client = TimelineResource(sim)
+        self.messages = 0
+
+    def wire_ns(self, nbytes: int) -> int:
+        """Serialization time for ``nbytes`` on one direction."""
+        return int(round(nbytes * 1_000 / self.mbps))
+
+    def _send(self, wire: TimelineResource, nbytes: int, not_before: int) -> Tuple[int, int]:
+        start, end = wire.reserve(self.wire_ns(nbytes), not_before)
+        self.messages += 1
+        return start, end + self.propagation_ns
+
+    def send_to_server(self, nbytes: int, not_before: int = 0) -> Tuple[int, int]:
+        """Book a client->server message; returns (start, deliver_time)."""
+        return self._send(self._to_server, nbytes, not_before)
+
+    def send_to_client(self, nbytes: int, not_before: int = 0) -> Tuple[int, int]:
+        """Book a server->client message; returns (start, deliver_time)."""
+        return self._send(self._to_client, nbytes, not_before)

@@ -1,0 +1,204 @@
+"""Network block device: kernel NBD vs. SPDK NBD (paper Section VI-C).
+
+The client runs fio over an ext4 file system mounted on ``/dev/nbdX``;
+every block I/O crosses the network to a storage server that owns the
+ULL SSD.  Two server implementations:
+
+* **Kernel NBD** — the classic ``nbd-server`` path: the server process
+  sleeps on the socket, so every request pays a socket wake-up, a
+  syscall into the full storage stack, and (for reads, which block on
+  flash) an interrupt + wake-up on the device side before the reply is
+  pushed back through the kernel network stack.
+* **SPDK NBD** — the server polls both the connection and the NVMe
+  queue pairs from user space (SPDK + DPDK): no wake-ups, no syscalls,
+  no ISR.
+
+The asymmetry the paper highlights falls out of the device model:
+*reads* block the server on flash (every wake-up/ISR saved counts —
+~39 % lower latency), while *writes* complete in the device's DRAM
+write buffer almost immediately, so the kernel server barely sleeps and
+the bypass saves only its syscall/copy overhead (<5 %).  On the client
+side, ext4 journaling and metadata updates (which cannot be bypassed)
+pile further fixed cost onto every write.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.host.accounting import CpuAccounting, ExecMode
+from repro.host.costs import DEFAULT_COSTS, SoftwareCosts, StepCost
+from repro.net.link import NetworkLink
+from repro.sim.engine import Simulator
+from repro.ssd.device import IoOp, SsdDevice
+
+#: NBD protocol request/response header size.
+NBD_HEADER_BYTES = 28
+
+
+class NbdServerKind(enum.Enum):
+    """Which server implementation handles requests."""
+
+    KERNEL = "kernel-nbd"
+    SPDK = "spdk-nbd"
+
+
+@dataclass(frozen=True)
+class NbdServerCosts:
+    """Server-side residence costs around the device access."""
+
+    # Kernel nbd-server, read path: the server sleeps between requests,
+    # so a read pays a socket wake-up on arrival, a read() syscall
+    # through VFS+blk-mq, an interrupt + process wake-up while blocked
+    # on flash, and a send() back through the TCP stack.
+    kernel_socket_wakeup: StepCost = StepCost(ns=7_000, loads=1100, stores=800)
+    kernel_syscall_path: StepCost = StepCost(ns=3_500, loads=600, stores=420)
+    kernel_block_wakeup: StepCost = StepCost(ns=3_000, loads=450, stores=330)
+    kernel_reply_send: StepCost = StepCost(ns=4_500, loads=700, stores=520)
+
+    # Kernel nbd-server, write path: writes stream in bursts (the client
+    # file system pipelines data + journal + metadata blocks), so the
+    # server is already awake when the next write arrives, and a write()
+    # into the device's DRAM buffer returns without blocking — no
+    # wake-ups to save.  This is why SPDK NBD barely helps writes.
+    kernel_write_recv: StepCost = StepCost(ns=1_500, loads=260, stores=180)
+    kernel_write_reply: StepCost = StepCost(ns=2_500, loads=400, stores=290)
+
+    # SPDK nbd target: everything polled in one user-space reactor, but
+    # write payloads must be copied from the socket into pinned hugepage
+    # DMA buffers before submission.
+    spdk_poll_dispatch: StepCost = StepCost(ns=800, loads=160, stores=90)
+    spdk_submit: StepCost = StepCost(ns=400, loads=80, stores=55)
+    spdk_write_copy: StepCost = StepCost(ns=2_000, loads=550, stores=550)
+    spdk_reply_send: StepCost = StepCost(ns=1_200, loads=220, stores=140)
+
+
+class NbdSystem:
+    """A client-side block path over the network to an NBD server.
+
+    Exposes the same ``sync_io`` contract as the local stacks, so the
+    ext4 model and the workload engines compose with it unchanged.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: SsdDevice,
+        *,
+        server: NbdServerKind,
+        link: NetworkLink = None,
+        client_costs: SoftwareCosts = None,
+        server_costs: NbdServerCosts = None,
+        accounting: CpuAccounting = None,
+    ) -> None:
+        self.sim = sim
+        self.device = device
+        self.server = server
+        self.link = link or NetworkLink(sim)
+        self.costs = client_costs or DEFAULT_COSTS
+        self.server_costs = server_costs or NbdServerCosts()
+        self.accounting = accounting or CpuAccounting()
+        self.requests = 0
+
+    # ------------------------------------------------------------------
+    def _charge_and_wait(self, step: StepCost, mode, module, function):
+        self.accounting.charge(
+            step.ns, mode, module, function, loads=step.loads, stores=step.stores
+        )
+        return self.sim.timeout(step.ns)
+
+    # ------------------------------------------------------------------
+    def sync_io(self, op: IoOp, offset: int, nbytes: int):
+        """Process: one block I/O across the network.  Returns latency."""
+        costs = self.costs
+        started = self.sim.now
+        self.requests += 1
+        # Client: submission through the local kernel stack into nbd.ko.
+        yield self._charge_and_wait(
+            costs.syscall_entry, ExecMode.KERNEL, "vfs", "syscall"
+        )
+        yield self._charge_and_wait(costs.vfs_submit, ExecMode.KERNEL, "vfs", "vfs_rw")
+        yield self._charge_and_wait(
+            costs.blkmq_submit, ExecMode.KERNEL, "blk-mq", "blk_mq_make_request"
+        )
+        # Request (+ payload for writes) to the server.
+        request_bytes = NBD_HEADER_BYTES + (nbytes if op is IoOp.WRITE else 0)
+        _, delivered = self.link.send_to_server(request_bytes, self.sim.now)
+        if delivered > self.sim.now:
+            yield self.sim.timeout(delivered - self.sim.now)
+        # Server-side residence.
+        yield from self._server_side(op, offset, nbytes)
+        # Reply (+ payload for reads) back to the client.
+        reply_bytes = NBD_HEADER_BYTES + (nbytes if op is IoOp.READ else 0)
+        _, returned = self.link.send_to_client(reply_bytes, self.sim.now)
+        if returned > self.sim.now:
+            yield self.sim.timeout(returned - self.sim.now)
+        # Client: completion (interrupt-driven; the NBD client is kernel
+        # code either way — SPDK only bypasses the *server* side).
+        yield self.sim.timeout(self.costs.irq_delivery_ns)
+        yield self._charge_and_wait(
+            costs.blkmq_complete, ExecMode.KERNEL, "blk-mq", "blk_mq_complete_request"
+        )
+        yield self._charge_and_wait(
+            costs.context_switch_in, ExecMode.KERNEL, "sched", "context_switch"
+        )
+        yield self._charge_and_wait(
+            costs.syscall_exit, ExecMode.KERNEL, "vfs", "syscall"
+        )
+        return self.sim.now - started
+
+    # ------------------------------------------------------------------
+    def _server_side(self, op: IoOp, offset: int, nbytes: int):
+        if self.server is NbdServerKind.KERNEL:
+            yield from self._kernel_server(op, offset, nbytes)
+        else:
+            yield from self._spdk_server(op, offset, nbytes)
+
+    def _kernel_server(self, op: IoOp, offset: int, nbytes: int):
+        sc = self.server_costs
+        if op is IoOp.READ:
+            yield self._charge_and_wait(
+                sc.kernel_socket_wakeup, ExecMode.KERNEL, "nbd-server", "socket_wakeup"
+            )
+        else:
+            yield self._charge_and_wait(
+                sc.kernel_write_recv, ExecMode.KERNEL, "nbd-server", "stream_recv"
+            )
+        yield self._charge_and_wait(
+            sc.kernel_syscall_path, ExecMode.KERNEL, "nbd-server", "storage_stack"
+        )
+        request = self.device.submit(op, offset, nbytes)
+        if not request.done.triggered:
+            yield request.done
+        if op is IoOp.READ:
+            # The server slept on flash: interrupt + process wake-up.
+            yield self._charge_and_wait(
+                sc.kernel_block_wakeup, ExecMode.KERNEL, "nbd-server", "block_wakeup"
+            )
+            yield self._charge_and_wait(
+                sc.kernel_reply_send, ExecMode.KERNEL, "nbd-server", "tcp_send"
+            )
+        else:
+            yield self._charge_and_wait(
+                sc.kernel_write_reply, ExecMode.KERNEL, "nbd-server", "tcp_send"
+            )
+
+    def _spdk_server(self, op: IoOp, offset: int, nbytes: int):
+        sc = self.server_costs
+        yield self._charge_and_wait(
+            sc.spdk_poll_dispatch, ExecMode.USER, "spdk-nbd", "reactor_poll"
+        )
+        if op is IoOp.WRITE:
+            yield self._charge_and_wait(
+                sc.spdk_write_copy, ExecMode.USER, "spdk-nbd", "hugepage_memcpy"
+            )
+        yield self._charge_and_wait(
+            sc.spdk_submit, ExecMode.USER, "spdk-nbd", "spdk_nvme_ns_cmd_rw"
+        )
+        request = self.device.submit(op, offset, nbytes)
+        if not request.done.triggered:
+            yield request.done
+        yield self._charge_and_wait(
+            sc.spdk_reply_send, ExecMode.USER, "spdk-nbd", "dpdk_send"
+        )

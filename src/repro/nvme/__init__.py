@@ -1,0 +1,30 @@
+"""NVMe protocol substrate.
+
+Faithful-enough models of the structures the paper describes in Section
+II-B2: submission/completion queue rings with phase tags, doorbell
+registers mapped through PCIe BARs, MSI completion signalling, and a
+controller front-end that fetches commands and posts completions with
+protocol-level latencies.
+"""
+
+from repro.nvme.command import CompletionEntry, NvmeCommand, Opcode, StatusCode
+from repro.nvme.queue import CompletionQueue, Doorbell, QueueFull, SubmissionQueue
+from repro.nvme.controller import NvmeController, NvmeQueuePair, NvmeTimings, PendingCommand
+from repro.nvme.lightweight import LightQueuePair, LightQueueTimings
+
+__all__ = [
+    "Opcode",
+    "StatusCode",
+    "NvmeCommand",
+    "CompletionEntry",
+    "SubmissionQueue",
+    "CompletionQueue",
+    "Doorbell",
+    "QueueFull",
+    "NvmeController",
+    "NvmeQueuePair",
+    "NvmeTimings",
+    "PendingCommand",
+    "LightQueuePair",
+    "LightQueueTimings",
+]

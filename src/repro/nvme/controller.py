@@ -1,0 +1,172 @@
+"""NVMe controller front-end and queue pairs.
+
+The controller sits between the host driver (kernel or SPDK) and the
+:class:`~repro.ssd.device.SsdDevice`: a tail-doorbell write triggers a
+command fetch (one PCIe read of the SQE), the command is handed to the
+device, and when the device finishes the controller posts a CQE and —
+when interrupts are enabled on the queue pair — raises an MSI.
+
+Host-side software costs (ISR, polling, syscalls) do NOT live here;
+completion engines in :mod:`repro.kstack` and :mod:`repro.spdk` layer
+them on top of the ``cqe_event`` each submission exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.nvme.command import NvmeCommand, Opcode, StatusCode
+from repro.nvme.queue import CompletionQueue, QueueFull, SubmissionQueue
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+from repro.ssd.device import IoOp, SsdDevice
+
+_OPCODE_OF = {IoOp.READ: Opcode.READ, IoOp.WRITE: Opcode.WRITE, IoOp.TRIM: Opcode.DSM}
+_OP_OF = {opcode: op for op, opcode in _OPCODE_OF.items()}
+
+
+@dataclass(frozen=True)
+class NvmeTimings:
+    """Protocol-level latencies (PCIe round trips for queue traffic)."""
+
+    sq_fetch_ns: int = 400  # doorbell -> SQE DMA'd into the controller
+    cqe_post_ns: int = 200  # device done -> CQE visible in host memory
+    msi_ns: int = 100  # CQE -> MSI write reaches the host bridge
+
+
+@dataclass
+class PendingCommand:
+    """A submitted command awaiting completion."""
+
+    command: NvmeCommand
+    submit_ns: int
+    cqe_event: Event  # fires when the CQE lands in host memory
+    cqe_ns: Optional[int] = None
+
+
+class NvmeQueuePair:
+    """One SQ/CQ pair bound to a controller.
+
+    ``interrupts_enabled`` controls whether the controller raises MSIs;
+    the polled and SPDK paths disable them (Section II-B3/4).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: SsdDevice,
+        *,
+        depth: int = 1024,
+        timings: Optional[NvmeTimings] = None,
+        interrupts_enabled: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.device = device
+        self.timings = timings or NvmeTimings()
+        self.interrupts_enabled = interrupts_enabled
+        self.sq = SubmissionQueue(depth)
+        self.cq = CompletionQueue(depth)
+        self._pending: Dict[int, PendingCommand] = {}
+        self._next_cid = 0
+        self._msi_handlers: List[Callable[[PendingCommand], None]] = []
+        # Statistics.
+        self.submitted = 0
+        self.completed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def outstanding(self) -> int:
+        return len(self._pending)
+
+    def on_msi(self, handler: Callable[[PendingCommand], None]) -> None:
+        """Register an MSI handler (the kernel driver's ISR entry)."""
+        self._msi_handlers.append(handler)
+
+    # ------------------------------------------------------------------
+    def submit(self, op: IoOp, offset: int, nbytes: int) -> PendingCommand:
+        """Build an SQE, ring the doorbell, return the pending command."""
+        if self.sq.is_full:
+            raise QueueFull("no free submission queue entry")
+        opcode = _OPCODE_OF[op]
+        cid = self._allocate_cid()
+        command = NvmeCommand.from_bytes(cid, opcode, offset, nbytes)
+        pending = PendingCommand(
+            command=command, submit_ns=self.sim.now, cqe_event=Event(self.sim)
+        )
+        self._pending[cid] = pending
+        self.sq.push(command)
+        self.submitted += 1
+        # Controller fetches the SQE one PCIe round-trip later.
+        self.sim.schedule(self.timings.sq_fetch_ns, self._fetch_and_execute)
+        return pending
+
+    # ------------------------------------------------------------------
+    def _allocate_cid(self) -> int:
+        for _ in range(self.sq.depth):
+            cid = self._next_cid
+            self._next_cid = (self._next_cid + 1) % (1 << 16)
+            if cid not in self._pending:
+                return cid
+        raise QueueFull("no free command identifier")
+
+    def _fetch_and_execute(self) -> None:
+        if self.sq.is_empty:
+            return  # already fetched by an earlier doorbell callback
+        command = self.sq.fetch()
+        op = _OP_OF[command.opcode]
+        request = self.device.submit(op, command.offset_bytes, command.nbytes)
+        request.done.add_callback(lambda _event, cid=command.cid: self._device_done(cid))
+
+    def _device_done(self, cid: int) -> None:
+        self.sim.schedule(self.timings.cqe_post_ns, self._post_cqe, cid)
+
+    def _post_cqe(self, cid: int) -> None:
+        pending = self._pending.pop(cid, None)
+        if pending is None:
+            raise RuntimeError(f"completion for unknown cid {cid}")
+        self.cq.post(cid, self.sq.head, StatusCode.SUCCESS)
+        self.cq.reap()  # host consumes on detection; keep the ring tidy
+        pending.cqe_ns = self.sim.now
+        self.completed += 1
+        pending.cqe_event.succeed(pending)
+        if self.interrupts_enabled:
+            self.sim.schedule(self.timings.msi_ns, self._raise_msi, pending)
+
+    def _raise_msi(self, pending: PendingCommand) -> None:
+        for handler in self._msi_handlers:
+            handler(pending)
+
+
+class NvmeController:
+    """Factory tying an SSD to its queue pairs.
+
+    Real controllers expose up to 64 K queues through BAR-mapped
+    doorbells; experiments here use one I/O queue pair per core, which
+    is how the paper runs fio (one core, one queue).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: SsdDevice,
+        *,
+        timings: Optional[NvmeTimings] = None,
+    ) -> None:
+        self.sim = sim
+        self.device = device
+        self.timings = timings or NvmeTimings()
+        self.queue_pairs: List[NvmeQueuePair] = []
+
+    def create_queue_pair(
+        self, *, depth: int = 1024, interrupts_enabled: bool = True
+    ) -> NvmeQueuePair:
+        pair = NvmeQueuePair(
+            self.sim,
+            self.device,
+            depth=depth,
+            timings=self.timings,
+            interrupts_enabled=interrupts_enabled,
+        )
+        self.queue_pairs.append(pair)
+        return pair

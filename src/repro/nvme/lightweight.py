@@ -1,0 +1,114 @@
+"""A lightweight NCQ-style queue protocol — the paper's Section IV-C
+implication, implemented.
+
+The paper observes that the ULL SSD reaches its maximum bandwidth with
+only ~8-16 queue entries, and concludes that NVMe's rich multi-queue
+machinery (64 K-entry rings in host memory, DMA'd SQEs, doorbell
+round trips) is *overkill* for ultra-low-latency devices: "a future
+ULL-enabled system may require to have a lighter queue mechanism and
+simpler protocol, such as NCQ of SATA".
+
+:class:`LightQueuePair` is that prototype: a 32-entry register-latched
+queue.  Commands are written straight into device registers (one MMIO
+write burst, no SQE fetch DMA), completions are exposed through a
+status register (one uncached load to check, no CQE ring or phase
+tags).  It keeps the :class:`~repro.nvme.controller.NvmeQueuePair`
+submit/complete interface so the kernel stack and workload engines run
+on it unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.nvme.command import NvmeCommand, Opcode
+from repro.nvme.controller import PendingCommand
+from repro.nvme.queue import QueueFull
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+from repro.ssd.device import IoOp, SsdDevice
+
+
+@dataclass(frozen=True)
+class LightQueueTimings:
+    """Protocol latencies of the register-based queue.
+
+    Compare :class:`~repro.nvme.controller.NvmeTimings`: the command is
+    latched by the register write itself (no separate SQE fetch DMA),
+    and completion is a status-register update (no CQE DMA into host
+    memory).
+    """
+
+    issue_ns: int = 150  # MMIO burst latches the command in the device
+    complete_ns: int = 80  # status register update visible to the host
+
+
+class LightQueuePair:
+    """NCQ-like shallow queue with register-latched commands."""
+
+    #: NCQ's native command queue depth.
+    DEPTH = 32
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: SsdDevice,
+        *,
+        timings: Optional[LightQueueTimings] = None,
+        interrupts_enabled: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.device = device
+        self.timings = timings or LightQueueTimings()
+        self.interrupts_enabled = interrupts_enabled
+        self._pending: Dict[int, PendingCommand] = {}
+        self._free_slots: List[int] = list(range(self.DEPTH))
+        self._msi_handlers = []
+        self.submitted = 0
+        self.completed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def outstanding(self) -> int:
+        return len(self._pending)
+
+    def on_msi(self, handler) -> None:
+        self._msi_handlers.append(handler)
+
+    # ------------------------------------------------------------------
+    def submit(self, op: IoOp, offset: int, nbytes: int) -> PendingCommand:
+        """Latch a command into a free register slot."""
+        if not self._free_slots:
+            raise QueueFull(f"all {self.DEPTH} NCQ slots are busy")
+        slot = self._free_slots.pop()
+        opcode = Opcode.READ if op is IoOp.READ else Opcode.WRITE
+        command = NvmeCommand.from_bytes(slot, opcode, offset, nbytes)
+        pending = PendingCommand(
+            command=command, submit_ns=self.sim.now, cqe_event=Event(self.sim)
+        )
+        self._pending[slot] = pending
+        self.submitted += 1
+        # The register write itself delivers the command.
+        self.sim.schedule(self.timings.issue_ns, self._execute, slot, op)
+        return pending
+
+    # ------------------------------------------------------------------
+    def _execute(self, slot: int, op: IoOp) -> None:
+        pending = self._pending[slot]
+        command = pending.command
+        request = self.device.submit(op, command.offset_bytes, command.nbytes)
+        request.done.add_callback(lambda _event: self._device_done(slot))
+
+    def _device_done(self, slot: int) -> None:
+        self.sim.schedule(self.timings.complete_ns, self._post_status, slot)
+
+    def _post_status(self, slot: int) -> None:
+        pending = self._pending.pop(slot)
+        self._free_slots.append(slot)
+        pending.cqe_ns = self.sim.now
+        self.completed += 1
+        pending.cqe_event.succeed(pending)
+        if self.interrupts_enabled:
+            for handler in self._msi_handlers:
+                handler(pending)

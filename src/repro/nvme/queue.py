@@ -1,0 +1,121 @@
+"""NVMe queue rings and doorbells.
+
+Both queues are circular buffers in host memory (mapped through PCIe
+BARs); the host owns the SQ tail and CQ head, the device owns the SQ
+head and CQ tail.  New completion entries are detected via the phase
+tag, which the device flips on every wrap — exactly the bit the kernel's
+``nvme_poll`` and SPDK's ``process_completions`` spin on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.nvme.command import CompletionEntry, NvmeCommand
+
+
+class QueueFull(Exception):
+    """Submission attempted with no free SQ slot."""
+
+
+class Doorbell:
+    """A doorbell register; writing it notifies the other side."""
+
+    def __init__(self, on_write: Optional[Callable[[int], None]] = None) -> None:
+        self.value = 0
+        self.writes = 0
+        self._on_write = on_write
+
+    def write(self, value: int) -> None:
+        self.value = value
+        self.writes += 1
+        if self._on_write is not None:
+            self._on_write(value)
+
+
+class SubmissionQueue:
+    """Host-filled command ring, device-drained FIFO."""
+
+    def __init__(self, depth: int) -> None:
+        if depth < 2:
+            raise ValueError("queue depth must be >= 2")
+        self.depth = depth
+        self._ring: List[Optional[NvmeCommand]] = [None] * depth
+        self.tail = 0  # host-owned
+        self.head = 0  # device-owned
+        self.tail_doorbell = Doorbell()
+
+    def occupancy(self) -> int:
+        return (self.tail - self.head) % self.depth
+
+    @property
+    def is_full(self) -> bool:
+        # One slot is sacrificed to distinguish full from empty.
+        return self.occupancy() == self.depth - 1
+
+    @property
+    def is_empty(self) -> bool:
+        return self.tail == self.head
+
+    def push(self, command: NvmeCommand) -> None:
+        """Host: place a command and ring the tail doorbell."""
+        if self.is_full:
+            raise QueueFull(f"submission queue full (depth {self.depth})")
+        self._ring[self.tail] = command
+        self.tail = (self.tail + 1) % self.depth
+        self.tail_doorbell.write(self.tail)
+
+    def fetch(self) -> NvmeCommand:
+        """Device: take the oldest command."""
+        if self.is_empty:
+            raise IndexError("submission queue empty")
+        command = self._ring[self.head]
+        assert command is not None
+        self._ring[self.head] = None
+        self.head = (self.head + 1) % self.depth
+        return command
+
+
+class CompletionQueue:
+    """Device-filled completion ring with phase-tag detection."""
+
+    def __init__(self, depth: int) -> None:
+        if depth < 2:
+            raise ValueError("queue depth must be >= 2")
+        self.depth = depth
+        self._ring: List[Optional[CompletionEntry]] = [None] * depth
+        self.tail = 0  # device-owned
+        self.head = 0  # host-owned
+        self._device_phase = 1
+        self._host_phase = 1
+        self.head_doorbell = Doorbell()
+
+    def post(self, cid: int, sq_head: int, status) -> CompletionEntry:
+        """Device: append a completion entry with the current phase."""
+        entry = CompletionEntry(
+            cid=cid, sq_head=sq_head, status=status, phase=self._device_phase
+        )
+        self._ring[self.tail] = entry
+        self.tail = (self.tail + 1) % self.depth
+        if self.tail == 0:
+            self._device_phase ^= 1
+        return entry
+
+    def peek(self) -> Optional[CompletionEntry]:
+        """Host: new entry at the head, if its phase tag matches."""
+        entry = self._ring[self.head]
+        if entry is None or entry.phase != self._host_phase:
+            return None
+        return entry
+
+    def reap(self) -> Optional[CompletionEntry]:
+        """Host: consume the entry at the head and ring the doorbell."""
+        entry = self.peek()
+        if entry is None:
+            return None
+        self._ring[self.head] = None
+        self.head = (self.head + 1) % self.depth
+        if self.head == 0:
+            self._host_phase ^= 1
+        self.head_doorbell.write(self.head)
+        return entry

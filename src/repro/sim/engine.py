@@ -1,0 +1,104 @@
+"""The simulation engine: a clock and a time-ordered callback queue.
+
+Time is measured in integer nanoseconds.  Callbacks scheduled for the same
+instant run in FIFO order (a monotonically increasing sequence number
+breaks ties), which makes simulations deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterator, Optional
+
+from repro.sim.events import AnyOf, Event, Timeout
+from repro.sim.process import Process
+
+
+class Simulator:
+    """Discrete-event simulator with a nanosecond integer clock."""
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._queue: list = []
+        self._seq: int = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+    def schedule(self, delay: int, callback: Callable, *args: Any) -> None:
+        """Run ``callback(*args)`` ``delay`` ns from now."""
+        self.schedule_at(self.now + int(delay), callback, *args)
+
+    def schedule_at(self, when: int, callback: Callable, *args: Any) -> None:
+        """Run ``callback(*args)`` at absolute time ``when``."""
+        if when < self.now:
+            raise ValueError(f"cannot schedule in the past: {when} < {self.now}")
+        self._seq += 1
+        heapq.heappush(self._queue, (when, self._seq, callback, args))
+
+    # ------------------------------------------------------------------
+    # Event/process factories
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` ns from now."""
+        return Timeout(self, int(delay), value)
+
+    def any_of(self, events) -> AnyOf:
+        """Create an event that fires when the first of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def process(self, generator: Iterator) -> Process:
+        """Start a new process driving ``generator``.
+
+        The generator yields :class:`~repro.sim.events.Event` instances
+        (including timeouts and other processes) and is resumed with each
+        event's value.
+        """
+        return Process(self, generator)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the next scheduled callback.  Returns False if none remain."""
+        if not self._queue:
+            return False
+        when, _seq, callback, args = heapq.heappop(self._queue)
+        self.now = when
+        callback(*args)
+        return True
+
+    def run(self, until: Optional[int] = None) -> None:
+        """Run until the queue drains or the clock would pass ``until``.
+
+        With ``until`` given, the clock is advanced to exactly ``until``
+        when the simulation outlives it (pending later callbacks remain
+        queued and can be resumed by a further ``run`` call).
+        """
+        if until is None:
+            while self.step():
+                pass
+            return
+        until = int(until)
+        if until < self.now:
+            raise ValueError(f"cannot run backwards: {until} < {self.now}")
+        while self._queue and self._queue[0][0] <= until:
+            self.step()
+        self.now = max(self.now, until)
+
+    def run_until_event(self, event: Event, limit: Optional[int] = None) -> None:
+        """Run until ``event`` triggers (or the queue drains / limit hits)."""
+        while not event.triggered:
+            if limit is not None and self._queue and self._queue[0][0] > limit:
+                break
+            if not self.step():
+                break
+
+    @property
+    def pending_count(self) -> int:
+        """Number of callbacks still queued."""
+        return len(self._queue)

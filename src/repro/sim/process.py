@@ -1,0 +1,96 @@
+"""Generator-driven processes.
+
+A process wraps a generator that yields events.  Each time a yielded event
+triggers, the process resumes with the event's value; if the event failed,
+the exception is thrown into the generator.  A process is itself an event
+that triggers with the generator's return value, so processes can wait on
+each other by yielding them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.sim.events import Event
+
+
+class Interrupted(Exception):
+    """Thrown into a process that was interrupted from the outside."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """An event representing the lifetime of a running generator."""
+
+    __slots__ = ("_generator", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", generator: Iterator) -> None:  # noqa: F821
+        if not hasattr(generator, "send"):
+            raise TypeError(
+                "process() requires a generator; did you forget to call "
+                "the generator function?"
+            )
+        super().__init__(sim)
+        self._generator = generator
+        self._waiting_on: Event | None = None
+        # Start on the next simulation step so creation order does not
+        # matter within a single instant.
+        sim.schedule(0, self._resume, None, None)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupted` into the process at its yield point."""
+        if self.triggered:
+            raise RuntimeError("cannot interrupt a finished process")
+        waiting_on, self._waiting_on = self._waiting_on, None
+        if waiting_on is not None:
+            # Detach: the stale event must not resume us later.
+            pass
+        self.sim.schedule(0, self._resume, None, Interrupted(cause))
+
+    # ------------------------------------------------------------------
+    def _on_event(self, event: Event) -> None:
+        if event is not self._waiting_on:
+            return  # stale wakeup after an interrupt
+        self._waiting_on = None
+        if event.ok:
+            self._resume(event._value, None)  # noqa: SLF001
+        else:
+            self._resume(None, event._exception)  # noqa: SLF001
+
+    def _resume(self, value: Any, exception: BaseException | None) -> None:
+        if self.triggered:
+            return
+        try:
+            if exception is not None:
+                target = self._generator.throw(exception)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupted:
+            # Interrupt not handled by the generator: the process dies
+            # quietly (it was cancelled on purpose).
+            self.succeed(None)
+            return
+        if not isinstance(target, Event):
+            self._generator.close()
+            self.fail(
+                TypeError(f"process yielded a non-event: {target!r}")
+            )
+            return
+        self._waiting_on = target
+        if target.triggered:
+            # Flatten recursion: a ready event resumes us on the next
+            # zero-delay step instead of recursing synchronously.
+            self.sim.schedule(0, self._on_event, target)
+        else:
+            target.add_callback(self._on_event)

@@ -1,0 +1,21 @@
+"""Kernel-bypass storage stack (Intel SPDK, Section II-B4).
+
+SPDK unbinds the NVMe device from the kernel driver, rebinds it to a
+user-space I/O driver (uio), maps the PCIe BARs into pinned hugepages
+(via DPDK's memory manager), and drives the queue pairs entirely from
+user space.  Interrupts cannot be serviced there, so completion is a
+continuous user-space poll loop — cheap per iteration, but it owns the
+core and hammers memory (Figs. 20-22).
+"""
+
+from repro.spdk.hugepage import HugePageAllocator, HugePageRegion
+from repro.spdk.uio import DriverBinding, UioBinding
+from repro.spdk.stack import SpdkStack
+
+__all__ = [
+    "HugePageAllocator",
+    "HugePageRegion",
+    "UioBinding",
+    "DriverBinding",
+    "SpdkStack",
+]

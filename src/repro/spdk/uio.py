@@ -1,0 +1,64 @@
+"""uio/vfio driver binding.
+
+SPDK setup unbinds the device from the kernel ``nvme`` driver and
+rebinds it to ``uio_pci_generic`` (or vfio), after which the kernel no
+longer services it — no block device node, no interrupts, user space
+owns the BARs.  The binding model enforces that ordering: a stack can
+only be built on a device bound to uio, and the kernel stack refuses a
+device that has been unbound (mirroring what happens on the real system
+when you forget to rebind).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class DriverBinding(enum.Enum):
+    """Which driver currently owns the PCIe function."""
+
+    KERNEL_NVME = "nvme"
+    UIO = "uio_pci_generic"
+    UNBOUND = "none"
+
+
+class UioBinding:
+    """Tracks and transitions a device's driver binding."""
+
+    def __init__(self) -> None:
+        self.binding = DriverBinding.KERNEL_NVME
+        self.transitions = 0
+
+    def unbind(self) -> None:
+        """Detach whatever driver owns the device."""
+        if self.binding is DriverBinding.UNBOUND:
+            raise RuntimeError("device is already unbound")
+        self.binding = DriverBinding.UNBOUND
+        self.transitions += 1
+
+    def bind_uio(self) -> None:
+        """Attach the user-space I/O driver (requires prior unbind)."""
+        if self.binding is not DriverBinding.UNBOUND:
+            raise RuntimeError(
+                f"cannot bind uio while bound to {self.binding.value}; unbind first"
+            )
+        self.binding = DriverBinding.UIO
+        self.transitions += 1
+
+    def bind_kernel(self) -> None:
+        """Give the device back to the kernel nvme driver."""
+        if self.binding is not DriverBinding.UNBOUND:
+            raise RuntimeError(
+                f"cannot bind nvme while bound to {self.binding.value}; unbind first"
+            )
+        self.binding = DriverBinding.KERNEL_NVME
+        self.transitions += 1
+
+    @property
+    def user_space_ready(self) -> bool:
+        return self.binding is DriverBinding.UIO
+
+    @property
+    def interrupts_available(self) -> bool:
+        """ISRs can only be handled while the kernel driver is bound."""
+        return self.binding is DriverBinding.KERNEL_NVME

@@ -1,0 +1,29 @@
+"""SSD device models.
+
+The controller wires the flash array (:mod:`repro.flash`), the FTL
+(:mod:`repro.ftl`), the DRAM caches, the channel/super-channel transfer
+fabric, and the power meter into a device that serves block requests on
+the simulated timeline.  Presets configure the two devices the paper
+measures: the 800 GB Z-SSD prototype (ULL SSD) and an Intel 750-class
+NVMe SSD.
+"""
+
+from repro.ssd.config import SsdConfig
+from repro.ssd.cache import ReadCache, WriteBuffer
+from repro.ssd.channels import ChannelArray
+from repro.ssd.power import PowerMeter, PowerParams
+from repro.ssd.device import DeviceRequest, SsdDevice
+from repro.ssd.presets import nvme_ssd_config, ull_ssd_config
+
+__all__ = [
+    "SsdConfig",
+    "ReadCache",
+    "WriteBuffer",
+    "ChannelArray",
+    "PowerMeter",
+    "PowerParams",
+    "SsdDevice",
+    "DeviceRequest",
+    "ull_ssd_config",
+    "nvme_ssd_config",
+]

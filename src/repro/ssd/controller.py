@@ -1,0 +1,357 @@
+"""The SSD controller: unit-level datapaths and background workers.
+
+Responsibilities (paper Section II-A):
+
+* **Read path** — FTL lookup, write-buffer / read-cache hits, flash array
+  read on the owning die (with Z-NAND suspend/resume), channel transfer,
+  sequential prefetch staging.
+* **Write path** — DRAM write-buffer admission (host sees buffered
+  latency); per-die flush workers drain the buffer, batching units into
+  physical program operations.
+* **Garbage collection** — flush workers reclaim blocks on their die when
+  the erased pool drops below the watermark: migrate valid pages
+  (on-die copyback), erase, release.  GC operations are booked one at a
+  time, so arriving host reads can still suspend the in-flight program
+  (the mechanism that makes ULL GC nearly invisible, Fig. 7b).
+
+All flash timing is booked on per-die / per-channel timelines; the
+controller itself adds fixed firmware latencies (no embedded-CPU
+contention is modeled — flash and buses are the scarce resources).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.flash.chip import FlashDie
+from repro.ftl.allocator import OutOfSpace
+from repro.ftl.core import GcPlan, PageMappedFtl
+from repro.sim.engine import Simulator
+from repro.sim.resources import Store, TimelineResource
+from repro.ssd.cache import ReadCache, WriteBuffer
+from repro.ssd.channels import ChannelArray
+from repro.ssd.config import UNIT_SIZE, SsdConfig
+from repro.ssd.power import PowerMeter
+
+
+@dataclass
+class GcEvent:
+    """One completed block reclamation (for the Fig. 7b/8 time series)."""
+
+    die: int
+    start_ns: int
+    end_ns: int
+    migrated_pages: int
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+
+@dataclass
+class ControllerStats:
+    """Run counters surfaced through :class:`repro.ssd.device.SsdDevice`."""
+
+    flash_reads: int = 0
+    buffer_read_hits: int = 0
+    cache_read_hits: int = 0
+    unwritten_reads: int = 0
+    read_stalls: int = 0
+    write_stalls: int = 0
+    map_misses: int = 0
+    flush_batches: int = 0
+    gc_events: List[GcEvent] = field(default_factory=list)
+
+
+class SsdController:
+    """Wires FTL, flash array, caches, channels, and power together."""
+
+    def __init__(self, sim: Simulator, config: SsdConfig, *, seed: int = 42) -> None:
+        self.sim = sim
+        self.config = config
+        self.layout = config.ftl_layout()
+        self.ftl = PageMappedFtl(
+            self.layout,
+            overprovision=config.overprovision,
+            gc_watermark_blocks=config.gc_watermark_blocks,
+            gc_policy=config.gc_policy,
+        )
+        self.power = PowerMeter(
+            sim, config.power, dies_per_op=config.physical_dies_per_die
+        )
+        self.dies: List[FlashDie] = [
+            FlashDie(
+                sim,
+                config.timing,
+                allow_suspend=config.suspend_resume,
+                observer=self.power.observe_op,
+                seed=seed * 131 + die_index,
+            )
+            for die_index in range(config.dies)
+        ]
+        self.channels = ChannelArray(
+            sim,
+            config.channels,
+            config.channel_mbps,
+            observer=self.power.observe_transfer,
+        )
+        self.pcie = TimelineResource(sim)
+        self.write_buffer = WriteBuffer(sim, config.write_buffer_units)
+        self.read_cache = ReadCache(config.read_cache_units, config.prefetch_ahead)
+        self.stats = ControllerStats()
+        self._rng = np.random.default_rng(seed)
+        self._map_cache: "OrderedDict[int, None]" = OrderedDict()
+        self._batches = Store(sim)
+        sim.process(self._batcher())
+        for die_index in range(config.dies):
+            sim.process(self._flush_worker(die_index))
+
+    # ------------------------------------------------------------------
+    # Read datapath (analytic: books timeline reservations, returns the
+    # unit's device-internal completion time)
+    # ------------------------------------------------------------------
+    def read_unit(self, lpn: int) -> int:
+        """Serve one mapping unit; returns its device-done timestamp."""
+        config = self.config
+        start = self.sim.now + config.read_fw_ns + self._map_lookup_delay(lpn)
+        done = self._serve_read(lpn, start)
+        self._maybe_prefetch(lpn)
+        return done
+
+    def _map_lookup_delay(self, lpn: int) -> int:
+        """Extra stall if the lpn's map segment is outside the cache."""
+        config = self.config
+        if config.map_cache_segments <= 0:
+            return 0
+        segment = lpn // config.map_segment_units
+        cache = self._map_cache
+        if segment in cache:
+            cache.move_to_end(segment)
+            return 0
+        cache[segment] = None
+        while len(cache) > config.map_cache_segments:
+            cache.popitem(last=False)
+        self.stats.map_misses += 1
+        return config.map_fetch_ns
+
+    def _serve_read(self, lpn: int, start: int) -> int:
+        config = self.config
+        if self.write_buffer.contains(lpn):
+            self.stats.buffer_read_hits += 1
+            return start + config.dram_hit_ns
+        cached_ready = self.read_cache.lookup(lpn)
+        if cached_ready is not None:
+            self.stats.cache_read_hits += 1
+            return max(start, cached_ready) + config.dram_hit_ns
+        ppa = self.ftl.read_ppa(lpn)
+        if ppa is None:
+            # Never-written LBA: the controller returns zeros from DRAM.
+            self.stats.unwritten_reads += 1
+            return start + config.dram_hit_ns
+        return self._flash_read(lpn, ppa, start)
+
+    def _flash_read(self, lpn: int, ppa: int, start: int) -> int:
+        die_index = self.layout.die_of_page(ppa)
+        _, array_done = self.dies[die_index].read(not_before=start)
+        if self._roll(self.config.read_stall_prob):
+            self.stats.read_stalls += 1
+            array_done += self.config.read_stall_ns
+        channel = self.channels.channel_of_die(die_index)
+        _, transfer_done = self.channels.transfer(
+            channel, UNIT_SIZE, not_before=array_done
+        )
+        self.read_cache.insert(lpn, ready_at=transfer_done)
+        self.stats.flash_reads += 1
+        return transfer_done
+
+    def _roll(self, prob: float) -> bool:
+        return prob > 0.0 and self._rng.random() < prob
+
+    def roll_write_stall(self) -> int:
+        """Housekeeping pause delaying a write completion (0 = none)."""
+        if self._roll(self.config.write_stall_prob):
+            self.stats.write_stalls += 1
+            return self.config.write_stall_ns
+        return 0
+
+    def _maybe_prefetch(self, lpn: int) -> None:
+        for candidate in self.read_cache.note_access(lpn):
+            if candidate >= self.ftl.logical_pages:
+                continue
+            ppa = self.ftl.read_ppa(candidate)
+            if ppa is None or self.write_buffer.contains(candidate):
+                continue
+            die_index = self.layout.die_of_page(ppa)
+            _, array_done = self.dies[die_index].read(not_before=self.sim.now)
+            channel = self.channels.channel_of_die(die_index)
+            _, transfer_done = self.channels.transfer(
+                channel, UNIT_SIZE, not_before=array_done
+            )
+            self.read_cache.insert(candidate, ready_at=transfer_done)
+            self.stats.flash_reads += 1
+
+    # ------------------------------------------------------------------
+    # Write datapath (process: may stall on a full buffer)
+    # ------------------------------------------------------------------
+    def write_unit(self, lpn: int):
+        """Process: admit one unit into the write buffer."""
+        yield self.write_buffer.reserve()
+        self.write_buffer.insert(lpn)
+
+    # ------------------------------------------------------------------
+    # Background flush workers (one per die)
+    # ------------------------------------------------------------------
+    def _batcher(self):
+        """Process: gather buffered units into program-sized batches.
+
+        One shared stage between the buffer and the die workers, so
+        trickle traffic (e.g. sync QD1 writes) coalesces into full page
+        sets instead of each worker burning a whole tPROG per 4 KB unit.
+        """
+        config = self.config
+        buffer = self.write_buffer
+        while True:
+            first = yield buffer.next_dirty()
+            batch = [first]
+            while (
+                len(batch) < config.units_per_program and buffer.pending_flush > 0
+            ):
+                ready = buffer.next_dirty()
+                assert ready.triggered
+                batch.append(ready.value)
+            if (
+                config.flush_coalesce_ns > 0
+                and len(batch) < config.units_per_program
+            ):
+                # Trickle traffic: wait briefly for more units so a
+                # program op commits a fuller page set.
+                yield self.sim.timeout(config.flush_coalesce_ns)
+                while (
+                    len(batch) < config.units_per_program
+                    and buffer.pending_flush > 0
+                ):
+                    ready = buffer.next_dirty()
+                    assert ready.triggered
+                    batch.append(ready.value)
+            self._batches.put(batch)
+
+    def _flush_worker(self, die_index: int):
+        config = self.config
+        die = self.dies[die_index]
+        buffer = self.write_buffer
+        while True:
+            batch = yield self._batches.get()
+            # Reclaim space first if this die is running dry.
+            while (
+                self.ftl.allocator.free_blocks(die_index)
+                < config.gc_watermark_blocks
+            ):
+                reclaimed = yield from self._collect_one_block(die_index)
+                if not reclaimed:
+                    break
+            # Place every unit, never consuming this die's GC reserve:
+            # units that no longer fit here are steered to whichever die
+            # still accepts host data (the striping engine's job).
+            local: List[int] = []
+            overflow: List[int] = []
+            for lpn in batch:
+                if self.ftl.allocator.can_host_write(die_index):
+                    self.ftl.write_to_die(lpn, die_index)
+                    local.append(lpn)
+                else:
+                    overflow.append(lpn)
+            finish_at = self.sim.now
+            if local:
+                channel = self.channels.channel_of_die(die_index)
+                _, staged = self.channels.transfer(
+                    channel, len(local) * UNIT_SIZE, not_before=self.sim.now
+                )
+                _, programmed = die.program(not_before=staged)
+                finish_at = max(finish_at, programmed)
+            placed = list(local)
+            for lpn in overflow:
+                try:
+                    placement = self.ftl.write(lpn)
+                except OutOfSpace:
+                    # Every die is down to its GC reserve: give the unit
+                    # back to the queue and let GC elsewhere catch up.
+                    buffer.requeue(lpn)
+                    continue
+                placed.append(lpn)
+                channel = self.channels.channel_of_die(placement.die)
+                _, staged = self.channels.transfer(
+                    channel, UNIT_SIZE, not_before=self.sim.now
+                )
+                _, programmed = self.dies[placement.die].program(
+                    not_before=staged
+                )
+                finish_at = max(finish_at, programmed)
+            self.stats.flush_batches += 1
+            if finish_at > self.sim.now:
+                yield self.sim.timeout(finish_at - self.sim.now)
+            for lpn in placed:
+                buffer.flushed(lpn)
+
+    def _collect_one_block(self, die_index: int):
+        """Process: one GC cycle on ``die_index``.  Returns True if a
+        block was reclaimed."""
+        plan: Optional[GcPlan] = self.ftl.plan_gc(die_index)
+        if plan is None:
+            return False
+        die = self.dies[die_index]
+        gc_start = self.sim.now
+        migrated = 0
+        config = self.config
+        pending: List[int] = []
+        for lpn in plan.victim_lpns:
+            # The host may have overwritten the page since planning.
+            if not self.ftl.still_in_block(lpn, plan.victim_block):
+                continue
+            _, read_done = die.read(not_before=self.sim.now)
+            if read_done > self.sim.now:
+                yield self.sim.timeout(read_done - self.sim.now)
+            pending.append(lpn)
+            if len(pending) >= config.units_per_program:
+                migrated += yield from self._program_migration(
+                    die_index, pending, plan.victim_block
+                )
+                pending = []
+        if pending:
+            migrated += yield from self._program_migration(
+                die_index, pending, plan.victim_block
+            )
+        _, erased = die.erase(not_before=self.sim.now)
+        if erased > self.sim.now:
+            yield self.sim.timeout(erased - self.sim.now)
+        self.ftl.finish_gc(plan)
+        self.stats.gc_events.append(
+            GcEvent(
+                die=die_index,
+                start_ns=gc_start,
+                end_ns=self.sim.now,
+                migrated_pages=migrated,
+            )
+        )
+        return True
+
+    def _program_migration(self, die_index: int, lpns: List[int], victim_block: int):
+        """Process: one copyback program for a chunk of migrating pages.
+
+        Pages the host overwrote between the GC read and this program are
+        dropped — relocating them would resurrect stale data.
+        """
+        survivors = [
+            lpn for lpn in lpns if self.ftl.still_in_block(lpn, victim_block)
+        ]
+        if not survivors:
+            return 0
+        for lpn in survivors:
+            self.ftl.relocate(lpn, die_index)
+        _, programmed = self.dies[die_index].program(not_before=self.sim.now)
+        if programmed > self.sim.now:
+            yield self.sim.timeout(programmed - self.sim.now)
+        return len(survivors)

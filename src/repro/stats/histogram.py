@@ -1,0 +1,111 @@
+"""Log-scaled latency histograms — fio's ``clat`` view of a distribution.
+
+fio reports completion latency as percentile buckets on a coarse
+logarithmic grid; :class:`LatencyHistogram` reproduces that: samples go
+into log2-spaced buckets with linear sub-buckets, so the memory cost is
+constant regardless of sample count while percentile error stays within
+the sub-bucket resolution (fio uses 64 sub-buckets; so do we).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+#: Linear sub-buckets per power-of-two group (fio's FIO_IO_U_PLAT_VAL).
+SUB_BUCKETS = 64
+SUB_BUCKET_BITS = 6
+#: Number of power-of-two groups: covers 1 ns .. >1 hour.
+GROUPS = 40
+
+
+class LatencyHistogram:
+    """Constant-memory latency distribution on fio's log-linear grid."""
+
+    def __init__(self) -> None:
+        self._counts = np.zeros(GROUPS * SUB_BUCKETS, dtype=np.int64)
+        self._total = 0
+        self._max_ns = 0
+        self._min_ns: int = -1
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _bucket_of(value_ns: int) -> int:
+        """fio's plat_val_to_idx: log2 group + linear sub-bucket."""
+        if value_ns < 0:
+            raise ValueError(f"negative latency: {value_ns}")
+        msb = int(value_ns).bit_length() - 1 if value_ns > 0 else 0
+        if msb < SUB_BUCKET_BITS:
+            group, sub = 0, int(value_ns)
+        else:
+            group = msb - SUB_BUCKET_BITS + 1
+            # Drop the leading bit, keep the next SUB_BUCKET_BITS bits.
+            sub = (int(value_ns) >> (msb - SUB_BUCKET_BITS)) & (SUB_BUCKETS - 1)
+        index = group * SUB_BUCKETS + sub
+        return min(index, GROUPS * SUB_BUCKETS - 1)
+
+    @staticmethod
+    def _bucket_value(index: int) -> int:
+        """Representative latency (ns) of a bucket (its lower edge mean)."""
+        group, sub = divmod(index, SUB_BUCKETS)
+        if group == 0:
+            return sub
+        base = 1 << (group + SUB_BUCKET_BITS - 1)
+        step = base >> SUB_BUCKET_BITS
+        return base + sub * step + step // 2
+
+    # ------------------------------------------------------------------
+    def record(self, latency_ns: float) -> None:
+        value = int(latency_ns)
+        self._counts[self._bucket_of(value)] += 1
+        self._total += 1
+        self._max_ns = max(self._max_ns, value)
+        self._min_ns = value if self._min_ns < 0 else min(self._min_ns, value)
+
+    def extend(self, latencies_ns: Iterable[float]) -> None:
+        for value in latencies_ns:
+            self.record(value)
+
+    def __len__(self) -> int:
+        return self._total
+
+    # ------------------------------------------------------------------
+    def percentile(self, pct: float) -> float:
+        """Approximate percentile (within one sub-bucket of truth)."""
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError("pct must be in [0, 100]")
+        if self._total == 0:
+            return 0.0
+        target = max(1, int(np.ceil(self._total * pct / 100.0)))
+        cumulative = np.cumsum(self._counts)
+        index = int(np.searchsorted(cumulative, target))
+        return float(self._bucket_value(index))
+
+    def percentiles(self, pcts: Iterable[float]) -> Dict[float, float]:
+        return {pct: self.percentile(pct) for pct in pcts}
+
+    @property
+    def min_ns(self) -> int:
+        return max(self._min_ns, 0)
+
+    @property
+    def max_ns(self) -> int:
+        return self._max_ns
+
+    def nonzero_buckets(self) -> List[Tuple[int, int]]:
+        """(representative_ns, count) for every occupied bucket."""
+        indices = np.nonzero(self._counts)[0]
+        return [(self._bucket_value(int(i)), int(self._counts[i])) for i in indices]
+
+    def render(self, *, width: int = 50) -> str:
+        """fio-style text histogram (one row per occupied bucket)."""
+        rows = []
+        buckets = self.nonzero_buckets()
+        if not buckets:
+            return "(empty histogram)"
+        peak = max(count for _, count in buckets)
+        for value, count in buckets:
+            bar = "#" * max(1, int(round(width * count / peak)))
+            rows.append(f"{value / 1000.0:10.1f}us | {count:8d} {bar}")
+        return "\n".join(rows)

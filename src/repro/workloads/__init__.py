@@ -1,0 +1,23 @@
+"""fio-like workload generation and execution.
+
+A :class:`FioJob` describes what the paper's fio invocations describe:
+access pattern (``rw=``), block size, queue depth, I/O engine (sync
+pvsync2 vs. async libaio), mix fraction, and I/O count.  The runner
+drives a storage stack with it and collects latency, bandwidth, CPU,
+and instruction metrics.
+"""
+
+from repro.workloads.patterns import AccessPattern, make_pattern
+from repro.workloads.job import FioJob
+from repro.workloads.engines import AsyncJobEngine, SyncJobEngine
+from repro.workloads.runner import JobResult, run_job
+
+__all__ = [
+    "AccessPattern",
+    "make_pattern",
+    "FioJob",
+    "SyncJobEngine",
+    "AsyncJobEngine",
+    "JobResult",
+    "run_job",
+]

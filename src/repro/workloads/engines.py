@@ -1,0 +1,152 @@
+"""I/O engines: how a job's I/Os are issued and completed.
+
+* :class:`SyncJobEngine` — pvsync2 / SPDK-plugin style: one I/O at a
+  time through a stack's ``sync_io`` process (queue depth 1).
+* :class:`AsyncJobEngine` — libaio style: keeps ``iodepth`` commands in
+  flight over a :class:`~repro.kstack.stack.KernelStack`, completing
+  through the interrupt path (how the paper runs its queue-depth and
+  bandwidth sweeps).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+from repro.ssd.device import IoOp
+from repro.stats.latency import LatencyRecorder
+from repro.stats.timeseries import TimeSeries
+from repro.workloads.job import FioJob
+from repro.workloads.patterns import AccessPattern
+from repro.workloads.trace import TraceRecorder
+
+
+class MetricsCollector:
+    """Per-direction latency recorders plus an optional time series."""
+
+    def __init__(
+        self,
+        *,
+        capture_timeseries: bool = False,
+        capture_trace: bool = False,
+    ) -> None:
+        self.all = LatencyRecorder("all")
+        self.reads = LatencyRecorder("reads")
+        self.writes = LatencyRecorder("writes")
+        self.series: Optional[TimeSeries] = (
+            TimeSeries("latency") if capture_timeseries else None
+        )
+        self.trace: Optional[TraceRecorder] = (
+            TraceRecorder() if capture_trace else None
+        )
+        self.bytes_done = 0
+
+    def record(
+        self,
+        op: IoOp,
+        latency_ns: float,
+        now_ns: int,
+        nbytes: int,
+        offset: int = 0,
+    ) -> None:
+        self.all.record(latency_ns)
+        if op is IoOp.READ:
+            self.reads.record(latency_ns)
+        else:
+            self.writes.record(latency_ns)
+        if self.series is not None:
+            self.series.record(now_ns, latency_ns)
+        if self.trace is not None:
+            self.trace.record(
+                op, offset, nbytes, int(now_ns - latency_ns), now_ns
+            )
+        self.bytes_done += nbytes
+
+
+class SyncJobEngine:
+    """Queue-depth-1 synchronous issue loop."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stack,
+        job: FioJob,
+        pattern: AccessPattern,
+        metrics: MetricsCollector,
+    ) -> None:
+        self.sim = sim
+        self.stack = stack
+        self.job = job
+        self.pattern = pattern
+        self.metrics = metrics
+
+    def run(self):
+        """Process: issue every I/O back-to-back."""
+        block_size = self.job.block_size
+        for op, offset in self.pattern.take(self.job.io_count):
+            latency = yield from self.stack.sync_io(op, offset, block_size)
+            self.metrics.record(op, latency, self.sim.now, block_size, offset)
+
+
+class AsyncJobEngine:
+    """libaio-style windowed issue loop over a kernel stack."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stack,
+        job: FioJob,
+        pattern: AccessPattern,
+        metrics: MetricsCollector,
+    ) -> None:
+        self.sim = sim
+        self.stack = stack
+        self.job = job
+        self.pattern = pattern
+        self.metrics = metrics
+        self._inflight = 0
+        self._completed = 0
+        self._slot_waiter: Optional[Event] = None
+        self._drained: Optional[Event] = None
+
+    def run(self):
+        """Process: keep ``iodepth`` I/Os outstanding until done."""
+        job = self.job
+        for _ in range(job.io_count):
+            while self._inflight >= job.iodepth:
+                self._slot_waiter = Event(self.sim)
+                yield self._slot_waiter
+            op, offset = self.pattern.next_io()
+            issued_at = self.sim.now
+            request = yield from self.stack.submit_async(op, offset, job.block_size)
+            self._inflight += 1
+            request.pending.cqe_event.add_callback(
+                lambda _event, req=request, t0=issued_at, op=op, off=offset: (
+                    self._on_cqe(req, t0, op, off)
+                )
+            )
+        if self._completed < job.io_count:
+            self._drained = Event(self.sim)
+            yield self._drained
+
+    # ------------------------------------------------------------------
+    def _on_cqe(self, request, issued_at: int, op: IoOp, offset: int) -> None:
+        delay = self.stack.async_completion_ns()
+        self.sim.schedule(delay, self._finish, request, issued_at, op, offset)
+
+    def _finish(self, request, issued_at: int, op: IoOp, offset: int) -> None:
+        self.stack.complete_async(request)
+        self.metrics.record(
+            op, self.sim.now - issued_at, self.sim.now, self.job.block_size, offset
+        )
+        self._inflight -= 1
+        self._completed += 1
+        if self._slot_waiter is not None and not self._slot_waiter.triggered:
+            self._slot_waiter.succeed()
+        if (
+            self._drained is not None
+            and not self._drained.triggered
+            and self._completed >= self.job.io_count
+        ):
+            self._drained.succeed()

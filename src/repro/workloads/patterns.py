@@ -1,0 +1,128 @@
+"""Access pattern generation (fio's ``rw=`` parameter).
+
+Patterns yield ``(op, offset)`` pairs deterministically from a seed, so
+every experiment is reproducible.  Offsets are block-aligned and wrap
+inside the target region.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.ssd.device import IoOp
+
+#: fio rw= values we understand.
+RW_MODES = ("read", "write", "randread", "randwrite", "rw", "randrw")
+
+
+class AccessPattern:
+    """Deterministic stream of ``(op, offset)`` pairs."""
+
+    def __init__(
+        self,
+        rw: str,
+        block_size: int,
+        region_bytes: int,
+        *,
+        write_fraction: float = 0.5,
+        seed: int = 1234,
+        region_offset: int = 0,
+        hotspot_fraction: float = 0.0,
+        hotspot_weight: float = 0.0,
+    ) -> None:
+        if rw not in RW_MODES:
+            raise ValueError(f"unknown rw mode {rw!r}; expected one of {RW_MODES}")
+        if block_size <= 0 or region_bytes < block_size:
+            raise ValueError("region must hold at least one block")
+        if not 0.0 <= write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in [0, 1]")
+        if not 0.0 <= hotspot_fraction < 1.0:
+            raise ValueError("hotspot_fraction must be in [0, 1)")
+        if not 0.0 <= hotspot_weight <= 1.0:
+            raise ValueError("hotspot_weight must be in [0, 1]")
+        if (hotspot_fraction > 0.0) != (hotspot_weight > 0.0):
+            raise ValueError(
+                "hotspot_fraction and hotspot_weight must be set together"
+            )
+        self.rw = rw
+        self.block_size = block_size
+        self.region_offset = region_offset
+        self.blocks = region_bytes // block_size
+        self.write_fraction = write_fraction
+        # Skew: ``hotspot_weight`` of random accesses land in the first
+        # ``hotspot_fraction`` of the region (the classic 80/20 shape
+        # used for hot/cold GC studies).
+        self.hotspot_fraction = hotspot_fraction
+        self.hotspot_weight = hotspot_weight
+        self._hot_blocks = max(1, int(self.blocks * hotspot_fraction))
+        self._rng = np.random.default_rng(seed)
+        self._cursor = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def is_random(self) -> bool:
+        return self.rw.startswith("rand")
+
+    @property
+    def is_mixed(self) -> bool:
+        return self.rw in ("rw", "randrw")
+
+    def _next_offset(self) -> int:
+        if self.is_random:
+            if self.hotspot_weight > 0.0:
+                if self._rng.random() < self.hotspot_weight:
+                    block = int(self._rng.integers(0, self._hot_blocks))
+                elif self._hot_blocks < self.blocks:
+                    block = int(self._rng.integers(self._hot_blocks, self.blocks))
+                else:
+                    block = int(self._rng.integers(0, self.blocks))
+            else:
+                block = int(self._rng.integers(0, self.blocks))
+        else:
+            block = self._cursor
+            self._cursor = (self._cursor + 1) % self.blocks
+        return self.region_offset + block * self.block_size
+
+    def _next_op(self) -> IoOp:
+        if self.is_mixed:
+            return (
+                IoOp.WRITE
+                if self._rng.random() < self.write_fraction
+                else IoOp.READ
+            )
+        return IoOp.WRITE if "write" in self.rw else IoOp.READ
+
+    def next_io(self) -> Tuple[IoOp, int]:
+        """The next ``(op, offset)`` in the stream."""
+        return self._next_op(), self._next_offset()
+
+    def take(self, count: int) -> Iterator[Tuple[IoOp, int]]:
+        """Yield the next ``count`` I/Os."""
+        for _ in range(count):
+            yield self.next_io()
+
+
+def make_pattern(
+    rw: str,
+    block_size: int,
+    region_bytes: int,
+    *,
+    write_fraction: float = 0.5,
+    seed: int = 1234,
+    region_offset: int = 0,
+    hotspot_fraction: float = 0.0,
+    hotspot_weight: float = 0.0,
+) -> AccessPattern:
+    """Convenience constructor mirroring a fio job's pattern options."""
+    return AccessPattern(
+        rw,
+        block_size,
+        region_bytes,
+        write_fraction=write_fraction,
+        seed=seed,
+        region_offset=region_offset,
+        hotspot_fraction=hotspot_fraction,
+        hotspot_weight=hotspot_weight,
+    )

@@ -1,0 +1,159 @@
+"""Run a job against a stack and collect every metric the paper reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.host.accounting import CpuAccounting, ExecMode
+from repro.sim.engine import Simulator
+from repro.stats.latency import LatencySummary
+from repro.stats.timeseries import TimeSeries
+from repro.workloads.trace import TraceRecorder
+from repro.workloads.engines import AsyncJobEngine, MetricsCollector, SyncJobEngine
+from repro.workloads.job import FioJob, IoEngineKind
+from repro.workloads.patterns import make_pattern
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Everything measured while a job ran."""
+
+    job: FioJob
+    latency: LatencySummary
+    read_latency: LatencySummary
+    write_latency: LatencySummary
+    duration_ns: int
+    bytes_done: int
+    timeseries: Optional[TimeSeries]
+    trace: Optional[TraceRecorder]
+    accounting: Optional[CpuAccounting]
+    avg_power_w: Optional[float]
+
+    @property
+    def bandwidth_mbps(self) -> float:
+        """Throughput in MB/s (10^6 bytes per second)."""
+        if self.duration_ns <= 0:
+            return 0.0
+        return self.bytes_done * 1_000 / self.duration_ns
+
+    @property
+    def iops(self) -> float:
+        if self.duration_ns <= 0:
+            return 0.0
+        return self.latency.count * 1e9 / self.duration_ns
+
+    def cpu_utilization(self, mode: ExecMode = None) -> float:
+        if self.accounting is None:
+            return 0.0
+        return self.accounting.utilization(self.duration_ns, mode)
+
+
+def run_jobs(sim: Simulator, pairs, *, region_offset: int = 0):
+    """Run several (stack, job) pairs *concurrently* on one simulator.
+
+    This is fio's ``numjobs`` semantics: every job hammers the same
+    device at the same time, each from its own stack (its own core and
+    queue pair).  Returns one :class:`JobResult` per pair, in order.
+    """
+    prepared = []
+    for stack, job in pairs:
+        device = stack.device
+        region = job.region_bytes or (device.capacity_bytes - region_offset)
+        pattern = make_pattern(
+            job.rw,
+            job.block_size,
+            region,
+            write_fraction=job.write_fraction,
+            seed=job.seed,
+            region_offset=region_offset,
+        )
+        metrics = MetricsCollector(
+            capture_timeseries=job.capture_timeseries,
+            capture_trace=job.capture_trace,
+        )
+        if job.engine is IoEngineKind.LIBAIO:
+            engine = AsyncJobEngine(sim, stack, job, pattern, metrics)
+        else:
+            engine = SyncJobEngine(sim, stack, job, pattern, metrics)
+        prepared.append((stack, job, metrics, engine))
+    started = sim.now
+    processes = [sim.process(engine.run()) for _, _, _, engine in prepared]
+    for process in processes:
+        sim.run_until_event(process)
+        if not process.triggered:
+            raise RuntimeError("concurrent job did not finish (deadlock?)")
+    results = []
+    for stack, job, metrics, _engine in prepared:
+        device = stack.device
+        power = getattr(device, "power", None)
+        results.append(
+            JobResult(
+                job=job,
+                latency=metrics.all.summary(),
+                read_latency=metrics.reads.summary(),
+                write_latency=metrics.writes.summary(),
+                duration_ns=sim.now - started,
+                bytes_done=metrics.bytes_done,
+                timeseries=metrics.series,
+                trace=metrics.trace,
+                accounting=getattr(stack, "accounting", None),
+                avg_power_w=(
+                    power.average_watts(sim.now) if power is not None else None
+                ),
+            )
+        )
+    return results
+
+
+def run_job(
+    sim: Simulator,
+    stack,
+    job: FioJob,
+    *,
+    region_offset: int = 0,
+) -> JobResult:
+    """Execute ``job`` on ``stack`` and summarize the run.
+
+    ``stack`` must expose ``sync_io`` (psync/SPDK jobs) or the async trio
+    ``submit_async`` / ``async_completion_ns`` / ``complete_async``
+    (libaio jobs), plus ``device`` for capacity discovery.
+    """
+    device = stack.device
+    region = job.region_bytes or (device.capacity_bytes - region_offset)
+    pattern = make_pattern(
+        job.rw,
+        job.block_size,
+        region,
+        write_fraction=job.write_fraction,
+        seed=job.seed,
+        region_offset=region_offset,
+    )
+    metrics = MetricsCollector(
+        capture_timeseries=job.capture_timeseries,
+        capture_trace=job.capture_trace,
+    )
+    if job.engine is IoEngineKind.LIBAIO:
+        engine = AsyncJobEngine(sim, stack, job, pattern, metrics)
+    else:
+        engine = SyncJobEngine(sim, stack, job, pattern, metrics)
+    started = sim.now
+    process = sim.process(engine.run())
+    sim.run_until_event(process)
+    if not process.triggered:
+        raise RuntimeError(f"job {job.name!r} did not finish (deadlock?)")
+    duration = sim.now - started
+    accounting = getattr(stack, "accounting", None)
+    power = getattr(device, "power", None)
+    return JobResult(
+        job=job,
+        latency=metrics.all.summary(),
+        read_latency=metrics.reads.summary(),
+        write_latency=metrics.writes.summary(),
+        duration_ns=duration,
+        bytes_done=metrics.bytes_done,
+        timeseries=metrics.series,
+        trace=metrics.trace,
+        accounting=accounting,
+        avg_power_w=power.average_watts(sim.now) if power is not None else None,
+    )

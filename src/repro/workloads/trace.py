@@ -1,0 +1,124 @@
+"""Per-I/O trace recording and analysis.
+
+fio can emit per-I/O logs (``write_lat_log``); this is the simulated
+equivalent: a :class:`TraceRecorder` captures one :class:`TraceEntry`
+per completed I/O, and the analysis helpers slice the trace the way the
+paper's figures do (per direction, over time, tail inspection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.ssd.device import IoOp
+from repro.stats.latency import LatencyRecorder, LatencySummary
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One completed I/O."""
+
+    index: int
+    op: IoOp
+    offset: int
+    nbytes: int
+    submit_ns: int
+    complete_ns: int
+
+    @property
+    def latency_ns(self) -> int:
+        return self.complete_ns - self.submit_ns
+
+
+class TraceRecorder:
+    """Ordered record of every completed I/O in a run."""
+
+    def __init__(self) -> None:
+        self._entries: List[TraceEntry] = []
+
+    def record(
+        self, op: IoOp, offset: int, nbytes: int, submit_ns: int, complete_ns: int
+    ) -> TraceEntry:
+        if complete_ns < submit_ns:
+            raise ValueError("completion before submission")
+        entry = TraceEntry(
+            index=len(self._entries),
+            op=op,
+            offset=offset,
+            nbytes=nbytes,
+            submit_ns=submit_ns,
+            complete_ns=complete_ns,
+        )
+        self._entries.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self._entries)
+
+    def __getitem__(self, index: int) -> TraceEntry:
+        return self._entries[index]
+
+    # ------------------------------------------------------------------
+    def filter(self, op: Optional[IoOp] = None) -> List[TraceEntry]:
+        """Entries of one direction (or all)."""
+        if op is None:
+            return list(self._entries)
+        return [entry for entry in self._entries if entry.op is op]
+
+    def summary(self, op: Optional[IoOp] = None) -> LatencySummary:
+        recorder = LatencyRecorder()
+        for entry in self.filter(op):
+            recorder.record(entry.latency_ns)
+        return recorder.summary()
+
+    def slowest(self, count: int = 10) -> List[TraceEntry]:
+        """The worst I/Os — what a tail investigation looks at first."""
+        return sorted(
+            self._entries, key=lambda entry: entry.latency_ns, reverse=True
+        )[:count]
+
+    def outstanding_at(self, t_ns: int) -> int:
+        """How many I/Os were in flight at ``t_ns`` (queue-depth probe)."""
+        return sum(
+            1
+            for entry in self._entries
+            if entry.submit_ns <= t_ns < entry.complete_ns
+        )
+
+    def throughput_mbps(self) -> float:
+        """Aggregate throughput over the traced span."""
+        if not self._entries:
+            return 0.0
+        span = max(e.complete_ns for e in self._entries) - min(
+            e.submit_ns for e in self._entries
+        )
+        if span <= 0:
+            return 0.0
+        return sum(e.nbytes for e in self._entries) * 1_000 / span
+
+    def interarrival_ns(self) -> np.ndarray:
+        """Submission inter-arrival gaps (burstiness analysis)."""
+        submits = np.asarray(
+            sorted(entry.submit_ns for entry in self._entries), dtype=np.int64
+        )
+        if len(submits) < 2:
+            return np.empty(0, dtype=np.int64)
+        return np.diff(submits)
+
+    # ------------------------------------------------------------------
+    def to_fio_log(self) -> str:
+        """Render in fio's ``lat.log`` format: ``time_ms, latency_ns,
+        direction, block_size``."""
+        direction = {IoOp.READ: 0, IoOp.WRITE: 1, IoOp.TRIM: 2}
+        lines = [
+            f"{entry.complete_ns // 1_000_000}, {entry.latency_ns}, "
+            f"{direction[entry.op]}, {entry.nbytes}"
+            for entry in self._entries
+        ]
+        return "\n".join(lines)

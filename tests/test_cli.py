@@ -1,0 +1,47 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import _scaled_kwargs, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig04a" in out and "fig23" in out and "table1" in out
+
+    def test_run_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Z-NAND" in out and "100.0" in out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["fig99"]) == 2
+
+    def test_no_arguments_prints_usage(self, capsys):
+        assert main([]) == 2
+
+    def test_scaled_run(self, capsys):
+        assert main(["fig14b", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "blk_mq_poll" in out
+
+
+class TestScaling:
+    def test_scale_shrinks_io_count(self):
+        kwargs = _scaled_kwargs("fig10", 0.1)
+        assert kwargs["io_count"] == 200
+
+    def test_scale_one_is_default(self):
+        assert _scaled_kwargs("fig10", 1.0) == {}
+
+    def test_scale_floor(self):
+        assert _scaled_kwargs("fig10", 0.0001)["io_count"] == 100
+
+    def test_figures_without_io_count_untouched(self):
+        assert _scaled_kwargs("table1", 0.1) == {}
+
+    def test_self_scaling_figures_untouched(self):
+        # fig07b defaults io_count=0 (per-device GC counts).
+        assert _scaled_kwargs("fig07b", 0.1) == {}

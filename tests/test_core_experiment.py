@@ -1,0 +1,111 @@
+"""Tests for the experiment harness (build/run helpers)."""
+
+import pytest
+
+from repro.core.experiment import (
+    DeviceKind,
+    StackKind,
+    build_device,
+    build_stack,
+    device_config,
+    run_async_job,
+    run_sync_job,
+)
+from repro.kstack.completion import CompletionMethod
+from repro.kstack.stack import KernelStack
+from repro.sim import Simulator
+from repro.spdk.stack import SpdkStack
+
+
+class TestBuilders:
+    def test_device_configs_differ(self):
+        ull = device_config(DeviceKind.ULL)
+        nvme = device_config(DeviceKind.NVME)
+        assert ull.suspend_resume and not nvme.suspend_resume
+        assert ull.timing.name == "Z-NAND"
+        assert nvme.timing.name == "planar-MLC"
+        assert nvme.read_cache_units > 0 and ull.read_cache_units == 0
+
+    def test_build_device_preconditions(self):
+        sim = Simulator()
+        device = build_device(sim, DeviceKind.ULL, precondition=1.0)
+        assert device.ftl.mapping.mapped_lpn_count == device.logical_pages
+
+    def test_build_device_skips_precondition(self):
+        sim = Simulator()
+        device = build_device(sim, DeviceKind.ULL, precondition=0.0)
+        assert device.ftl.mapping.mapped_lpn_count == 0
+
+    def test_build_stack_kinds(self):
+        sim = Simulator()
+        device = build_device(sim, DeviceKind.ULL, precondition=0.0)
+        assert isinstance(build_stack(sim, device), KernelStack)
+        assert isinstance(
+            build_stack(sim, device, stack=StackKind.SPDK), SpdkStack
+        )
+
+
+class TestRunners:
+    def test_sync_job_returns_metrics(self):
+        result = run_sync_job(DeviceKind.ULL, "randread", io_count=100)
+        assert result.latency.count == 100
+        assert 8 < result.latency.mean_us < 30
+        assert result.accounting is not None
+
+    def test_sync_job_with_poll_is_faster(self):
+        interrupt = run_sync_job(DeviceKind.ULL, "read", io_count=150)
+        poll = run_sync_job(
+            DeviceKind.ULL, "read", io_count=150,
+            completion=CompletionMethod.POLL,
+        )
+        assert poll.latency.mean_ns < interrupt.latency.mean_ns
+
+    def test_sync_job_spdk_stack(self):
+        result = run_sync_job(
+            DeviceKind.ULL, "read", io_count=100, stack=StackKind.SPDK
+        )
+        assert result.latency.mean_us < 12
+
+    def test_async_job_returns_device(self):
+        result, device = run_async_job(
+            DeviceKind.ULL, "randread", iodepth=4, io_count=200
+        )
+        assert result.latency.count == 200
+        assert device.completed_reads == 200
+
+    def test_async_bandwidth_grows_with_depth(self):
+        shallow, _ = run_async_job(DeviceKind.ULL, "randread", iodepth=1, io_count=300)
+        deep, _ = run_async_job(DeviceKind.ULL, "randread", iodepth=16, io_count=300)
+        assert deep.bandwidth_mbps > 4 * shallow.bandwidth_mbps
+
+    def test_seed_reproducibility(self):
+        first = run_sync_job(DeviceKind.NVME, "randread", io_count=80, seed=5)
+        second = run_sync_job(DeviceKind.NVME, "randread", io_count=80, seed=5)
+        assert first.latency.mean_ns == second.latency.mean_ns
+        assert first.latency.p99999_ns == second.latency.p99999_ns
+
+
+class TestHeadlineNumbers:
+    """Coarse checks against the paper's Section IV numbers."""
+
+    def test_ull_random_read_near_16us(self):
+        result, _ = run_async_job(DeviceKind.ULL, "randread", iodepth=1, io_count=400)
+        assert 12 < result.latency.mean_us < 20  # paper: 15.9 us
+
+    def test_nvme_random_read_near_83us(self):
+        result, _ = run_async_job(DeviceKind.NVME, "randread", iodepth=1, io_count=400)
+        assert 70 < result.latency.mean_us < 95  # paper: 82.9 us
+
+    def test_nvme_buffered_write_near_14us(self):
+        result, _ = run_async_job(DeviceKind.NVME, "randwrite", iodepth=1, io_count=400)
+        assert 10 < result.latency.mean_us < 18  # paper: 14.1 us
+
+    def test_ull_write_near_11us(self):
+        result, _ = run_async_job(DeviceKind.ULL, "randwrite", iodepth=1, io_count=400)
+        assert 8 < result.latency.mean_us < 15  # paper: 11.3 us
+
+    def test_nvme_random_read_5x_slower_than_ull(self):
+        nvme, _ = run_async_job(DeviceKind.NVME, "randread", iodepth=1, io_count=300)
+        ull, _ = run_async_job(DeviceKind.ULL, "randread", iodepth=1, io_count=300)
+        ratio = nvme.latency.mean_ns / ull.latency.mean_ns
+        assert 3.5 < ratio < 7.0  # paper: 5.2x

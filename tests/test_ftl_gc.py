@@ -1,0 +1,167 @@
+"""Tests for GC victim selection and the full FTL reclamation cycle."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ftl import FtlLayout, PageMappedFtl
+from repro.ftl.mapping import UNMAPPED
+
+
+def make_ftl(**kwargs) -> PageMappedFtl:
+    layout = FtlLayout(dies=2, blocks_per_die=6, pages_per_block=4)
+    kwargs.setdefault("overprovision", 0.25)
+    kwargs.setdefault("gc_watermark_blocks", 2)
+    return PageMappedFtl(layout, **kwargs)
+
+
+class TestWritePath:
+    def test_writes_stripe_round_robin(self):
+        ftl = make_ftl()
+        dies = [ftl.write(lpn).die for lpn in range(4)]
+        assert dies == [0, 1, 0, 1]
+
+    def test_overwrite_invalidates_previous(self):
+        ftl = make_ftl()
+        first = ftl.write(0)
+        second = ftl.write(0)
+        assert second.previous_ppa == first.ppa
+        assert ftl.read_ppa(0) == second.ppa
+
+    def test_read_unwritten_returns_none(self):
+        assert make_ftl().read_ppa(0) is None
+
+    def test_capacity_respects_overprovision(self):
+        ftl = make_ftl()
+        assert ftl.logical_pages == int(ftl.layout.total_pages * 0.75)
+        assert ftl.capacity_bytes == ftl.logical_pages * 4096
+
+    def test_still_in_block(self):
+        ftl = make_ftl()
+        placement = ftl.write(0)
+        block = ftl.layout.block_of_page(placement.ppa)
+        assert ftl.still_in_block(0, block)
+        assert not ftl.still_in_block(0, block + 1)
+        assert not ftl.still_in_block(1, block)
+
+    def test_validation(self):
+        layout = FtlLayout(dies=1, blocks_per_die=6, pages_per_block=4)
+        with pytest.raises(ValueError):
+            PageMappedFtl(layout, overprovision=0.0)
+        with pytest.raises(ValueError):
+            PageMappedFtl(layout, gc_watermark_blocks=0)
+        with pytest.raises(ValueError):
+            PageMappedFtl(
+                FtlLayout(dies=1, blocks_per_die=3, pages_per_block=4),
+                gc_watermark_blocks=2,
+            )
+
+
+class TestVictimSelection:
+    def test_greedy_picks_min_valid(self):
+        ftl = make_ftl()
+        # Fill two blocks on die 0 via direct placement.
+        for lpn in range(8):
+            ftl.write_to_die(lpn, 0)
+        ftl.write_to_die(8, 0)  # opens block 2, closes blocks 0 and 1
+        # Invalidate 3 of 4 pages of block 1, 1 of 4 of block 0.
+        for lpn in (4, 5, 6):
+            ftl.write_to_die(lpn, 0)
+        ftl.write_to_die(0, 0)
+        plan = ftl.plan_gc(0)
+        assert plan is not None
+        assert ftl.mapping.valid_count(plan.victim_block) == 1
+        assert plan.victim_lpns == [7]
+
+    def test_no_victim_when_nothing_closed(self):
+        ftl = make_ftl()
+        ftl.write(0)
+        assert ftl.plan_gc(0) is None
+
+
+class TestReclamationCycle:
+    def test_full_cycle_frees_a_block(self):
+        ftl = make_ftl()
+        for lpn in range(8):
+            ftl.write_to_die(lpn, 0)
+        ftl.write_to_die(8, 0)
+        for lpn in range(4):  # invalidate block 0 partially
+            ftl.write_to_die(lpn, 0)
+        free_before = ftl.allocator.free_blocks(0)
+        plan = ftl.plan_gc(0)
+        for lpn in plan.victim_lpns:
+            ftl.relocate(lpn, 0)
+        ftl.finish_gc(plan)
+        assert ftl.allocator.free_blocks(0) == free_before + 1
+        assert ftl.gc_runs == 1
+        ftl.mapping.check_invariants()
+
+    def test_finish_gc_with_valid_pages_rejected(self):
+        ftl = make_ftl()
+        for lpn in range(8):
+            ftl.write_to_die(lpn, 0)
+        ftl.write_to_die(8, 0)
+        ftl.write_to_die(0, 0)  # partially invalidate block 0
+        plan = ftl.plan_gc(0)
+        assert plan is not None
+        with pytest.raises(ValueError):
+            ftl.finish_gc(plan)  # remaining valid pages not migrated
+
+    def test_fully_valid_block_is_never_a_victim(self):
+        ftl = make_ftl()
+        for lpn in range(8):
+            ftl.write_to_die(lpn, 0)
+        ftl.write_to_die(8, 0)  # blocks 0 and 1 closed, fully valid
+        assert ftl.plan_gc(0) is None  # collecting them would gain nothing
+
+    def test_write_amplification_counts_gc_writes(self):
+        ftl = make_ftl()
+        for lpn in range(8):
+            ftl.write_to_die(lpn, 0)
+        ftl.write_to_die(8, 0)
+        for lpn in range(3):  # leave one valid page to migrate
+            ftl.write_to_die(lpn, 0)
+        plan = ftl.plan_gc(0)
+        for lpn in plan.victim_lpns:
+            ftl.relocate(lpn, 0)
+        ftl.finish_gc(plan)
+        assert ftl.write_amplification() > 1.0
+
+    def test_reset_statistics(self):
+        ftl = make_ftl()
+        ftl.write(0)
+        ftl.reset_statistics()
+        assert ftl.host_writes == 0
+        assert ftl.write_amplification() == 1.0
+
+
+class TestSustainedOverwrites:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_property_gc_sustains_unbounded_overwrites(self, seed):
+        """With GC driven at the watermark, the FTL never runs out of
+        space and never corrupts its mapping, for any overwrite order."""
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        ftl = make_ftl()
+        for lpn in range(ftl.logical_pages):
+            ftl.write(lpn)
+        for _ in range(300):
+            # Drive GC to the watermark (what the flush workers do).
+            progressing = True
+            while progressing and ftl.dies_needing_gc():
+                progressing = False
+                for die in ftl.dies_needing_gc():
+                    plan = ftl.plan_gc(die)
+                    if plan is None:
+                        continue
+                    for lpn in plan.victim_lpns:
+                        if ftl.still_in_block(lpn, plan.victim_block):
+                            ftl.relocate(lpn, die)
+                    ftl.finish_gc(plan)
+                    progressing = True
+            ftl.write(int(rng.integers(0, ftl.logical_pages)))
+        ftl.mapping.check_invariants()
+        # Every logical page still resolves to exactly one valid PPA.
+        for lpn in range(ftl.logical_pages):
+            assert ftl.read_ppa(lpn) is not None

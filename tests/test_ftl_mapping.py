@@ -1,0 +1,124 @@
+"""Tests for the FTL mapping table, including property-based invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ftl import FtlLayout, MappingTable, PageState
+from repro.ftl.mapping import UNMAPPED
+
+
+def make_table(logical_fraction: float = 0.875) -> MappingTable:
+    layout = FtlLayout(dies=2, blocks_per_die=4, pages_per_block=8)
+    return MappingTable(layout, int(layout.total_pages * logical_fraction))
+
+
+class TestBind:
+    def test_first_bind(self):
+        table = make_table()
+        assert table.bind(0, 5) == UNMAPPED
+        assert table.lookup(0) == 5
+        assert table.owner(5) == 0
+        assert table.state(5) is PageState.VALID
+
+    def test_rebind_invalidates_old_page(self):
+        table = make_table()
+        table.bind(0, 5)
+        assert table.bind(0, 9) == 5
+        assert table.lookup(0) == 9
+        assert table.state(5) is PageState.INVALID
+        assert table.owner(5) == UNMAPPED
+
+    def test_valid_counts_track_binds(self):
+        table = make_table()
+        table.bind(0, 0)
+        table.bind(1, 1)
+        assert table.valid_count(0) == 2
+        table.bind(0, 8)  # moves to block 1, invalidates in block 0
+        assert table.valid_count(0) == 1
+        assert table.valid_count(1) == 1
+
+    def test_bind_to_non_free_page_rejected(self):
+        table = make_table()
+        table.bind(0, 5)
+        with pytest.raises(ValueError):
+            table.bind(1, 5)
+
+    def test_lpn_range_checked(self):
+        table = make_table()
+        with pytest.raises(ValueError):
+            table.lookup(table.logical_pages)
+        with pytest.raises(ValueError):
+            table.bind(-1, 0)
+
+    def test_logical_space_cannot_exceed_physical(self):
+        layout = FtlLayout(dies=1, blocks_per_die=2, pages_per_block=4)
+        with pytest.raises(ValueError):
+            MappingTable(layout, layout.total_pages + 1)
+
+
+class TestTrim:
+    def test_trim_frees_mapping(self):
+        table = make_table()
+        table.bind(3, 7)
+        assert table.trim(3) == 7
+        assert table.lookup(3) == UNMAPPED
+        assert table.state(7) is PageState.INVALID
+
+    def test_trim_unmapped_is_noop(self):
+        table = make_table()
+        assert table.trim(3) == UNMAPPED
+
+
+class TestEraseBlock:
+    def test_erase_resets_pages(self):
+        table = make_table()
+        table.bind(0, 0)
+        table.bind(0, 1)  # page 0 now invalid
+        table.bind(0, 8)  # page 1 now invalid; block 0 fully invalid
+        table.erase_block(0)
+        assert table.state(0) is PageState.FREE
+        assert table.state(1) is PageState.FREE
+
+    def test_erase_with_valid_pages_rejected(self):
+        table = make_table()
+        table.bind(0, 0)
+        with pytest.raises(ValueError):
+            table.erase_block(0)
+
+    def test_valid_lpns_in_block(self):
+        table = make_table()
+        table.bind(10, 0)
+        table.bind(11, 1)
+        table.bind(12, 8)
+        assert sorted(table.valid_lpns_in_block(0)) == [10, 11]
+        assert table.valid_lpns_in_block(1) == [12]
+
+
+class TestInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["bind", "trim"]),
+                st.integers(min_value=0, max_value=55),
+            ),
+            max_size=60,
+        )
+    )
+    def test_property_random_operations_keep_invariants(self, operations):
+        table = make_table()
+        next_free = 0
+        for kind, lpn in operations:
+            if kind == "bind" and next_free < table.layout.total_pages:
+                table.bind(lpn, next_free)
+                next_free += 1
+            else:
+                table.trim(lpn)
+        table.check_invariants()
+
+    def test_mapped_count(self):
+        table = make_table()
+        table.bind(0, 0)
+        table.bind(1, 1)
+        table.bind(0, 2)
+        assert table.mapped_lpn_count == 2

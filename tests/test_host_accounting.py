@@ -1,0 +1,120 @@
+"""Tests for CPU cycle / instruction accounting and the cost table."""
+
+import dataclasses
+
+import pytest
+
+from repro.host import CpuAccounting, ExecMode, SoftwareCosts, StepCost
+
+
+class TestCharging:
+    def test_charge_returns_duration(self):
+        accounting = CpuAccounting()
+        assert accounting.charge(500, ExecMode.KERNEL, "vfs", "syscall") == 500
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CpuAccounting().charge(-1, ExecMode.USER, "fio", "x")
+
+    def test_busy_by_mode(self):
+        accounting = CpuAccounting()
+        accounting.charge(300, ExecMode.USER, "fio", "rw")
+        accounting.charge(700, ExecMode.KERNEL, "vfs", "syscall")
+        assert accounting.busy_ns() == 1000
+        assert accounting.busy_ns(ExecMode.USER) == 300
+        assert accounting.busy_ns(ExecMode.KERNEL) == 700
+
+    def test_utilization(self):
+        accounting = CpuAccounting()
+        accounting.charge(250, ExecMode.KERNEL, "vfs", "syscall")
+        assert accounting.utilization(1000) == 0.25
+        assert accounting.utilization(1000, ExecMode.USER) == 0.0
+        assert accounting.utilization(0) == 0.0
+
+    def test_utilization_caps_at_one(self):
+        accounting = CpuAccounting()
+        accounting.charge(5000, ExecMode.KERNEL, "vfs", "syscall")
+        assert accounting.utilization(1000) == 1.0
+
+
+class TestBreakdowns:
+    def make_populated(self):
+        accounting = CpuAccounting()
+        accounting.charge(600, ExecMode.KERNEL, "blk-mq", "blk_mq_poll", loads=60, stores=20)
+        accounting.charge(200, ExecMode.KERNEL, "nvme-driver", "nvme_poll", loads=30, stores=10)
+        accounting.charge(200, ExecMode.KERNEL, "vfs", "syscall", loads=10, stores=10)
+        accounting.charge(100, ExecMode.USER, "fio", "fio_rw", loads=5, stores=5)
+        return accounting
+
+    def test_cycles_by_module(self):
+        by_module = self.make_populated().cycles_by_module(ExecMode.KERNEL)
+        assert by_module == {"blk-mq": 600, "nvme-driver": 200, "vfs": 200}
+
+    def test_cycle_share_by_function(self):
+        shares = self.make_populated().cycle_share_by_function(ExecMode.KERNEL)
+        assert shares["blk_mq_poll"] == pytest.approx(0.6)
+        assert shares["nvme_poll"] == pytest.approx(0.2)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_instruction_totals(self):
+        accounting = self.make_populated()
+        assert accounting.total_loads() == 105
+        assert accounting.total_stores() == 45
+
+    def test_load_share_by_function(self):
+        shares = self.make_populated().load_share_by_function()
+        assert shares["blk_mq_poll"] == pytest.approx(60 / 105)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_empty_shares(self):
+        assert CpuAccounting().cycle_share_by_function() == {}
+        assert CpuAccounting().load_share_by_function() == {}
+
+    def test_profiles_sorted_by_cycles(self):
+        profiles = self.make_populated().profiles()
+        assert profiles[0].function == "blk_mq_poll"
+        assert profiles[0].loads == 60
+
+
+class TestSoftwareCosts:
+    def test_step_cost_validation(self):
+        with pytest.raises(ValueError):
+            StepCost(ns=-1)
+        with pytest.raises(ValueError):
+            StepCost(ns=1, loads=-2)
+
+    def test_derived_periods(self):
+        costs = SoftwareCosts()
+        assert costs.kernel_poll_iter_ns == (
+            costs.blk_mq_poll_iter.ns + costs.nvme_poll_iter.ns
+        )
+        assert costs.spdk_iter_ns == (
+            costs.spdk_outer_iter.ns
+            + costs.spdk_inner_iter.ns
+            + costs.spdk_check_enabled_iter.ns
+        )
+
+    def test_submit_path_sums_steps(self):
+        costs = SoftwareCosts()
+        expected = (
+            costs.syscall_entry.ns + costs.vfs_submit.ns + costs.blkmq_submit.ns
+            + costs.nvme_driver_submit.ns + costs.doorbell_write.ns
+        )
+        assert costs.submit_path_ns == expected
+
+    def test_interrupt_completion_includes_wakeup(self):
+        costs = SoftwareCosts()
+        assert costs.interrupt_completion_ns > costs.irq_delivery_ns
+
+    def test_costs_are_immutable_but_replaceable(self):
+        costs = SoftwareCosts()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            costs.irq_delivery_ns = 0
+        variant = dataclasses.replace(costs, irq_delivery_ns=123)
+        assert variant.irq_delivery_ns == 123
+
+    def test_spdk_iterates_faster_than_kernel_poll(self):
+        """The structural fact behind Fig. 21: the user-space loop is an
+        order of magnitude tighter than blk_mq_poll + nvme_poll."""
+        costs = SoftwareCosts()
+        assert costs.spdk_iter_ns * 5 < costs.kernel_poll_iter_ns

@@ -1,0 +1,107 @@
+"""Tests for blk-mq structures and the kernel NVMe driver binding."""
+
+import pytest
+
+from repro.kstack import Bio, BlkMq, KernelNvmeDriver
+from repro.kstack.blkmq import BioDirection
+from repro.nvme import NvmeController
+from repro.sim import Simulator
+from repro.ssd import SsdDevice
+from repro.ssd.device import IoOp
+from tests.test_ssd_device import tiny_config
+
+
+class TestBlkMq:
+    def test_bio_validation(self):
+        with pytest.raises(ValueError):
+            Bio(BioDirection.READ, offset=0, nbytes=0)
+
+    def test_submit_returns_cookie(self):
+        blkmq = BlkMq(cpus=2, hw_queues=2, tags_per_queue=4)
+        bio = Bio(BioDirection.READ, 0, 4096, hipri=True)
+        request = blkmq.submit_bio(1, bio, now_ns=100)
+        assert request.cookie.hw_queue == 1
+        assert request.submit_ns == 100
+        assert blkmq.request_of(request.cookie) is request
+
+    def test_cpu_to_hw_queue_mapping_wraps(self):
+        blkmq = BlkMq(cpus=4, hw_queues=2)
+        assert blkmq.map_queue(0).index == 0
+        assert blkmq.map_queue(3).index == 1
+
+    def test_tags_are_recycled(self):
+        blkmq = BlkMq(tags_per_queue=2)
+        bio = Bio(BioDirection.WRITE, 0, 4096)
+        first = blkmq.submit_bio(0, bio, 0)
+        second = blkmq.submit_bio(0, bio, 0)
+        with pytest.raises(RuntimeError):
+            blkmq.submit_bio(0, bio, 0)
+        blkmq.complete(first.cookie)
+        third = blkmq.submit_bio(0, bio, 0)  # reuses the freed tag
+        assert third.cookie.tag == first.cookie.tag
+        assert second.cookie.tag != third.cookie.tag
+
+    def test_complete_marks_request(self):
+        blkmq = BlkMq()
+        request = blkmq.submit_bio(0, Bio(BioDirection.READ, 0, 512), 0)
+        completed = blkmq.complete(request.cookie)
+        assert completed.completed
+        with pytest.raises(KeyError):
+            blkmq.complete(request.cookie)
+
+    def test_invalid_cpu_rejected(self):
+        with pytest.raises(ValueError):
+            BlkMq(cpus=1).map_queue(1)
+
+    def test_software_queue_counts_traffic(self):
+        blkmq = BlkMq()
+        for _ in range(3):
+            blkmq.submit_bio(0, Bio(BioDirection.READ, 0, 512), 0)
+        assert blkmq.software_queues[0].queued == 3
+
+
+class TestKernelNvmeDriver:
+    def make_driver(self, interrupts=False):
+        sim = Simulator()
+        device = SsdDevice(sim, tiny_config())
+        device.precondition(1.0)
+        qpair = NvmeController(sim, device).create_queue_pair(
+            interrupts_enabled=interrupts
+        )
+        blkmq = BlkMq()
+        return sim, KernelNvmeDriver(blkmq, qpair)
+
+    def test_submit_ties_bio_to_command(self):
+        sim, driver = self.make_driver()
+        request = driver.submit(0, IoOp.READ, 0, 4096, hipri=True, now_ns=0)
+        assert request.blk_request.bio.hipri
+        assert request.pending.command.offset_bytes == 0
+        assert driver.outstanding == 1
+
+    def test_nvme_poll_before_cqe_returns_none(self):
+        sim, driver = self.make_driver()
+        request = driver.submit(0, IoOp.READ, 0, 4096, now_ns=0)
+        assert driver.nvme_poll(request.blk_request.cookie) is None
+
+    def test_nvme_poll_after_cqe_completes(self):
+        sim, driver = self.make_driver()
+        request = driver.submit(0, IoOp.READ, 0, 4096, now_ns=0)
+        sim.run_until_event(request.pending.cqe_event)
+        completed = driver.nvme_poll(request.blk_request.cookie)
+        assert completed is request
+        assert driver.outstanding == 0
+        with pytest.raises(KeyError):
+            driver.nvme_poll(request.blk_request.cookie)
+
+    def test_complete_by_cid_isr_path(self):
+        sim, driver = self.make_driver(interrupts=True)
+        request = driver.submit(0, IoOp.WRITE, 0, 4096, now_ns=0)
+        sim.run_until_event(request.pending.cqe_event)
+        completed = driver.complete_by_cid(request.pending.command.cid)
+        assert completed is request
+        assert request.blk_request.completed
+
+    def test_unknown_cid_rejected(self):
+        _, driver = self.make_driver()
+        with pytest.raises(KeyError):
+            driver.complete_by_cid(999)

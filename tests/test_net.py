@@ -1,0 +1,93 @@
+"""Tests for the network link and the NBD server-client system."""
+
+import pytest
+
+from repro.net import NbdServerKind, NbdSystem, NetworkLink
+from repro.sim import Simulator
+from repro.ssd import SsdDevice
+from repro.ssd.device import IoOp
+from tests.test_ssd_device import tiny_config
+
+
+class TestNetworkLink:
+    def test_wire_time_from_rate(self):
+        link = NetworkLink(Simulator(), mbps=1000, propagation_ns=500)
+        assert link.wire_ns(1000) == 1000
+
+    def test_delivery_includes_propagation(self):
+        link = NetworkLink(Simulator(), mbps=1000, propagation_ns=500)
+        start, delivered = link.send_to_server(1000)
+        assert start == 0
+        assert delivered == 1500
+
+    def test_directions_are_independent(self):
+        link = NetworkLink(Simulator(), mbps=1000, propagation_ns=0)
+        link.send_to_server(10_000)
+        _, reply = link.send_to_client(1000)
+        assert reply == 1000  # not blocked by the other direction
+
+    def test_same_direction_serializes(self):
+        link = NetworkLink(Simulator(), mbps=1000, propagation_ns=0)
+        link.send_to_server(1000)
+        start, _ = link.send_to_server(1000)
+        assert start == 1000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkLink(Simulator(), mbps=0)
+
+
+def run_nbd_io(server: NbdServerKind, op: IoOp, count: int = 25, nbytes: int = 4096):
+    sim = Simulator()
+    device = SsdDevice(sim, tiny_config())
+    # Leave erased headroom so GC noise does not blur the comparison.
+    device.precondition(0.7)
+    nbd = NbdSystem(sim, device, server=server)
+    latencies = []
+
+    def flow():
+        for index in range(count):
+            latency = yield from nbd.sync_io(op, (index % 32) * 4096, nbytes)
+            latencies.append(latency)
+
+    process = sim.process(flow())
+    sim.run_until_event(process)
+    assert process.triggered
+    return sum(latencies) / len(latencies), nbd
+
+
+class TestNbdSystem:
+    def test_read_crosses_network_and_device(self):
+        mean, nbd = run_nbd_io(NbdServerKind.KERNEL, IoOp.READ)
+        # network RTT + server + device: tens of microseconds.
+        assert 20_000 < mean < 120_000
+        assert nbd.requests == 25
+        assert nbd.link.messages == 50  # request + reply per I/O
+
+    def test_spdk_server_reduces_read_latency_a_lot(self):
+        kernel_mean, _ = run_nbd_io(NbdServerKind.KERNEL, IoOp.READ)
+        spdk_mean, _ = run_nbd_io(NbdServerKind.SPDK, IoOp.READ)
+        reduction = 1.0 - spdk_mean / kernel_mean
+        # Paper Fig. 23: ~39% for reads.
+        assert 0.25 < reduction < 0.55
+
+    def test_spdk_server_barely_helps_writes(self):
+        kernel_mean, _ = run_nbd_io(NbdServerKind.KERNEL, IoOp.WRITE)
+        spdk_mean, _ = run_nbd_io(NbdServerKind.SPDK, IoOp.WRITE)
+        reduction = 1.0 - spdk_mean / kernel_mean
+        # Paper Fig. 23: under ~5% for writes.
+        assert reduction < 0.15
+        assert spdk_mean < kernel_mean  # still a (small) win
+
+    def test_write_payload_travels_to_server(self):
+        """A 64 KB write serializes its payload client->server; a 64 KB
+        read serializes it server->client."""
+        write_mean, _ = run_nbd_io(NbdServerKind.KERNEL, IoOp.WRITE, nbytes=65536)
+        small_write_mean, _ = run_nbd_io(NbdServerKind.KERNEL, IoOp.WRITE, nbytes=4096)
+        assert write_mean > small_write_mean + 40_000  # ~60KB more wire time
+
+    def test_server_cpu_attributed_by_kind(self):
+        _, kernel_nbd = run_nbd_io(NbdServerKind.KERNEL, IoOp.READ)
+        assert kernel_nbd.accounting.cycles_by_module().get("nbd-server", 0) > 0
+        _, spdk_nbd = run_nbd_io(NbdServerKind.SPDK, IoOp.READ)
+        assert spdk_nbd.accounting.cycles_by_module().get("spdk-nbd", 0) > 0

@@ -1,0 +1,146 @@
+"""Tests for simulation resources (Resource, Store, TimelineResource)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import Resource, Simulator, Store, TimelineResource
+
+
+class TestResource:
+    def test_grants_up_to_capacity_immediately(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=2)
+        first = resource.request()
+        second = resource.request()
+        third = resource.request()
+        assert first.triggered and second.triggered
+        assert not third.triggered
+        assert resource.in_use == 2
+        assert resource.queue_length == 1
+
+    def test_release_hands_to_oldest_waiter(self):
+        sim = Simulator()
+        resource = Resource(sim)
+        resource.request()
+        waiter_a = resource.request()
+        waiter_b = resource.request()
+        resource.release()
+        assert waiter_a.triggered and not waiter_b.triggered
+
+    def test_release_without_request_raises(self):
+        with pytest.raises(RuntimeError):
+            Resource(Simulator()).release()
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Resource(Simulator(), capacity=0)
+
+    def test_mutual_exclusion_in_processes(self):
+        sim = Simulator()
+        lock = Resource(sim)
+        active = []
+        overlaps = []
+
+        def worker(name):
+            grant = lock.request()
+            if not grant.triggered:
+                yield grant
+            active.append(name)
+            if len(active) > 1:
+                overlaps.append(tuple(active))
+            yield sim.timeout(10)
+            active.remove(name)
+            lock.release()
+
+        for name in "abc":
+            sim.process(worker(name))
+        sim.run()
+        assert overlaps == []
+        assert sim.now == 30
+
+
+class TestStore:
+    def test_fifo_order(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        assert store.get().value == 1
+        assert store.get().value == 2
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+        pending = store.get()
+        assert not pending.triggered
+        store.put("x")
+        assert pending.value == "x"
+
+    def test_blocked_getters_served_in_order(self):
+        sim = Simulator()
+        store = Store(sim)
+        first = store.get()
+        second = store.get()
+        store.put("a")
+        store.put("b")
+        assert first.value == "a"
+        assert second.value == "b"
+
+    def test_len_counts_only_items(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.get()
+        assert len(store) == 0
+        store.put(1)
+        store.put(2)
+        assert len(store) == 1  # first put satisfied the blocked getter
+
+
+class TestTimelineResource:
+    def test_back_to_back_reservations(self):
+        sim = Simulator()
+        unit = TimelineResource(sim)
+        assert unit.reserve(100) == (0, 100)
+        assert unit.reserve(50) == (100, 150)
+        assert unit.busy_ns == 150
+
+    def test_not_before_is_respected(self):
+        sim = Simulator()
+        unit = TimelineResource(sim)
+        assert unit.reserve(10, not_before=500) == (500, 510)
+
+    def test_reservation_never_starts_in_the_past(self):
+        sim = Simulator()
+        unit = TimelineResource(sim)
+        sim.schedule(1000, lambda: None)
+        sim.run()
+        start, end = unit.reserve(10)
+        assert start == 1000 and end == 1010
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            TimelineResource(Simulator()).reserve(-1)
+
+    def test_utilization(self):
+        sim = Simulator()
+        unit = TimelineResource(sim)
+        unit.reserve(250)
+        assert unit.utilization(1000) == 0.25
+        assert unit.utilization(0) == 0.0
+
+    def test_peek_does_not_book(self):
+        sim = Simulator()
+        unit = TimelineResource(sim)
+        unit.reserve(100)
+        assert unit.peek_start() == 100
+        assert unit.free_at == 100
+
+    @given(st.lists(st.integers(min_value=1, max_value=1000), min_size=1, max_size=40))
+    def test_property_intervals_never_overlap(self, durations):
+        sim = Simulator()
+        unit = TimelineResource(sim)
+        intervals = [unit.reserve(d) for d in durations]
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert e1 <= s2
+            assert e2 - s2 == durations[intervals.index((s2, e2))]
+        assert unit.busy_ns == sum(durations)
