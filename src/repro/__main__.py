@@ -1,14 +1,27 @@
 """Command-line entry point: ``python -m repro <figure-id> [...]``.
 
 Runs one or more figure reproductions and prints their tables.  Use
-``--scale`` to shrink I/O counts for a quick look (0.1 = 10 % of the
-default samples), ``--list`` to enumerate figure ids.
+``--scale`` to grow or shrink I/O counts (0.1 = 10 % of the default
+samples, 2.0 = double), ``--list`` to enumerate figure ids.
+
+Observability flags wrap each figure run in a fresh
+:class:`repro.obs.core.Observability` bundle:
+
+* ``--trace-out FILE`` — write a Chrome ``trace_event`` JSON of every
+  I/O's spans (load it in Perfetto or ``chrome://tracing``);
+* ``--metrics`` / ``--metrics-out FILE`` — dump the metrics registry as
+  text / CSV;
+* ``--anatomy`` — print the span-level latency-anatomy breakdown.
+
+With several figures selected, file outputs get a per-figure suffix
+(``trace.json`` becomes ``trace.fig10.json``).
 """
 
 from __future__ import annotations
 
 import argparse
 import inspect
+import os
 import sys
 import time
 
@@ -16,15 +29,66 @@ from repro.core.figures import FIGURES, run_figure
 from repro.core.report import render_figure
 
 
-def _scaled_kwargs(figure_id: str, scale: float) -> dict:
+def _scaled_kwargs(figure_id: str, scale: float, seed=None) -> dict:
+    """Per-figure keyword overrides for ``--scale`` and ``--seed``.
+
+    Scaling grows as well as shrinks; shrinking keeps a 100-I/O floor so
+    percentiles stay meaningful.  Figures that pick their own I/O count
+    (``io_count=0`` defaults — the self-scaling GC runs) or take none at
+    all ignore ``--scale`` with a note on stderr.
+    """
     fn = FIGURES[figure_id]
     params = inspect.signature(fn).parameters
-    if scale == 1.0 or "io_count" not in params:
-        return {}
-    default = params["io_count"].default
-    if not default:  # figures that choose their own count (GC runs)
-        return {}
-    return {"io_count": max(100, int(default * scale))}
+    kwargs = {}
+    if seed is not None and "seed" in params:
+        kwargs["seed"] = seed
+    if scale != 1.0:
+        default = (
+            params["io_count"].default if "io_count" in params else None
+        )
+        if not default:
+            print(
+                f"note: {figure_id} chooses its own I/O count; "
+                "--scale has no effect",
+                file=sys.stderr,
+            )
+        else:
+            count = int(default * scale)
+            if scale < 1.0:
+                count = max(100, count)
+            kwargs["io_count"] = count
+    return kwargs
+
+
+def _suffixed(path: str, figure_id: str, multi: bool) -> str:
+    if not multi:
+        return path
+    root, ext = os.path.splitext(path)
+    return f"{root}.{figure_id}{ext}"
+
+
+def _emit_observability(obs, figure_id: str, args, multi: bool) -> None:
+    from repro.obs.anatomy import AnatomyReport
+    from repro.obs.export import (
+        metrics_to_text,
+        write_chrome_trace,
+        write_metrics_csv,
+    )
+
+    if args.anatomy:
+        print(AnatomyReport.from_tracer(obs.tracer).render())
+        print()
+    if args.metrics:
+        print(metrics_to_text(obs.registry))
+        print()
+    if args.trace_out:
+        path = _suffixed(args.trace_out, figure_id, multi)
+        count = write_chrome_trace(obs.tracer, path)
+        print(f"wrote {count} trace events to {path}", file=sys.stderr)
+    if args.metrics_out:
+        path = _suffixed(args.metrics_out, figure_id, multi)
+        write_metrics_csv(obs.registry, path)
+        print(f"wrote metrics to {path}", file=sys.stderr)
 
 
 def main(argv=None) -> int:
@@ -38,6 +102,34 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--scale", type=float, default=1.0, help="I/O-count scale factor (default 1.0)"
     )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the device seed on figures that accept one",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="write per-I/O spans as Chrome trace_event JSON (Perfetto)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics registry after each figure",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write the metrics registry as CSV",
+    )
+    parser.add_argument(
+        "--anatomy",
+        action="store_true",
+        help="print the span-level latency-anatomy breakdown",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -50,14 +142,29 @@ def main(argv=None) -> int:
     if not targets:
         parser.print_usage()
         return 2
+    observing = bool(
+        args.trace_out or args.metrics or args.metrics_out or args.anatomy
+    )
+    multi = len(targets) > 1
     for figure_id in targets:
         if figure_id not in FIGURES:
             print(f"unknown figure {figure_id!r}; try --list", file=sys.stderr)
             return 2
+        kwargs = _scaled_kwargs(figure_id, args.scale, seed=args.seed)
         started = time.time()
-        result = run_figure(figure_id, **_scaled_kwargs(figure_id, args.scale))
+        if observing:
+            from repro.obs.core import Observability
+
+            obs = Observability()
+            with obs:
+                result = run_figure(figure_id, **kwargs)
+        else:
+            obs = None
+            result = run_figure(figure_id, **kwargs)
         print(render_figure(result))
         print(f"   [{time.time() - started:.1f}s]\n")
+        if obs is not None:
+            _emit_observability(obs, figure_id, args, multi)
     return 0
 
 

@@ -86,7 +86,9 @@ def lightqueue_study(io_count: int = 1500) -> FigureResult:
     )
 
 
-def latency_anatomy(io_count: int = 1200, rw: str = "randread") -> FigureResult:
+def latency_anatomy(
+    io_count: int = 1200, rw: str = "randread", seed: int = 42
+) -> FigureResult:
     """Where each microsecond of a 4 KB I/O goes, per stack (ULL SSD).
 
     Splits the application-observed latency into three stages using the
@@ -114,7 +116,7 @@ def latency_anatomy(io_count: int = 1200, rw: str = "randread") -> FigureResult:
     series = []
     for label, kind, completion in variants:
         sim = Simulator()
-        device = build_device(sim, DeviceKind.ULL)
+        device = build_device(sim, DeviceKind.ULL, seed=seed)
         if kind == "spdk":
             stack = SpdkStack(sim, device)
         else:

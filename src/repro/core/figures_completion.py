@@ -5,7 +5,6 @@ All experiments are synchronous (pvsync2) on one core, as in the paper.
 
 from __future__ import annotations
 
-from functools import lru_cache
 from typing import Tuple
 
 from repro.core.experiment import DeviceKind, StackKind, run_sync_job
@@ -13,6 +12,7 @@ from repro.core.figures_device import PATTERN_LABELS, PATTERNS
 from repro.core.metrics import FigureResult, Series
 from repro.host.accounting import ExecMode
 from repro.kstack.completion import CompletionMethod
+from repro.obs.core import obs_aware_cache
 
 BLOCK_SIZES = (4096, 8192, 16384, 32768)
 KB = {4096: "4KB", 8192: "8KB", 16384: "16KB", 32768: "32KB",
@@ -20,7 +20,7 @@ KB = {4096: "4KB", 8192: "8KB", 16384: "16KB", 32768: "32KB",
       524288: "512KB", 1048576: "1MB"}
 
 
-@lru_cache(maxsize=None)
+@obs_aware_cache
 def _sync_run(
     device: str,
     rw: str,

@@ -6,7 +6,6 @@ interrupt path, exactly like the paper's fio setup for this section.
 
 from __future__ import annotations
 
-from functools import lru_cache
 from typing import Dict, Tuple
 
 from repro.core.experiment import (
@@ -18,6 +17,7 @@ from repro.core.experiment import (
     run_sync_job,
 )
 from repro.core.metrics import FigureResult, Series
+from repro.obs.core import obs_aware_cache
 from repro.sim.engine import Simulator
 from repro.workloads.job import FioJob, IoEngineKind
 from repro.workloads.runner import run_job
@@ -35,7 +35,7 @@ US = 1_000.0
 # ----------------------------------------------------------------------
 # Figure 4: latency vs. queue depth
 # ----------------------------------------------------------------------
-@lru_cache(maxsize=None)
+@obs_aware_cache
 def _qd_sweep(io_count: int, depths: Tuple[int, ...]):
     """Shared runs for Figs. 4a/4b: JobResult per (device, rw, depth)."""
     results: Dict[Tuple[str, str, int], object] = {}
@@ -146,7 +146,7 @@ def fig05b(io_count: int = 2000, depths: Tuple[int, ...] = (1, 4, 16, 64, 128, 2
 # ----------------------------------------------------------------------
 # Figure 6: read/write interference
 # ----------------------------------------------------------------------
-@lru_cache(maxsize=None)
+@obs_aware_cache
 def _interference(io_count: int, fractions: Tuple[int, ...], iodepth: int):
     results = {}
     for kind in DeviceKind:
@@ -238,7 +238,7 @@ def fig07a(io_count: int = 1500):
 # ----------------------------------------------------------------------
 # Figures 7b and 8: garbage collection time series
 # ----------------------------------------------------------------------
-@lru_cache(maxsize=None)
+@obs_aware_cache
 def _gc_run(kind_value: str, io_count: int):
     """Sustained random overwrites on a full device until GC engages.
 

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from functools import lru_cache
 from typing import Tuple
 
 from repro.core.experiment import DeviceKind, build_device
@@ -13,6 +12,7 @@ from repro.host.costs import DEFAULT_COSTS
 from repro.kstack.filesystem import Ext4Model
 from repro.net.link import NetworkLink
 from repro.net.nbd import NbdServerKind, NbdSystem
+from repro.obs.core import obs_aware_cache
 from repro.sim.engine import Simulator
 from repro.ssd.device import IoOp
 from repro.workloads.job import FioJob, IoEngineKind
@@ -66,7 +66,7 @@ class FileSystemOverNbd:
         return latency + costs.user_io_prep.ns
 
 
-@lru_cache(maxsize=None)
+@obs_aware_cache
 def _nbd_run(server_value: str, rw: str, block_size: int, io_count: int):
     sim = Simulator()
     stack = FileSystemOverNbd(sim, NbdServerKind(server_value))

@@ -57,6 +57,22 @@ class _EngineBase:
         self.costs = costs
         self.accounting = accounting
         self.rng = np.random.default_rng(seed)
+        registry = sim.obs.registry
+        self._m_spin_iters = registry.counter(
+            "kstack.poll.spin_iters", help="CQ poll loop iterations"
+        )
+        self._m_spin_ns = registry.counter(
+            "kstack.poll.spin_ns", unit="ns", help="time spent spinning on the CQ"
+        )
+        self._m_deferred_ns = registry.counter(
+            "kstack.poll.deferred_work_ns",
+            unit="ns",
+            help="scheduler-fairness penalty absorbed by long spins",
+        )
+        self._m_ctx_switches = registry.counter(
+            "kstack.context_switches", help="switch-away/switch-back pairs halved"
+        )
+        self._m_isr = registry.counter("kstack.isr_count", help="nvme_irq entries")
 
     # ------------------------------------------------------------------
     def _charge_and_wait(self, step, mode: ExecMode, module: str, function: str):
@@ -79,14 +95,19 @@ class _EngineBase:
         *five-nines* (dominated by long device stalls) loses (Fig. 11).
         """
         costs = self.costs
-        cqe_event = driver_request.pending.cqe_event
+        pending = driver_request.pending
+        cqe_event = pending.cqe_event
         started = self.sim.now
         if not cqe_event.triggered:
             yield cqe_event
+        if pending.trace is not None:
+            # CQE landed; everything from here is completion software.
+            pending.trace.phase("completion_poll", pending.cqe_ns)
         detect = costs.kernel_poll_iter_ns
         yield self.sim.timeout(detect)
         spun = self.sim.now - started
         self._charge_spin(spun)
+        self._m_spin_ns.inc(spun)
         over = spun - costs.poll_preempt_grace_ns
         if over > 0:
             penalty = int(over * costs.poll_preempt_rate)
@@ -99,6 +120,11 @@ class _EngineBase:
                 loads=int(density.loads * penalty / density.ns),
                 stores=int(density.stores * penalty / density.ns),
             )
+            self._m_deferred_ns.inc(penalty)
+            if pending.trace is not None:
+                pending.trace.annotate(
+                    "deferred_kernel_work", self.sim.now, self.sim.now + penalty
+                )
             yield self.sim.timeout(penalty)
         return spun
 
@@ -107,6 +133,7 @@ class _EngineBase:
         costs = self.costs
         period = costs.kernel_poll_iter_ns
         iters = max(1, round(spun_ns / period))
+        self._m_spin_iters.inc(iters)
         blk_share = costs.blk_mq_poll_iter.ns / period
         self.accounting.charge(
             int(round(spun_ns * blk_share)),
@@ -144,15 +171,21 @@ class InterruptEngine(_EngineBase):
 
     def complete(self, driver: KernelNvmeDriver, driver_request: DriverRequest):
         costs = self.costs
+        pending = driver_request.pending
         # Switch away; the core is free for other work while the device runs.
+        self._m_ctx_switches.inc()
         yield self._charge_and_wait(
             costs.context_switch_out, ExecMode.KERNEL, "sched", "context_switch"
         )
-        cqe_event = driver_request.pending.cqe_event
+        cqe_event = pending.cqe_event
         if not cqe_event.triggered:
             yield cqe_event
+        if pending.trace is not None:
+            # CQE landed; MSI flight, ISR, and wake-up follow.
+            pending.trace.phase("completion_isr", pending.cqe_ns)
         # MSI flight, then the ISR completes the command.
         yield self.sim.timeout(costs.irq_delivery_ns)
+        self._m_isr.inc()
         yield self._charge_and_wait(
             costs.isr, ExecMode.KERNEL, "nvme-driver", "nvme_irq"
         )
@@ -215,7 +248,12 @@ class HybridPollEngine(_EngineBase):
             # hrtimer slack: the wake-up lands a little late, sometimes
             # past the CQE — the oversleep the paper measures.
             slack = int(self.rng.integers(0, costs.hybrid_timer_slack_ns + 1))
+            slept_from = self.sim.now
             yield self.sim.timeout(sleep_ns + slack)  # core released: no charge
+            if driver_request.pending.trace is not None:
+                driver_request.pending.trace.annotate(
+                    "hybrid_sleep", slept_from, self.sim.now
+                )
             yield self._charge_and_wait(
                 costs.hybrid_wakeup, ExecMode.KERNEL, "sched", "timer_wakeup"
             )
@@ -225,6 +263,10 @@ class HybridPollEngine(_EngineBase):
             )
         if cqe_event.triggered:
             # Overslept: the CQE beat us; pay one observing iteration.
+            if driver_request.pending.trace is not None:
+                driver_request.pending.trace.phase(
+                    "completion_poll", driver_request.pending.cqe_ns
+                )
             detect = costs.kernel_poll_iter_ns
             yield self.sim.timeout(detect)
             self._charge_spin(detect)

@@ -42,7 +42,7 @@ class KernelNvmeDriver:
 
     # ------------------------------------------------------------------
     def submit(self, cpu: int, op: IoOp, offset: int, nbytes: int, *,
-               hipri: bool = False, now_ns: int = 0) -> DriverRequest:
+               hipri: bool = False, now_ns: int = 0, trace=None) -> DriverRequest:
         """Stage a bio through blk-mq and issue the NVMe command."""
         from repro.kstack.blkmq import Bio, BioDirection
 
@@ -53,7 +53,7 @@ class KernelNvmeDriver:
             hipri=hipri,
         )
         blk_request = self.blkmq.submit_bio(cpu, bio, now_ns)
-        pending = self.qpair.submit(op, offset, nbytes)
+        pending = self.qpair.submit(op, offset, nbytes, trace=trace)
         request = DriverRequest(blk_request=blk_request, pending=pending)
         self._by_cookie[blk_request.cookie] = request
         self._by_cid[pending.command.cid] = blk_request.cookie

@@ -80,10 +80,18 @@ class KernelStack:
         """
         costs = self.costs
         started = self.sim.now
+        tracer = self.sim.obs.tracer
+        ctx = (
+            tracer.begin_io(op, offset, nbytes, started)
+            if tracer.enabled
+            else None
+        )
+        if ctx is not None:
+            ctx.phase("submit", started)
         yield self._charge_and_wait(costs.user_io_prep, ExecMode.USER, "fio", "fio_rw")
-        yield from self._submit_path(op, offset, nbytes)
+        yield from self._submit_path(op, offset, nbytes, ctx)
         request = self.driver.submit(
-            0, op, offset, nbytes, hipri=self.hipri, now_ns=self.sim.now
+            0, op, offset, nbytes, hipri=self.hipri, now_ns=self.sim.now, trace=ctx
         )
         submitted = self.sim.now
         yield from self.engine.complete(self.driver, request)
@@ -94,9 +102,11 @@ class KernelStack:
             self.stage_log.append(
                 (started, submitted, request.pending.cqe_ns, self.sim.now)
             )
+        if ctx is not None:
+            ctx.finish(self.sim.now)
         return self.sim.now - started
 
-    def _submit_path(self, op: IoOp, offset: int, nbytes: int):
+    def _submit_path(self, op: IoOp, offset: int, nbytes: int, ctx=None):
         costs = self.costs
         yield self._charge_and_wait(
             costs.syscall_entry, ExecMode.KERNEL, "vfs", "syscall"
@@ -106,6 +116,8 @@ class KernelStack:
             # Lightweight-protocol dispatch: no blk-mq tag machinery, no
             # SQE build — the driver latches the command into device
             # registers directly (Section IV-C's "lighter queue").
+            if ctx is not None:
+                ctx.phase("light_queue", self.sim.now)
             yield self._charge_and_wait(
                 costs.light_queue_dispatch,
                 ExecMode.KERNEL,
@@ -113,6 +125,8 @@ class KernelStack:
                 "light_queue_issue",
             )
             return
+        if ctx is not None:
+            ctx.phase("blkmq_queue", self.sim.now)
         yield self._charge_and_wait(
             costs.blkmq_submit, ExecMode.KERNEL, "blk-mq", "blk_mq_make_request"
         )
@@ -132,14 +146,24 @@ class KernelStack:
         completion costs through :meth:`async_completion_ns`.
         """
         costs = self.costs
+        tracer = self.sim.obs.tracer
+        ctx = (
+            tracer.begin_io(op, offset, nbytes, self.sim.now)
+            if tracer.enabled
+            else None
+        )
+        if ctx is not None:
+            ctx.phase("submit", self.sim.now)
         yield self._charge_and_wait(
             costs.async_submit_user, ExecMode.USER, "fio", "io_submit"
         )
+        if ctx is not None:
+            ctx.phase("blkmq_queue", self.sim.now)
         yield self._charge_and_wait(
             costs.async_submit_kernel, ExecMode.KERNEL, "blk-mq", "aio_submit_path"
         )
         request = self.driver.submit(
-            0, op, offset, nbytes, hipri=False, now_ns=self.sim.now
+            0, op, offset, nbytes, hipri=False, now_ns=self.sim.now, trace=ctx
         )
         return request
 

@@ -43,6 +43,7 @@ class PendingCommand:
     submit_ns: int
     cqe_event: Event  # fires when the CQE lands in host memory
     cqe_ns: Optional[int] = None
+    trace: Optional[object] = None  # the I/O's obs span context, if traced
 
 
 class NvmeQueuePair:
@@ -73,6 +74,13 @@ class NvmeQueuePair:
         # Statistics.
         self.submitted = 0
         self.completed = 0
+        # Observability (no-op instruments unless a registry is installed).
+        registry = sim.obs.registry
+        self._m_submitted = registry.counter("nvme.sq.submitted", help="SQEs issued")
+        self._m_completed = registry.counter("nvme.cq.completed", help="CQEs posted")
+        self._m_outstanding = registry.gauge(
+            "nvme.qpair.outstanding", unit="cmds", help="commands in flight"
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -84,7 +92,9 @@ class NvmeQueuePair:
         self._msi_handlers.append(handler)
 
     # ------------------------------------------------------------------
-    def submit(self, op: IoOp, offset: int, nbytes: int) -> PendingCommand:
+    def submit(
+        self, op: IoOp, offset: int, nbytes: int, *, trace=None
+    ) -> PendingCommand:
         """Build an SQE, ring the doorbell, return the pending command."""
         if self.sq.is_full:
             raise QueueFull("no free submission queue entry")
@@ -92,11 +102,19 @@ class NvmeQueuePair:
         cid = self._allocate_cid()
         command = NvmeCommand.from_bytes(cid, opcode, offset, nbytes)
         pending = PendingCommand(
-            command=command, submit_ns=self.sim.now, cqe_event=Event(self.sim)
+            command=command,
+            submit_ns=self.sim.now,
+            cqe_event=Event(self.sim),
+            trace=trace,
         )
         self._pending[cid] = pending
         self.sq.push(command)
         self.submitted += 1
+        self._m_submitted.inc()
+        self._m_outstanding.add(1, self.sim.now)
+        if trace is not None:
+            # Doorbell rung: the SQE sits in the ring until the fetch DMA.
+            trace.phase("nvme_sq", self.sim.now)
         # Controller fetches the SQE one PCIe round-trip later.
         self.sim.schedule(self.timings.sq_fetch_ns, self._fetch_and_execute)
         return pending
@@ -115,10 +133,19 @@ class NvmeQueuePair:
             return  # already fetched by an earlier doorbell callback
         command = self.sq.fetch()
         op = _OP_OF[command.opcode]
-        request = self.device.submit(op, command.offset_bytes, command.nbytes)
+        trace = self._pending[command.cid].trace
+        if trace is not None:
+            # SQE is in the controller: firmware takes over.
+            trace.phase("ctrl", self.sim.now)
+        request = self.device.submit(
+            op, command.offset_bytes, command.nbytes, trace=trace
+        )
         request.done.add_callback(lambda _event, cid=command.cid: self._device_done(cid))
 
     def _device_done(self, cid: int) -> None:
+        trace = self._pending[cid].trace
+        if trace is not None:
+            trace.phase("cqe_post", self.sim.now)
         self.sim.schedule(self.timings.cqe_post_ns, self._post_cqe, cid)
 
     def _post_cqe(self, cid: int) -> None:
@@ -129,6 +156,8 @@ class NvmeQueuePair:
         self.cq.reap()  # host consumes on detection; keep the ring tidy
         pending.cqe_ns = self.sim.now
         self.completed += 1
+        self._m_completed.inc()
+        self._m_outstanding.add(-1, self.sim.now)
         pending.cqe_event.succeed(pending)
         if self.interrupts_enabled:
             self.sim.schedule(self.timings.msi_ns, self._raise_msi, pending)

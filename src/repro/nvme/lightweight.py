@@ -67,6 +67,13 @@ class LightQueuePair:
         self._msi_handlers = []
         self.submitted = 0
         self.completed = 0
+        registry = sim.obs.registry
+        self._m_submitted = registry.counter(
+            "lightq.submitted", help="register-latched commands issued"
+        )
+        self._m_outstanding = registry.gauge(
+            "lightq.outstanding", unit="cmds", help="NCQ slots in use"
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -77,7 +84,9 @@ class LightQueuePair:
         self._msi_handlers.append(handler)
 
     # ------------------------------------------------------------------
-    def submit(self, op: IoOp, offset: int, nbytes: int) -> PendingCommand:
+    def submit(
+        self, op: IoOp, offset: int, nbytes: int, *, trace=None
+    ) -> PendingCommand:
         """Latch a command into a free register slot."""
         if not self._free_slots:
             raise QueueFull(f"all {self.DEPTH} NCQ slots are busy")
@@ -85,10 +94,18 @@ class LightQueuePair:
         opcode = Opcode.READ if op is IoOp.READ else Opcode.WRITE
         command = NvmeCommand.from_bytes(slot, opcode, offset, nbytes)
         pending = PendingCommand(
-            command=command, submit_ns=self.sim.now, cqe_event=Event(self.sim)
+            command=command,
+            submit_ns=self.sim.now,
+            cqe_event=Event(self.sim),
+            trace=trace,
         )
         self._pending[slot] = pending
         self.submitted += 1
+        self._m_submitted.inc()
+        self._m_outstanding.add(1, self.sim.now)
+        if trace is not None:
+            # MMIO burst in flight: the light-queue analog of the SQ ring.
+            trace.phase("nvme_sq", self.sim.now)
         # The register write itself delivers the command.
         self.sim.schedule(self.timings.issue_ns, self._execute, slot, op)
         return pending
@@ -97,10 +114,16 @@ class LightQueuePair:
     def _execute(self, slot: int, op: IoOp) -> None:
         pending = self._pending[slot]
         command = pending.command
-        request = self.device.submit(op, command.offset_bytes, command.nbytes)
+        if pending.trace is not None:
+            pending.trace.phase("ctrl", self.sim.now)
+        request = self.device.submit(
+            op, command.offset_bytes, command.nbytes, trace=pending.trace
+        )
         request.done.add_callback(lambda _event: self._device_done(slot))
 
     def _device_done(self, slot: int) -> None:
+        if self._pending[slot].trace is not None:
+            self._pending[slot].trace.phase("cqe_post", self.sim.now)
         self.sim.schedule(self.timings.complete_ns, self._post_status, slot)
 
     def _post_status(self, slot: int) -> None:
@@ -108,6 +131,7 @@ class LightQueuePair:
         self._free_slots.append(slot)
         pending.cqe_ns = self.sim.now
         self.completed += 1
+        self._m_outstanding.add(-1, self.sim.now)
         pending.cqe_event.succeed(pending)
         if self.interrupts_enabled:
             for handler in self._msi_handlers:

@@ -1,0 +1,81 @@
+"""repro.obs — cross-layer observability for the simulated I/O stack.
+
+Three pieces:
+
+* **Span tracing** (:mod:`repro.obs.tracer`): each I/O carries an
+  :class:`IoTrace` context through kstack/nvme/ssd/spdk; top-level
+  phases tile the request's lifetime exactly, nested spans carry
+  concurrent detail, and background tracks record GC / flush activity.
+* **Metrics** (:mod:`repro.obs.registry`): counters, time-weighted
+  gauges, and log-bucketed histograms layers register into.
+* **Exporters & reports** (:mod:`repro.obs.export`,
+  :mod:`repro.obs.anatomy`): Chrome ``trace_event`` JSON (open in
+  Perfetto), text/CSV metric dumps, and the latency-anatomy breakdown.
+
+Instrumentation is off by default (no-op tracer and registry); enable
+it for any code that builds its own simulators with::
+
+    from repro.obs import Observability, write_chrome_trace
+    with Observability() as obs:
+        result = run_figure("fig10")
+    write_chrome_trace(obs.tracer, "fig10-trace.json")
+
+See ``docs/observability.md`` for the span taxonomy and metric names.
+"""
+
+from repro.obs.anatomy import AnatomyReport, AnatomyRow, verify_conservation
+from repro.obs.core import NULL_OBS, Observability, current_obs, obs_aware_cache
+from repro.obs.export import (
+    chrome_trace_events,
+    metrics_to_csv,
+    metrics_to_text,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_metrics_csv,
+)
+from repro.obs.registry import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    SPAN_ORDER,
+    IoTrace,
+    NullTracer,
+    Span,
+    SpanTracer,
+    sort_span_names,
+)
+
+__all__ = [
+    "AnatomyReport",
+    "AnatomyRow",
+    "verify_conservation",
+    "Observability",
+    "current_obs",
+    "obs_aware_cache",
+    "NULL_OBS",
+    "chrome_trace_events",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "metrics_to_text",
+    "metrics_to_csv",
+    "write_metrics_csv",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "Span",
+    "IoTrace",
+    "SpanTracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "SPAN_ORDER",
+    "sort_span_names",
+]

@@ -1,0 +1,147 @@
+"""Latency-anatomy attribution: spans aggregated into the paper's
+where-does-the-microsecond-go breakdown.
+
+Where :func:`repro.core.extensions.latency_anatomy` re-runs a workload
+with coarse three-stage probes, this module derives the same style of
+report — at full span granularity — from any traced run, after the
+fact.  Conservation is structural: each I/O's phases tile its lifetime,
+so the per-name totals sum to the total end-to-end latency exactly
+(integer nanoseconds, no residue).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.tracer import sort_span_names
+
+
+@dataclass(frozen=True)
+class AnatomyRow:
+    """One span name's aggregate contribution."""
+
+    name: str
+    total_ns: int
+    count: int  # I/Os in which the span appeared
+
+    def mean_us(self, io_count: int) -> float:
+        """Mean contribution per *traced I/O* (not per appearance)."""
+        return self.total_ns / io_count / 1000.0 if io_count else 0.0
+
+
+@dataclass(frozen=True)
+class AnatomyReport:
+    """Per-span-name latency attribution over a set of traced I/Os."""
+
+    rows: Tuple[AnatomyRow, ...]
+    io_count: int
+    total_latency_ns: int
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_tracer(cls, tracer, op: Optional[str] = None) -> "AnatomyReport":
+        """Aggregate ``tracer``'s finished I/Os (optionally one direction).
+
+        ``op`` filters on the I/O's operation string (``"read"``,
+        ``"write"``, ``"trim"``).
+        """
+        totals: Dict[str, int] = {}
+        appearances: Dict[str, int] = {}
+        io_count = 0
+        total_latency = 0
+        for trace in tracer.finished_ios:
+            if op is not None and trace.op != op:
+                continue
+            io_count += 1
+            total_latency += trace.latency_ns
+            seen = set()
+            for span in trace.phases():
+                totals[span.name] = totals.get(span.name, 0) + span.duration_ns
+                if span.name not in seen:
+                    seen.add(span.name)
+                    appearances[span.name] = appearances.get(span.name, 0) + 1
+        rows = tuple(
+            AnatomyRow(name=name, total_ns=totals[name], count=appearances[name])
+            for name in sort_span_names(totals)
+        )
+        return cls(rows=rows, io_count=io_count, total_latency_ns=total_latency)
+
+    # ------------------------------------------------------------------
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(row.name for row in self.rows)
+
+    @property
+    def mean_latency_us(self) -> float:
+        if self.io_count == 0:
+            return 0.0
+        return self.total_latency_ns / self.io_count / 1000.0
+
+    def mean_us(self, name: str) -> float:
+        """Mean per-I/O contribution of ``name`` (0.0 if absent)."""
+        for row in self.rows:
+            if row.name == name:
+                return row.mean_us(self.io_count)
+        return 0.0
+
+    def share(self, name: str) -> float:
+        """Fraction of total latency attributed to ``name``."""
+        if self.total_latency_ns == 0:
+            return 0.0
+        for row in self.rows:
+            if row.name == name:
+                return row.total_ns / self.total_latency_ns
+        return 0.0
+
+    def breakdown_us(self) -> Dict[str, float]:
+        return {row.name: row.mean_us(self.io_count) for row in self.rows}
+
+    # ------------------------------------------------------------------
+    def check_conservation(self) -> None:
+        """Assert sum-of-spans == end-to-end latency (exact, in ns)."""
+        attributed = sum(row.total_ns for row in self.rows)
+        if attributed != self.total_latency_ns:
+            raise AssertionError(
+                f"anatomy leak: spans sum to {attributed} ns but "
+                f"end-to-end latency is {self.total_latency_ns} ns"
+            )
+
+    def render(self) -> str:
+        """Plain-text table mirroring the paper-style breakdown."""
+        lines = [
+            f"latency anatomy over {self.io_count} I/Os "
+            f"(mean end-to-end {self.mean_latency_us:.2f} us)"
+        ]
+        if not self.rows:
+            return lines[0]
+        name_width = max(len(row.name) for row in self.rows)
+        for row in self.rows:
+            mean = row.mean_us(self.io_count)
+            share = self.share(row.name)
+            bar = "#" * int(round(share * 40))
+            lines.append(
+                f"  {row.name.ljust(name_width)}  {mean:9.3f} us  "
+                f"{share * 100:5.1f}%  {bar}"
+            )
+        return "\n".join(lines)
+
+
+def verify_conservation(tracer) -> int:
+    """Check every finished I/O individually; returns the I/O count.
+
+    Stricter than :meth:`AnatomyReport.check_conservation` (which only
+    checks the aggregate): a per-I/O leak cannot hide behind another
+    I/O's surplus.
+    """
+    checked = 0
+    for trace in tracer.finished_ios:
+        spans = trace.phases()
+        attributed = sum(span.duration_ns for span in spans)
+        if attributed != trace.latency_ns:
+            raise AssertionError(
+                f"io {trace.io_id}: spans sum to {attributed} ns, "
+                f"latency is {trace.latency_ns} ns"
+            )
+        checked += 1
+    return checked

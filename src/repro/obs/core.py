@@ -1,0 +1,100 @@
+"""The observability bundle and its attachment to simulators.
+
+An :class:`Observability` object pairs a span tracer with a metrics
+registry.  :class:`~repro.sim.engine.Simulator` looks up the *currently
+installed* bundle at construction (``current_obs()``), so enabling
+tracing for a whole figure run — which builds its own simulators
+internally — is one context manager around the call:
+
+    with Observability() as obs:
+        result = run_figure("fig10")
+    write_chrome_trace(obs.tracer, "fig10.json")
+
+The default is :data:`NULL_OBS`: a no-op tracer and registry, so
+uninstrumented runs pay nothing and stay bit-identical.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import List, Optional
+
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, SpanTracer
+
+
+class Observability:
+    """A tracer plus a registry, installable as the process default."""
+
+    def __init__(self, *, tracing: bool = True, metrics: bool = True) -> None:
+        self.tracer = SpanTracer() if tracing else NULL_TRACER
+        self.registry = MetricsRegistry() if metrics else NULL_REGISTRY
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracer.enabled or self.registry.enabled
+
+    # ------------------------------------------------------------------
+    def attach(self, sim) -> None:
+        """Called by each :class:`Simulator` binding itself to this bundle."""
+        self.tracer.new_sim()
+
+    # ------------------------------------------------------------------
+    def install(self) -> "Observability":
+        """Make this the bundle new simulators pick up."""
+        _INSTALLED.append(self)
+        return self
+
+    def uninstall(self) -> None:
+        _INSTALLED.remove(self)
+
+    def __enter__(self) -> "Observability":
+        return self.install()
+
+    def __exit__(self, *exc) -> None:
+        self.uninstall()
+
+
+class _NullObservability:
+    """The zero-cost default bundle."""
+
+    tracer = NULL_TRACER
+    registry = NULL_REGISTRY
+    enabled = False
+
+    def attach(self, sim) -> None:
+        pass
+
+
+NULL_OBS = _NullObservability()
+
+_INSTALLED: List[Observability] = []
+
+
+def current_obs():
+    """The innermost installed bundle, or the no-op default."""
+    return _INSTALLED[-1] if _INSTALLED else NULL_OBS
+
+
+def obs_aware_cache(fn):
+    """``lru_cache(maxsize=None)`` that steps aside while observability
+    is installed.
+
+    Figure measurements are memoized so figures can share runs, but a
+    traced run must actually execute to produce spans — and a result
+    computed under tracing must not be served to an untraced caller
+    (or vice versa).  While a bundle is installed the call runs fresh
+    and the cache is neither consulted nor populated.
+    """
+    cached = functools.lru_cache(maxsize=None)(fn)
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        if current_obs().enabled:
+            return fn(*args, **kwargs)
+        return cached(*args, **kwargs)
+
+    wrapper.cache_clear = cached.cache_clear
+    wrapper.cache_info = cached.cache_info
+    wrapper.__wrapped__ = fn
+    return wrapper

@@ -1,0 +1,212 @@
+"""Exporters: Chrome ``trace_event`` JSON and plain-text/CSV metrics.
+
+The trace format is the JSON Object Format of the Trace Event spec
+(``{"traceEvents": [...]}``) with complete ("X") events, loadable
+directly in Perfetto / ``chrome://tracing``.  Timestamps are
+microseconds (floats — the spec's unit), durations likewise; the
+original integer nanoseconds are preserved in each event's ``args``.
+
+Layout: each simulator run is a process (pid); I/O spans are packed
+onto the fewest threads (lanes) such that top-level spans on one lane
+never overlap — lane 0 is a busy timeline at QD1, and queue depth reads
+directly off the number of occupied lanes.  Nested detail spans share
+their I/O's lane (Perfetto stacks contained intervals).  Background
+tracks (per-die GC, flush programs) get their own named threads.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Tuple
+
+#: Thread-id base for background tracks, above any plausible lane count.
+_TRACK_TID_BASE = 1000
+
+
+def _assign_lanes(traces) -> Dict[int, int]:
+    """Pack I/O traces onto lanes; returns ``{io_id: lane}``.
+
+    Greedy interval partitioning over ``(start, end)`` — deterministic
+    given the deterministic span stream.
+    """
+    lanes_free_at: List[int] = []
+    assignment: Dict[int, int] = {}
+    for trace in sorted(traces, key=lambda t: (t.pid, t.start_ns, t.io_id)):
+        for lane, free_at in enumerate(lanes_free_at):
+            if free_at <= trace.start_ns:
+                lanes_free_at[lane] = trace.end_ns
+                assignment[trace.io_id] = lane
+                break
+        else:
+            assignment[trace.io_id] = len(lanes_free_at)
+            lanes_free_at.append(trace.end_ns)
+    return assignment
+
+
+def chrome_trace_events(tracer) -> List[dict]:
+    """The ``traceEvents`` list for ``tracer``'s finished spans."""
+    events: List[dict] = []
+    lanes = _assign_lanes(tracer.finished_ios)
+    pids = set()
+    lane_tids: set = set()
+    for trace in tracer.finished_ios:
+        tid = lanes[trace.io_id]
+        pids.add(trace.pid)
+        lane_tids.add((trace.pid, tid))
+        for span in trace.spans():
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": "io" if span.depth == 0 else "io.detail",
+                    "ph": "X",
+                    "ts": span.start_ns / 1000.0,
+                    "dur": span.duration_ns / 1000.0,
+                    "pid": trace.pid,
+                    "tid": tid,
+                    "args": {
+                        "io_id": trace.io_id,
+                        "op": trace.op,
+                        "offset": trace.offset,
+                        "nbytes": trace.nbytes,
+                        "start_ns": span.start_ns,
+                        "dur_ns": span.duration_ns,
+                        **dict(span.args),
+                    },
+                }
+            )
+    track_tids: Dict[Tuple[int, str], int] = {}
+    for span in tracer.track_spans:
+        args = dict(span.args)
+        pid = args.pop("pid", 1)
+        pids.add(pid)
+        key = (pid, span.track)
+        if key not in track_tids:
+            track_tids[key] = _TRACK_TID_BASE + len(track_tids)
+        events.append(
+            {
+                "name": span.name,
+                "cat": "device",
+                "ph": "X",
+                "ts": span.start_ns / 1000.0,
+                "dur": span.duration_ns / 1000.0,
+                "pid": pid,
+                "tid": track_tids[key],
+                "args": {
+                    "start_ns": span.start_ns,
+                    "dur_ns": span.duration_ns,
+                    **args,
+                },
+            }
+        )
+    metadata: List[dict] = []
+    for pid in sorted(pids):
+        metadata.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"sim {pid}"},
+            }
+        )
+    for (pid, tid) in sorted(lane_tids):
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": f"io lane {tid}"},
+            }
+        )
+    for (pid, track), tid in sorted(track_tids.items(), key=lambda kv: kv[1]):
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+    return metadata + events
+
+
+def to_chrome_trace(tracer) -> dict:
+    """The full JSON-object-format document."""
+    return {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ns",
+        "otherData": {"producer": "repro.obs"},
+    }
+
+
+def write_chrome_trace(tracer, path: str) -> int:
+    """Serialize to ``path``; returns the number of events written."""
+    document = to_chrome_trace(tracer)
+    with open(path, "w") as handle:
+        json.dump(document, handle)
+    return len(document["traceEvents"])
+
+
+# ----------------------------------------------------------------------
+# Metrics dumps
+# ----------------------------------------------------------------------
+def metrics_to_text(registry, now_ns=None) -> str:
+    """Aligned human-readable table, one instrument per line."""
+    rows = registry.snapshot(now_ns)
+    if not rows:
+        return "(no metrics registered)"
+    lines = []
+    name_width = max(len(row["name"]) for row in rows)
+    for row in rows:
+        if row["kind"] == "counter":
+            detail = f"{row['value']:>12}"
+        elif row["kind"] == "gauge":
+            detail = (
+                f"{row['value']:>12.1f}  max={row['max']:.1f}  "
+                f"mean={row['time_mean']:.2f}"
+            )
+        else:
+            detail = (
+                f"count={row['count']}  mean={row['mean']:.2f}  "
+                f"p50={row['p50']:.2f}  p99={row['p99']:.2f}  "
+                f"max={row['max']:.2f}"
+            )
+        unit = f" {row['unit']}" if row["unit"] else ""
+        lines.append(
+            f"{row['name'].ljust(name_width)}  {row['kind']:<9} {detail}{unit}"
+        )
+    return "\n".join(lines)
+
+
+_CSV_FIELDS = (
+    "name",
+    "kind",
+    "unit",
+    "value",
+    "count",
+    "mean",
+    "min",
+    "max",
+    "p50",
+    "p99",
+    "time_mean",
+)
+
+
+def metrics_to_csv(registry, now_ns=None) -> str:
+    """Machine-readable dump: one row per instrument, fixed columns."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=_CSV_FIELDS, restval="")
+    writer.writeheader()
+    for row in registry.snapshot(now_ns):
+        writer.writerow({key: row.get(key, "") for key in _CSV_FIELDS})
+    return buffer.getvalue()
+
+
+def write_metrics_csv(registry, path: str, now_ns=None) -> None:
+    with open(path, "w") as handle:
+        handle.write(metrics_to_csv(registry, now_ns))

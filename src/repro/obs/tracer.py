@@ -1,0 +1,304 @@
+"""Span-based request tracing.
+
+Each traced I/O carries an :class:`IoTrace` context through the stack.
+The context records an ordered sequence of *phase marks* — ``(t, name)``
+transitions on the request's own timeline — plus optional *nested*
+spans for concurrent detail (a suspended program, a PCIe DMA, a map
+fetch).  Because phases are transitions, the top-level spans of one I/O
+tile its lifetime exactly: their durations always sum to the observed
+end-to-end latency, which is what makes the latency-anatomy report
+trustworthy (the conservation property the tests assert to the
+nanosecond).
+
+Marks may arrive from different components (host process, controller
+callbacks, analytic device bookings that compute future timestamps), so
+``phase`` clamps each mark to be monotonically non-decreasing; clamping
+never breaks conservation, it only shortens the phase that would have
+gone backwards.
+
+The module is dependency-free by design: the simulator attaches a
+tracer (see :mod:`repro.obs.core`) and every layer reaches it through
+``sim.obs`` — no layer imports another layer to trace itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Canonical ordering of span names for reports (unknown names follow,
+#: alphabetically).  Mirrors a request's journey down and back up.
+SPAN_ORDER: Tuple[str, ...] = (
+    "submit",
+    "blkmq_queue",
+    "light_queue",
+    "nvme_sq",
+    "ctrl",
+    "suspend_wait",
+    "die_wait",
+    "flash_read",
+    "flash_prog",
+    "dma",
+    "write_buffer",
+    "buffer_full",
+    "gc_stall",
+    "write_stall",
+    "cqe_post",
+    "completion_isr",
+    "completion_poll",
+)
+
+
+@dataclass(frozen=True)
+class Span:
+    """One named interval of a request (or of a background track)."""
+
+    name: str
+    start_ns: int
+    end_ns: int
+    track: str = "io"
+    io_id: Optional[int] = None
+    depth: int = 0  # 0 = top-level phase (tiles the request), 1 = detail
+    args: Tuple[Tuple[str, object], ...] = ()
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+
+class IoTrace:
+    """The per-I/O span context carried through the stack."""
+
+    __slots__ = (
+        "tracer",
+        "io_id",
+        "op",
+        "offset",
+        "nbytes",
+        "start_ns",
+        "end_ns",
+        "pid",
+        "_marks",
+        "_nested",
+    )
+
+    def __init__(
+        self,
+        tracer: "SpanTracer",
+        io_id: int,
+        op,
+        offset: int,
+        nbytes: int,
+        start_ns: int,
+        pid: int,
+    ) -> None:
+        self.tracer = tracer
+        self.io_id = io_id
+        self.op = str(getattr(op, "value", op))
+        self.offset = offset
+        self.nbytes = nbytes
+        self.start_ns = int(start_ns)
+        self.end_ns: Optional[int] = None
+        self.pid = pid
+        self._marks: List[Tuple[int, str]] = []
+        self._nested: List[Span] = []
+
+    # ------------------------------------------------------------------
+    def phase(self, name: str, at: int) -> None:
+        """Open the top-level phase ``name`` at time ``at``.
+
+        The previously open phase (if any) closes at the same instant.
+        ``at`` is clamped to keep marks monotonic, so callers may record
+        retroactive transitions (e.g. naming a wait only after it ended)
+        as long as they append in order.
+        """
+        at = int(at)
+        floor = self._marks[-1][0] if self._marks else self.start_ns
+        if at < floor:
+            at = floor
+        self._marks.append((at, name))
+
+    def relabel(self, name: str) -> None:
+        """Rename the currently open top-level phase."""
+        if not self._marks:
+            raise RuntimeError("no open phase to relabel")
+        at, _old = self._marks[-1]
+        self._marks[-1] = (at, name)
+
+    def annotate(self, name: str, start_ns: int, end_ns: int, **args) -> None:
+        """Record a nested detail span (may overlap phases freely)."""
+        self._nested.append(
+            Span(
+                name=name,
+                start_ns=int(start_ns),
+                end_ns=int(end_ns),
+                track="io",
+                io_id=self.io_id,
+                depth=1,
+                args=tuple(sorted(args.items())),
+            )
+        )
+
+    def finish(self, at: int) -> None:
+        """Close the trace; the last phase ends here."""
+        if self.end_ns is not None:
+            raise RuntimeError(f"io {self.io_id} finished twice")
+        at = int(at)
+        if self._marks and at < self._marks[-1][0]:
+            at = self._marks[-1][0]
+        self.end_ns = max(at, self.start_ns)
+        self.tracer._finished(self)
+
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        return self.end_ns is not None
+
+    @property
+    def latency_ns(self) -> int:
+        if self.end_ns is None:
+            raise RuntimeError(f"io {self.io_id} not finished")
+        return self.end_ns - self.start_ns
+
+    def phases(self) -> List[Span]:
+        """The top-level spans, tiling ``[start_ns, end_ns]`` exactly."""
+        if self.end_ns is None:
+            raise RuntimeError(f"io {self.io_id} not finished")
+        spans: List[Span] = []
+        for index, (at, name) in enumerate(self._marks):
+            end = (
+                self._marks[index + 1][0]
+                if index + 1 < len(self._marks)
+                else self.end_ns
+            )
+            spans.append(
+                Span(
+                    name=name,
+                    start_ns=at,
+                    end_ns=end,
+                    track="io",
+                    io_id=self.io_id,
+                    depth=0,
+                )
+            )
+        return spans
+
+    def nested(self) -> List[Span]:
+        return list(self._nested)
+
+    def spans(self) -> List[Span]:
+        """Top-level phases followed by nested detail spans."""
+        return self.phases() + self._nested
+
+
+class SpanTracer:
+    """Collects per-I/O contexts and background track spans."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._next_io_id = 0
+        self._pid = 0
+        self.finished_ios: List[IoTrace] = []
+        self.track_spans: List[Span] = []
+
+    # ------------------------------------------------------------------
+    def new_sim(self) -> None:
+        """Called when a fresh :class:`Simulator` attaches.
+
+        Each simulator's spans land in their own Chrome-trace process so
+        back-to-back measurement runs (each with its own clock starting
+        at zero) do not overlap in the viewer.
+        """
+        self._pid += 1
+
+    @property
+    def current_pid(self) -> int:
+        return max(1, self._pid)
+
+    # ------------------------------------------------------------------
+    def begin_io(self, op, offset: int, nbytes: int, at: int) -> IoTrace:
+        """Open a trace context for one I/O starting at ``at``."""
+        trace = IoTrace(
+            self,
+            self._next_io_id,
+            op,
+            offset,
+            nbytes,
+            at,
+            pid=self.current_pid,
+        )
+        self._next_io_id += 1
+        return trace
+
+    def span(self, track: str, name: str, start_ns: int, end_ns: int, **args) -> None:
+        """Record a background span on a named device track (GC, flush)."""
+        self.track_spans.append(
+            Span(
+                name=name,
+                start_ns=int(start_ns),
+                end_ns=int(end_ns),
+                track=track,
+                io_id=None,
+                depth=0,
+                args=tuple(sorted(args.items())) + (("pid", self.current_pid),),
+            )
+        )
+
+    def _finished(self, trace: IoTrace) -> None:
+        self.finished_ios.append(trace)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.finished_ios)
+
+    def __iter__(self) -> Iterable[IoTrace]:
+        return iter(self.finished_ios)
+
+    def totals_by_name(self) -> Dict[str, int]:
+        """Summed top-level phase durations across all finished I/Os."""
+        totals: Dict[str, int] = {}
+        for trace in self.finished_ios:
+            for span in trace.phases():
+                totals[span.name] = totals.get(span.name, 0) + span.duration_ns
+        return totals
+
+
+class NullTracer:
+    """The zero-cost default: every hook is a no-op.
+
+    ``begin_io`` returns ``None`` so instrumented code can guard with a
+    single identity check per I/O; hot paths additionally guard on
+    ``enabled`` so no argument tuples are even built.
+    """
+
+    enabled = False
+
+    def new_sim(self) -> None:
+        pass
+
+    def begin_io(self, op, offset, nbytes, at):
+        return None
+
+    def span(self, track, name, start_ns, end_ns, **args) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+    @property
+    def finished_ios(self):
+        return ()
+
+    @property
+    def track_spans(self):
+        return ()
+
+
+NULL_TRACER = NullTracer()
+
+
+def sort_span_names(names: Iterable[str]) -> List[str]:
+    """Canonical report order: request-journey order, then alphabetical."""
+    rank = {name: index for index, name in enumerate(SPAN_ORDER)}
+    return sorted(set(names), key=lambda n: (rank.get(n, len(rank)), n))

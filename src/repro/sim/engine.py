@@ -10,17 +10,27 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Iterator, Optional
 
+from repro.obs.core import current_obs
 from repro.sim.events import AnyOf, Event, Timeout
 from repro.sim.process import Process
 
 
 class Simulator:
-    """Discrete-event simulator with a nanosecond integer clock."""
+    """Discrete-event simulator with a nanosecond integer clock.
 
-    def __init__(self) -> None:
+    Every simulator carries an observability bundle (``self.obs``): the
+    span tracer and metrics registry the stack layers report into.  By
+    default it is the currently *installed* bundle (see
+    :mod:`repro.obs.core`) — a zero-cost no-op unless something like the
+    CLI's ``--trace-out`` installed a recording one.
+    """
+
+    def __init__(self, obs=None) -> None:
         self.now: int = 0
         self._queue: list = []
         self._seq: int = 0
+        self.obs = obs if obs is not None else current_obs()
+        self.obs.attach(self)
 
     # ------------------------------------------------------------------
     # Scheduling primitives

@@ -55,6 +55,13 @@ class SpdkStack:
         self.qpair = controller.create_queue_pair(
             depth=queue_depth, interrupts_enabled=False
         )
+        registry = sim.obs.registry
+        self._m_spin_iters = registry.counter(
+            "spdk.poll.spin_iters", help="process_completions loop iterations"
+        )
+        self._m_spin_ns = registry.counter(
+            "spdk.poll.spin_ns", unit="ns", help="time spent in the user-space spin"
+        )
         #: When set to a list, sync_io appends per-I/O stage timestamps
         #: ``(start, submitted, cqe, done)`` — the latency-anatomy probe.
         self.stage_log = None
@@ -79,12 +86,20 @@ class SpdkStack:
         """
         costs = self.costs
         started = self.sim.now
+        tracer = self.sim.obs.tracer
+        ctx = (
+            tracer.begin_io(op, offset, nbytes, started)
+            if tracer.enabled
+            else None
+        )
+        if ctx is not None:
+            ctx.phase("submit", started)
         yield self._charge_and_wait(costs.spdk_user_prep, "fio_spdk_plugin")
         yield self._charge_and_wait(
             costs.spdk_check_enabled_iter, "nvme_qpair_check_enabled"
         )
         yield self._charge_and_wait(costs.spdk_submit, "spdk_nvme_ns_cmd_rw")
-        pending = self.qpair.submit(op, offset, nbytes)
+        pending = self.qpair.submit(op, offset, nbytes, trace=ctx)
         submitted = self.sim.now
         yield from self._process_completions(pending)
         yield self._charge_and_wait(costs.spdk_complete, "io_complete_cb")
@@ -92,9 +107,13 @@ class SpdkStack:
             self.stage_log.append(
                 (started, submitted, pending.cqe_ns, self.sim.now)
             )
+        if ctx is not None:
+            ctx.finish(self.sim.now)
         return self.sim.now - started
 
-    def submit_async(self, op: IoOp, offset: int, nbytes: int) -> PendingCommand:
+    def submit_async(
+        self, op: IoOp, offset: int, nbytes: int, *, trace=None
+    ) -> PendingCommand:
         """Queue an I/O without waiting (SPDK is natively asynchronous)."""
         costs = self.costs
         self.accounting.charge(
@@ -105,7 +124,7 @@ class SpdkStack:
             loads=costs.spdk_submit.loads + costs.spdk_check_enabled_iter.loads,
             stores=costs.spdk_submit.stores,
         )
-        return self.qpair.submit(op, offset, nbytes)
+        return self.qpair.submit(op, offset, nbytes, trace=trace)
 
     # ------------------------------------------------------------------
     def _process_completions(self, pending: PendingCommand):
@@ -115,6 +134,9 @@ class SpdkStack:
         cqe_event = pending.cqe_event
         if not cqe_event.triggered:
             yield cqe_event
+        if pending.trace is not None:
+            # CQE visible: the remaining time is user-space detection.
+            pending.trace.phase("completion_poll", pending.cqe_ns)
         # The iteration that observes the phase flip.
         detect = costs.spdk_iter_ns
         yield self.sim.timeout(detect)
@@ -125,6 +147,8 @@ class SpdkStack:
         costs = self.costs
         period = costs.spdk_iter_ns
         iters = max(1, round(spun_ns / period))
+        self._m_spin_iters.inc(iters)
+        self._m_spin_ns.inc(spun_ns)
         steps = (
             (costs.spdk_outer_iter, "spdk_nvme_qpair_process_completions"),
             (costs.spdk_inner_iter, "nvme_pcie_qpair_process_completions"),

@@ -106,6 +106,40 @@ class SsdController:
         self._rng = np.random.default_rng(seed)
         self._map_cache: "OrderedDict[int, None]" = OrderedDict()
         self._batches = Store(sim)
+        #: Dies currently inside a GC cycle — write stalls that happen
+        #: while this is non-zero are attributed to GC, not buffer churn.
+        self.gc_active = 0
+        registry = sim.obs.registry
+        self._m_flash_reads = registry.counter(
+            "ssd.read.flash", help="reads served from the flash array"
+        )
+        self._m_buffer_hits = registry.counter(
+            "ssd.read.buffer_hits", help="reads served from the write buffer"
+        )
+        self._m_cache_hits = registry.counter(
+            "ssd.read.cache_hits", help="reads served from the read cache"
+        )
+        self._m_map_misses = registry.counter(
+            "ssd.map.misses", help="mapping-table segment fetches"
+        )
+        self._m_suspends = registry.counter(
+            "ssd.flash.suspends", help="program/erase suspends issued for reads"
+        )
+        self._m_buffer_occ = registry.gauge(
+            "ssd.write_buffer.occupancy", unit="units", help="buffered write units"
+        )
+        self._m_flush_batches = registry.counter(
+            "ssd.flush.batches", help="write-buffer flush batches programmed"
+        )
+        self._m_gc_invocations = registry.counter(
+            "ftl.gc.invocations", help="GC block reclamations"
+        )
+        self._m_gc_migrated = registry.counter(
+            "ftl.gc.migrated_pages", help="valid pages migrated by GC"
+        )
+        self._m_gc_duration = registry.histogram(
+            "ftl.gc.duration_ns", unit="ns", help="per-reclamation GC duration"
+        )
         sim.process(self._batcher())
         for die_index in range(config.dies):
             sim.process(self._flush_worker(die_index))
@@ -114,11 +148,14 @@ class SsdController:
     # Read datapath (analytic: books timeline reservations, returns the
     # unit's device-internal completion time)
     # ------------------------------------------------------------------
-    def read_unit(self, lpn: int) -> int:
+    def read_unit(self, lpn: int, *, trace=None) -> int:
         """Serve one mapping unit; returns its device-done timestamp."""
         config = self.config
-        start = self.sim.now + config.read_fw_ns + self._map_lookup_delay(lpn)
-        done = self._serve_read(lpn, start)
+        map_delay = self._map_lookup_delay(lpn)
+        start = self.sim.now + config.read_fw_ns + map_delay
+        if trace is not None and map_delay:
+            trace.annotate("map_fetch", start - map_delay, start, lpn=lpn)
+        done = self._serve_read(lpn, start, trace)
         self._maybe_prefetch(lpn)
         return done
 
@@ -136,36 +173,63 @@ class SsdController:
         while len(cache) > config.map_cache_segments:
             cache.popitem(last=False)
         self.stats.map_misses += 1
+        self._m_map_misses.inc()
         return config.map_fetch_ns
 
-    def _serve_read(self, lpn: int, start: int) -> int:
+    def _serve_read(self, lpn: int, start: int, trace=None) -> int:
         config = self.config
         if self.write_buffer.contains(lpn):
             self.stats.buffer_read_hits += 1
+            self._m_buffer_hits.inc()
+            if trace is not None:
+                trace.annotate("buffer_hit", start, start + config.dram_hit_ns)
             return start + config.dram_hit_ns
         cached_ready = self.read_cache.lookup(lpn)
         if cached_ready is not None:
             self.stats.cache_read_hits += 1
+            self._m_cache_hits.inc()
+            if trace is not None:
+                trace.annotate(
+                    "cache_hit", start, max(start, cached_ready) + config.dram_hit_ns
+                )
             return max(start, cached_ready) + config.dram_hit_ns
         ppa = self.ftl.read_ppa(lpn)
         if ppa is None:
             # Never-written LBA: the controller returns zeros from DRAM.
             self.stats.unwritten_reads += 1
             return start + config.dram_hit_ns
-        return self._flash_read(lpn, ppa, start)
+        return self._flash_read(lpn, ppa, start, trace)
 
-    def _flash_read(self, lpn: int, ppa: int, start: int) -> int:
+    def _flash_read(self, lpn: int, ppa: int, start: int, trace=None) -> int:
         die_index = self.layout.die_of_page(ppa)
-        _, array_done = self.dies[die_index].read(not_before=start)
+        die = self.dies[die_index]
+        suspends_before = die.suspends
+        flash_start, array_done = die.read(not_before=start)
+        suspended = die.suspends > suspends_before
+        if suspended:
+            self._m_suspends.inc()
+        stall = 0
         if self._roll(self.config.read_stall_prob):
             self.stats.read_stalls += 1
-            array_done += self.config.read_stall_ns
+            stall = self.config.read_stall_ns
+            array_done += stall
         channel = self.channels.channel_of_die(die_index)
         _, transfer_done = self.channels.transfer(
             channel, UNIT_SIZE, not_before=array_done
         )
+        if trace is not None:
+            if flash_start > start:
+                # The die was busy: a suspend window (Z-NAND preempting a
+                # program) or plain die contention.
+                trace.phase("suspend_wait" if suspended else "die_wait", start)
+            trace.phase("flash_read", flash_start)
+            if stall:
+                trace.annotate("read_stall", array_done - stall, array_done)
+            # Channel transfer toward the controller buffer.
+            trace.phase("dma", array_done)
         self.read_cache.insert(lpn, ready_at=transfer_done)
         self.stats.flash_reads += 1
+        self._m_flash_reads.inc()
         return transfer_done
 
     def _roll(self, prob: float) -> bool:
@@ -197,10 +261,18 @@ class SsdController:
     # ------------------------------------------------------------------
     # Write datapath (process: may stall on a full buffer)
     # ------------------------------------------------------------------
-    def write_unit(self, lpn: int):
+    def write_unit(self, lpn: int, trace=None):
         """Process: admit one unit into the write buffer."""
+        wait_from = self.sim.now
         yield self.write_buffer.reserve()
+        if trace is not None and self.sim.now > wait_from:
+            # The buffer was full; name the wait for what was holding it:
+            # an active GC cycle, or plain flush backlog.
+            blocked_on = "gc_stall" if self.gc_active > 0 else "buffer_full"
+            trace.phase(blocked_on, wait_from)
+            trace.phase("write_buffer", self.sim.now)
         self.write_buffer.insert(lpn)
+        self._m_buffer_occ.set(self.write_buffer.occupancy, self.sim.now)
 
     # ------------------------------------------------------------------
     # Background flush workers (one per die)
@@ -264,13 +336,22 @@ class SsdController:
                     local.append(lpn)
                 else:
                     overflow.append(lpn)
+            tracer = self.sim.obs.tracer
             finish_at = self.sim.now
             if local:
                 channel = self.channels.channel_of_die(die_index)
                 _, staged = self.channels.transfer(
                     channel, len(local) * UNIT_SIZE, not_before=self.sim.now
                 )
-                _, programmed = die.program(not_before=staged)
+                prog_start, programmed = die.program(not_before=staged)
+                if tracer.enabled:
+                    tracer.span(
+                        f"die{die_index}",
+                        "flash_prog",
+                        prog_start,
+                        programmed,
+                        units=len(local),
+                    )
                 finish_at = max(finish_at, programmed)
             placed = list(local)
             for lpn in overflow:
@@ -286,15 +367,25 @@ class SsdController:
                 _, staged = self.channels.transfer(
                     channel, UNIT_SIZE, not_before=self.sim.now
                 )
-                _, programmed = self.dies[placement.die].program(
+                prog_start, programmed = self.dies[placement.die].program(
                     not_before=staged
                 )
+                if tracer.enabled:
+                    tracer.span(
+                        f"die{placement.die}",
+                        "flash_prog",
+                        prog_start,
+                        programmed,
+                        units=1,
+                    )
                 finish_at = max(finish_at, programmed)
             self.stats.flush_batches += 1
+            self._m_flush_batches.inc()
             if finish_at > self.sim.now:
                 yield self.sim.timeout(finish_at - self.sim.now)
             for lpn in placed:
                 buffer.flushed(lpn)
+            self._m_buffer_occ.set(buffer.occupancy, self.sim.now)
 
     def _collect_one_block(self, die_index: int):
         """Process: one GC cycle on ``die_index``.  Returns True if a
@@ -307,26 +398,30 @@ class SsdController:
         migrated = 0
         config = self.config
         pending: List[int] = []
-        for lpn in plan.victim_lpns:
-            # The host may have overwritten the page since planning.
-            if not self.ftl.still_in_block(lpn, plan.victim_block):
-                continue
-            _, read_done = die.read(not_before=self.sim.now)
-            if read_done > self.sim.now:
-                yield self.sim.timeout(read_done - self.sim.now)
-            pending.append(lpn)
-            if len(pending) >= config.units_per_program:
+        self.gc_active += 1
+        try:
+            for lpn in plan.victim_lpns:
+                # The host may have overwritten the page since planning.
+                if not self.ftl.still_in_block(lpn, plan.victim_block):
+                    continue
+                _, read_done = die.read(not_before=self.sim.now)
+                if read_done > self.sim.now:
+                    yield self.sim.timeout(read_done - self.sim.now)
+                pending.append(lpn)
+                if len(pending) >= config.units_per_program:
+                    migrated += yield from self._program_migration(
+                        die_index, pending, plan.victim_block
+                    )
+                    pending = []
+            if pending:
                 migrated += yield from self._program_migration(
                     die_index, pending, plan.victim_block
                 )
-                pending = []
-        if pending:
-            migrated += yield from self._program_migration(
-                die_index, pending, plan.victim_block
-            )
-        _, erased = die.erase(not_before=self.sim.now)
-        if erased > self.sim.now:
-            yield self.sim.timeout(erased - self.sim.now)
+            _, erased = die.erase(not_before=self.sim.now)
+            if erased > self.sim.now:
+                yield self.sim.timeout(erased - self.sim.now)
+        finally:
+            self.gc_active -= 1
         self.ftl.finish_gc(plan)
         self.stats.gc_events.append(
             GcEvent(
@@ -336,6 +431,19 @@ class SsdController:
                 migrated_pages=migrated,
             )
         )
+        self._m_gc_invocations.inc()
+        self._m_gc_migrated.inc(migrated)
+        self._m_gc_duration.observe(self.sim.now - gc_start)
+        tracer = self.sim.obs.tracer
+        if tracer.enabled:
+            tracer.span(
+                f"die{die_index}",
+                "gc",
+                gc_start,
+                self.sim.now,
+                migrated_pages=migrated,
+                victim_block=plan.victim_block,
+            )
         return True
 
     def _program_migration(self, die_index: int, lpns: List[int], victim_block: int):

@@ -80,7 +80,9 @@ class SsdDevice:
         return self.controller.ftl
 
     # ------------------------------------------------------------------
-    def submit(self, op: IoOp, offset: int, nbytes: int) -> DeviceRequest:
+    def submit(
+        self, op: IoOp, offset: int, nbytes: int, *, trace=None
+    ) -> DeviceRequest:
         """Issue a request; ``request.done`` fires at device completion."""
         lpns = self._lpns_of(offset, nbytes)
         request = DeviceRequest(
@@ -92,9 +94,9 @@ class SsdDevice:
             lpns=lpns,
         )
         if op is IoOp.READ:
-            self._submit_read(request)
+            self._submit_read(request, trace)
         elif op is IoOp.WRITE:
-            self.sim.process(self._write_flow(request))
+            self.sim.process(self._write_flow(request, trace))
         else:
             self._submit_trim(request)
         return request
@@ -156,29 +158,45 @@ class SsdDevice:
         )
         self.sim.schedule_at(done_at, self._complete, request, done_at)
 
-    def _submit_read(self, request: DeviceRequest) -> None:
+    def _submit_read(self, request: DeviceRequest, trace=None) -> None:
         controller = self.controller
         internal_done = max(
-            controller.read_unit(lpn) for lpn in request.lpns
+            controller.read_unit(lpn, trace=trace) for lpn in request.lpns
         )
-        _, dma_done = controller.pcie.reserve(
+        dma_start, dma_done = controller.pcie.reserve(
             self.config.pcie_transfer_ns(request.nbytes), not_before=internal_done
         )
         done_at = dma_done + self.config.completion_fw_ns
+        if trace is not None:
+            # Data moves host-ward, then completion firmware wraps up.
+            trace.phase("dma", dma_start)
+            trace.annotate("pcie_dma", dma_start, dma_done, nbytes=request.nbytes)
+            trace.phase("ctrl", dma_done)
         self.sim.schedule_at(done_at, self._complete, request, done_at)
 
-    def _write_flow(self, request: DeviceRequest):
+    def _write_flow(self, request: DeviceRequest, trace=None):
         config = self.config
         controller = self.controller
         yield self.sim.timeout(config.write_fw_ns)
-        _, dma_done = controller.pcie.reserve(
+        dma_start, dma_done = controller.pcie.reserve(
             config.pcie_transfer_ns(request.nbytes), not_before=self.sim.now
         )
+        if trace is not None:
+            trace.phase("dma", dma_start)
+            trace.annotate("pcie_dma", dma_start, dma_done, nbytes=request.nbytes)
         if dma_done > self.sim.now:
             yield self.sim.timeout(dma_done - self.sim.now)
+        if trace is not None:
+            trace.phase("write_buffer", self.sim.now)
         for lpn in request.lpns:
-            yield from controller.write_unit(lpn)
+            yield from controller.write_unit(lpn, trace=trace)
         stall = controller.roll_write_stall()
+        if trace is not None:
+            if stall:
+                trace.phase("write_stall", self.sim.now)
+                trace.phase("ctrl", self.sim.now + stall)
+            else:
+                trace.phase("ctrl", self.sim.now)
         yield self.sim.timeout(stall + config.dram_hit_ns + config.completion_fw_ns)
         self._complete(request, self.sim.now)
 

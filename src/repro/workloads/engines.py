@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.obs.registry import NULL_REGISTRY
 from repro.sim.engine import Simulator
 from repro.sim.events import Event
 from repro.ssd.device import IoOp
@@ -23,13 +24,20 @@ from repro.workloads.trace import TraceRecorder
 
 
 class MetricsCollector:
-    """Per-direction latency recorders plus an optional time series."""
+    """Per-direction latency recorders plus an optional time series.
+
+    When an :class:`~repro.obs.core.Observability` bundle is supplied its
+    registry additionally receives the workload-level instruments
+    (``io.latency_us``, ``io.reads`` / ``io.writes``, ``io.bytes``);
+    without one the instruments are shared no-ops.
+    """
 
     def __init__(
         self,
         *,
         capture_timeseries: bool = False,
         capture_trace: bool = False,
+        obs=None,
     ) -> None:
         self.all = LatencyRecorder("all")
         self.reads = LatencyRecorder("reads")
@@ -41,6 +49,15 @@ class MetricsCollector:
             TraceRecorder() if capture_trace else None
         )
         self.bytes_done = 0
+        registry = obs.registry if obs is not None else NULL_REGISTRY
+        self._m_latency = registry.histogram(
+            "io.latency_us", unit="us", help="application-observed I/O latency"
+        )
+        self._m_reads = registry.counter("io.reads", help="read I/Os completed")
+        self._m_writes = registry.counter("io.writes", help="write I/Os completed")
+        self._m_bytes = registry.counter(
+            "io.bytes", unit="B", help="payload bytes transferred"
+        )
 
     def record(
         self,
@@ -53,8 +70,12 @@ class MetricsCollector:
         self.all.record(latency_ns)
         if op is IoOp.READ:
             self.reads.record(latency_ns)
+            self._m_reads.inc()
         else:
             self.writes.record(latency_ns)
+            self._m_writes.inc()
+        self._m_latency.observe(latency_ns / 1000.0)
+        self._m_bytes.inc(nbytes)
         if self.series is not None:
             self.series.record(now_ns, latency_ns)
         if self.trace is not None:
@@ -132,11 +153,17 @@ class AsyncJobEngine:
 
     # ------------------------------------------------------------------
     def _on_cqe(self, request, issued_at: int, op: IoOp, offset: int) -> None:
+        trace = getattr(request.pending, "trace", None)
+        if trace is not None:
+            trace.phase("completion_isr", self.sim.now)
         delay = self.stack.async_completion_ns()
         self.sim.schedule(delay, self._finish, request, issued_at, op, offset)
 
     def _finish(self, request, issued_at: int, op: IoOp, offset: int) -> None:
         self.stack.complete_async(request)
+        trace = getattr(request.pending, "trace", None)
+        if trace is not None:
+            trace.finish(self.sim.now)
         self.metrics.record(
             op, self.sim.now - issued_at, self.sim.now, self.job.block_size, offset
         )

@@ -29,6 +29,9 @@ class JobResult:
     trace: Optional[TraceRecorder]
     accounting: Optional[CpuAccounting]
     avg_power_w: Optional[float]
+    #: The observability bundle active during the run (span tracer +
+    #: metrics registry), or ``None`` when tracing was disabled.
+    obs: Optional[object] = None
 
     @property
     def bandwidth_mbps(self) -> float:
@@ -48,6 +51,19 @@ class JobResult:
             return 0.0
         return self.accounting.utilization(self.duration_ns, mode)
 
+    def anatomy(self, op: Optional[str] = None):
+        """Latency-anatomy breakdown of the traced I/Os, or ``None``.
+
+        Requires the job to have run with tracing enabled (an installed
+        :class:`~repro.obs.core.Observability`); ``op`` filters to
+        ``"read"`` / ``"write"``.
+        """
+        if self.obs is None or not getattr(self.obs, "enabled", False):
+            return None
+        from repro.obs.anatomy import AnatomyReport
+
+        return AnatomyReport.from_tracer(self.obs.tracer, op=op)
+
 
 def run_jobs(sim: Simulator, pairs, *, region_offset: int = 0):
     """Run several (stack, job) pairs *concurrently* on one simulator.
@@ -56,6 +72,7 @@ def run_jobs(sim: Simulator, pairs, *, region_offset: int = 0):
     device at the same time, each from its own stack (its own core and
     queue pair).  Returns one :class:`JobResult` per pair, in order.
     """
+    obs = sim.obs if getattr(sim.obs, "enabled", False) else None
     prepared = []
     for stack, job in pairs:
         device = stack.device
@@ -71,6 +88,7 @@ def run_jobs(sim: Simulator, pairs, *, region_offset: int = 0):
         metrics = MetricsCollector(
             capture_timeseries=job.capture_timeseries,
             capture_trace=job.capture_trace,
+            obs=obs,
         )
         if job.engine is IoEngineKind.LIBAIO:
             engine = AsyncJobEngine(sim, stack, job, pattern, metrics)
@@ -101,6 +119,7 @@ def run_jobs(sim: Simulator, pairs, *, region_offset: int = 0):
                 avg_power_w=(
                     power.average_watts(sim.now) if power is not None else None
                 ),
+                obs=obs,
             )
         )
     return results
@@ -129,9 +148,11 @@ def run_job(
         seed=job.seed,
         region_offset=region_offset,
     )
+    obs = sim.obs if getattr(sim.obs, "enabled", False) else None
     metrics = MetricsCollector(
         capture_timeseries=job.capture_timeseries,
         capture_trace=job.capture_trace,
+        obs=obs,
     )
     if job.engine is IoEngineKind.LIBAIO:
         engine = AsyncJobEngine(sim, stack, job, pattern, metrics)
@@ -156,4 +177,5 @@ def run_job(
         trace=metrics.trace,
         accounting=accounting,
         avg_power_w=power.average_watts(sim.now) if power is not None else None,
+        obs=obs,
     )

@@ -44,6 +44,8 @@ class TraceRecorder:
     ) -> TraceEntry:
         if complete_ns < submit_ns:
             raise ValueError("completion before submission")
+        if nbytes <= 0:
+            raise ValueError(f"nbytes must be positive: {nbytes}")
         entry = TraceEntry(
             index=len(self._entries),
             op=op,

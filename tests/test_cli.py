@@ -33,15 +33,71 @@ class TestScaling:
         kwargs = _scaled_kwargs("fig10", 0.1)
         assert kwargs["io_count"] == 200
 
+    def test_scale_grows_io_count(self):
+        # Regression: growth used to be possible only by editing source;
+        # --scale above 1.0 must apply, uncapped.
+        kwargs = _scaled_kwargs("fig10", 2.0)
+        assert kwargs["io_count"] == 4000
+
     def test_scale_one_is_default(self):
         assert _scaled_kwargs("fig10", 1.0) == {}
 
-    def test_scale_floor(self):
+    def test_scale_floor_only_shrinking(self):
         assert _scaled_kwargs("fig10", 0.0001)["io_count"] == 100
+        assert _scaled_kwargs("fig10", 1.5)["io_count"] == 3000
 
-    def test_figures_without_io_count_untouched(self):
+    def test_figures_without_io_count_untouched(self, capsys):
         assert _scaled_kwargs("table1", 0.1) == {}
+        assert "--scale has no effect" in capsys.readouterr().err
 
-    def test_self_scaling_figures_untouched(self):
+    def test_self_scaling_figures_note_on_stderr(self, capsys):
         # fig07b defaults io_count=0 (per-device GC counts).
         assert _scaled_kwargs("fig07b", 0.1) == {}
+        assert "--scale has no effect" in capsys.readouterr().err
+
+
+class TestSeed:
+    def test_seed_threads_to_figures_that_accept_it(self):
+        assert _scaled_kwargs("ext-anatomy", 1.0, seed=7) == {"seed": 7}
+
+    def test_seed_skipped_elsewhere(self):
+        assert _scaled_kwargs("fig10", 1.0, seed=7) == {}
+
+    def test_seed_changes_nothing_by_default(self):
+        assert _scaled_kwargs("ext-anatomy", 1.0) == {}
+
+
+class TestObservabilityFlags:
+    def test_trace_out_writes_parseable_chrome_json(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        csv_path = tmp_path / "metrics.csv"
+        assert (
+            main(
+                [
+                    "fig14b",
+                    "--scale",
+                    "0.1",
+                    "--trace-out",
+                    str(trace_path),
+                    "--metrics-out",
+                    str(csv_path),
+                    "--anatomy",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "latency anatomy over" in out
+        document = json.loads(trace_path.read_text())
+        assert document["traceEvents"]
+        assert {e["ph"] for e in document["traceEvents"]} <= {"X", "M"}
+        header = csv_path.read_text().splitlines()[0]
+        assert header.startswith("name,kind,unit")
+
+    def test_multi_figure_outputs_get_suffixes(self, tmp_path):
+        from repro.__main__ import _suffixed
+
+        assert _suffixed("t.json", "fig10", multi=False) == "t.json"
+        assert _suffixed("t.json", "fig10", multi=True) == "t.fig10.json"

@@ -35,6 +35,14 @@ class TestTraceRecorder:
         with pytest.raises(ValueError):
             TraceRecorder().record(IoOp.READ, 0, 512, 100, 50)
 
+    def test_nonpositive_nbytes_rejected(self):
+        # Regression: a zero-byte entry silently skewed throughput and
+        # fio-log output instead of failing at the source.
+        with pytest.raises(ValueError):
+            TraceRecorder().record(IoOp.READ, 0, 0, 100, 200)
+        with pytest.raises(ValueError):
+            TraceRecorder().record(IoOp.WRITE, 0, -4096, 100, 200)
+
     def test_filter_by_direction(self):
         trace = populated_trace()
         assert len(trace.filter(IoOp.READ)) == 2
