@@ -1,18 +1,34 @@
 """Shared benchmark plumbing.
 
 Every benchmark regenerates one paper table/figure, saves the rendered
-rows under ``benchmarks/results/<figure_id>.txt``, prints them (visible
-with ``pytest -s``), and asserts the figure's headline shape.
+rows under ``benchmarks/results/<figure_id>.txt`` plus a
+machine-readable ``<figure_id>.json`` (so shape/perf trajectories can
+be diffed across PRs), prints them (visible with ``pytest -s``), and
+asserts the figure's headline shape.
+
+The sweep engine the figures run on is configurable via environment
+variables: ``REPRO_JOBS`` fans measurements out across worker
+processes, ``REPRO_CACHE_DIR`` persists them on disk across benchmark
+runs.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import pathlib
 
+from repro.core import sweep
 from repro.core.metrics import FigureResult
 from repro.core.report import render_figure
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+if os.environ.get("REPRO_JOBS") or os.environ.get("REPRO_CACHE_DIR"):
+    sweep.configure(
+        jobs=int(os.environ.get("REPRO_JOBS", "1")),
+        cache_dir=os.environ.get("REPRO_CACHE_DIR") or None,
+    )
 
 
 def emit(result: FigureResult) -> FigureResult:
@@ -20,6 +36,9 @@ def emit(result: FigureResult) -> FigureResult:
     RESULTS_DIR.mkdir(exist_ok=True)
     text = render_figure(result)
     (RESULTS_DIR / f"{result.figure_id}.txt").write_text(text + "\n")
+    (RESULTS_DIR / f"{result.figure_id}.json").write_text(
+        json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n"
+    )
     print()
     print(text)
     return result

@@ -34,9 +34,9 @@ def interference() -> None:
         row = []
         for kind in (DeviceKind.ULL, DeviceKind.NVME):
             if frac == 0:
-                result, _ = run_async_job(kind, "randread", iodepth=8, io_count=2500)
+                result = run_async_job(kind, "randread", iodepth=8, io_count=2500)
             else:
-                result, _ = run_async_job(
+                result = run_async_job(
                     kind, "randrw", iodepth=8, io_count=2500,
                     write_fraction=frac / 100,
                 )

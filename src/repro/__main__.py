@@ -4,6 +4,15 @@ Runs one or more figure reproductions and prints their tables.  Use
 ``--scale`` to grow or shrink I/O counts (0.1 = 10 % of the default
 samples, 2.0 = double), ``--list`` to enumerate figure ids.
 
+Execution flags configure the sweep engine every figure runs on:
+
+* ``--jobs N`` — fan independent measurements out across N worker
+  processes (results are merged by point key, so output is
+  bit-identical to serial);
+* ``--cache-dir DIR`` — persist measurements on disk (default
+  ``~/.cache/repro``; a warm rerun executes zero simulations);
+* ``--no-cache`` — keep everything in-process only.
+
 Observability flags wrap each figure run in a fresh
 :class:`repro.obs.core.Observability` bundle:
 
@@ -25,6 +34,7 @@ import os
 import sys
 import time
 
+from repro.core import sweep as sweep_engine
 from repro.core.figures import FIGURES, run_figure
 from repro.core.report import render_figure
 
@@ -109,6 +119,27 @@ def main(argv=None) -> int:
         help="override the device seed on figures that accept one",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run independent measurements across N worker processes",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "persist measurements under DIR "
+            f"(default {sweep_engine.DEFAULT_CACHE_DIR})"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent measurement cache",
+    )
+    parser.add_argument(
         "--trace-out",
         metavar="FILE",
         default=None,
@@ -142,6 +173,10 @@ def main(argv=None) -> int:
     if not targets:
         parser.print_usage()
         return 2
+    cache_dir = None if args.no_cache else (
+        args.cache_dir or sweep_engine.DEFAULT_CACHE_DIR
+    )
+    engine = sweep_engine.configure(jobs=args.jobs, cache_dir=cache_dir)
     observing = bool(
         args.trace_out or args.metrics or args.metrics_out or args.anatomy
     )
@@ -152,6 +187,7 @@ def main(argv=None) -> int:
             return 2
         kwargs = _scaled_kwargs(figure_id, args.scale, seed=args.seed)
         started = time.time()
+        before = engine.stats.snapshot()
         if observing:
             from repro.obs.core import Observability
 
@@ -163,6 +199,14 @@ def main(argv=None) -> int:
             result = run_figure(figure_id, **kwargs)
         print(render_figure(result))
         print(f"   [{time.time() - started:.1f}s]\n")
+        after = engine.stats.snapshot()
+        delta = {key: after[key] - before[key] for key in after}
+        print(
+            f"{figure_id}: points={delta['points']} "
+            f"executed={delta['executed']} memo={delta['memo_hits']} "
+            f"disk={delta['disk_hits']} traced={delta['traced']}",
+            file=sys.stderr,
+        )
         if obs is not None:
             _emit_observability(obs, figure_id, args, multi)
     return 0

@@ -9,53 +9,42 @@ behavior that mechanism actually carries:
 * **write-buffer size** — buffered write latency vs. backlog;
 * **overprovisioning** — GC's ability to keep up with overwrites
   (the flat ULL line of Fig. 7b);
+* the **gc victim policy** — greedy vs. cost-benefit under skew;
 * the **hybrid-poll sleep fraction** — the latency/CPU trade the kernel
   fixed at 1/2.
+
+Each ablation declares its configuration grid as sweep points
+(:func:`~repro.core.runners.config_point` carries device-config
+overrides into the runner), so modified-device runs get the same
+caching and parallel fan-out as the paper figures.
 """
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Tuple
 
-from repro.core.experiment import DeviceKind, device_config
 from repro.core.metrics import FigureResult, Series
-from repro.kstack.completion import CompletionMethod
-from repro.kstack.stack import KernelStack
-from repro.sim.engine import Simulator
-from repro.ssd.device import SsdDevice
-from repro.workloads.job import FioJob, IoEngineKind
-from repro.workloads.runner import JobResult, run_job
-
-
-def _run_on_config(
-    config,
-    job: FioJob,
-    *,
-    completion: CompletionMethod = CompletionMethod.INTERRUPT,
-    sleep_fraction: float = None,
-) -> Tuple[JobResult, SsdDevice]:
-    sim = Simulator()
-    device = SsdDevice(sim, config)
-    device.precondition()
-    stack = KernelStack(sim, device, completion=completion)
-    if sleep_fraction is not None:
-        stack.engine.sleep_fraction = sleep_fraction
-    return run_job(sim, stack, job), device
+from repro.core.runners import config_point
+from repro.core.sweep import make_point, sweep
 
 
 def suspend_resume_ablation(io_count: int = 3000) -> FigureResult:
     """Fig. 6 without the suspend/resume engine: reads queue behind
     programs even on Z-NAND."""
-    base = device_config(DeviceKind.ULL)
-    job = FioJob(
-        name="mix", rw="randrw", write_fraction=0.5,
-        engine=IoEngineKind.LIBAIO, iodepth=8, io_count=io_count,
-    )
+    variants = (("suspend/resume ON", True), ("suspend/resume OFF", False))
+    points = [
+        config_point(
+            "ull", "randrw", io_count=io_count,
+            engine="libaio", iodepth=8, write_fraction=0.5,
+            config_overrides=(("suspend_resume", enabled),),
+            key=label,
+        )
+        for label, enabled in variants
+    ]
+    data = sweep(points, name="abl-suspend")
     series = []
-    for label, enabled in (("suspend/resume ON", True), ("suspend/resume OFF", False)):
-        config = dataclasses.replace(base, suspend_resume=enabled)
-        result, _ = _run_on_config(config, job)
+    for label, _enabled in variants:
+        result = data[label].result
         series.append(
             Series.from_points(
                 label,
@@ -75,17 +64,23 @@ def suspend_resume_ablation(io_count: int = 3000) -> FigureResult:
 
 def map_cache_ablation(io_count: int = 1200) -> FigureResult:
     """The ULL random-vs-sequential read gap is the map-segment cache."""
-    base = device_config(DeviceKind.ULL)
+    variants = (
+        ("map cache ON", ()),
+        ("map cache OFF (full map in SRAM)", (("map_cache_segments", 0),)),
+    )
+    patterns = ("read", "randread")
+    points = [
+        config_point(
+            "ull", rw, io_count=io_count, config_overrides=overrides,
+            key=(label, rw),
+        )
+        for label, overrides in variants
+        for rw in patterns
+    ]
+    data = sweep(points, name="abl-mapcache")
     series = []
-    for label, segments in (("map cache ON", base.map_cache_segments),
-                            ("map cache OFF (full map in SRAM)", 0)):
-        config = dataclasses.replace(base, map_cache_segments=segments)
-        ys = []
-        for rw in ("read", "randread"):
-            job = FioJob(name=rw, rw=rw, engine=IoEngineKind.PSYNC,
-                         io_count=io_count)
-            result, _ = _run_on_config(config, job)
-            ys.append(result.latency.mean_us)
+    for label, _overrides in variants:
+        ys = [data[(label, rw)].result.latency.mean_us for rw in patterns]
         series.append(Series.from_points(label, ("SeqRd", "RndRd"), ys, "us"))
     return FigureResult(
         figure_id="abl-mapcache",
@@ -100,26 +95,28 @@ def write_buffer_ablation(
     io_count: int = 3000, sizes: Tuple[int, ...] = (64, 512, 2048, 8192)
 ) -> FigureResult:
     """NVMe buffered writes: the buffer hides tPROG until it fills."""
-    series = []
-    mean_ys, tail_ys = [], []
-    for units in sizes:
-        config = device_config(DeviceKind.NVME, write_buffer_units=units)
-        job = FioJob(
-            name="wr", rw="randwrite", engine=IoEngineKind.LIBAIO,
-            iodepth=16, io_count=io_count,
+    points = [
+        config_point(
+            "nvme", "randwrite", io_count=io_count,
+            engine="libaio", iodepth=16,
+            config_overrides=(("write_buffer_units", units),),
+            key=units,
         )
-        result, _ = _run_on_config(config, job)
-        mean_ys.append(result.latency.mean_us)
-        tail_ys.append(result.latency.p99999_us)
+        for units in sizes
+    ]
+    data = sweep(points, name="abl-writebuffer")
+    mean_ys = [data[units].result.latency.mean_us for units in sizes]
+    tail_ys = [data[units].result.latency.p99999_us for units in sizes]
     labels = [f"{units}u" for units in sizes]
-    series.append(Series.from_points("mean", labels, mean_ys, "us"))
-    series.append(Series.from_points("p99.999", labels, tail_ys, "us"))
     return FigureResult(
         figure_id="abl-writebuffer",
         title="NVMe random-write latency vs write-buffer size (QD16)",
         x_label="buffer size (4KB units)",
         y_label="latency (us)",
-        series=tuple(series),
+        series=(
+            Series.from_points("mean", labels, mean_ys, "us"),
+            Series.from_points("p99.999", labels, tail_ys, "us"),
+        ),
     )
 
 
@@ -127,19 +124,19 @@ def overprovision_ablation(
     io_count: int = 12_000, ratios: Tuple[float, ...] = (0.08, 0.125, 0.20, 0.28)
 ) -> FigureResult:
     """The flat ULL GC line needs headroom: WAF and write latency vs OP."""
+    points = [
+        config_point(
+            "ull", "randwrite", io_count=io_count,
+            config_overrides=(("overprovision", ratio),),
+            want_device=True,
+            key=ratio,
+        )
+        for ratio in ratios
+    ]
+    data = sweep(points, name="abl-overprovision")
     labels = [f"{int(100 * ratio)}%" for ratio in ratios]
-    latency_ys, waf_ys = [], []
-    for ratio in ratios:
-        config = dataclasses.replace(
-            device_config(DeviceKind.ULL), overprovision=ratio
-        )
-        job = FioJob(
-            name="ow", rw="randwrite", engine=IoEngineKind.PSYNC,
-            io_count=io_count,
-        )
-        result, device = _run_on_config(config, job)
-        latency_ys.append(result.latency.mean_us)
-        waf_ys.append(device.ftl.write_amplification())
+    latency_ys = [data[ratio].result.latency.mean_us for ratio in ratios]
+    waf_ys = [data[ratio].device.write_amplification for ratio in ratios]
     return FigureResult(
         figure_id="abl-overprovision",
         title="Sustained overwrites vs overprovisioning (ULL)",
@@ -163,33 +160,22 @@ def gc_policy_ablation(io_count: int = 30_000, hot_fraction: float = 0.2):
     that convergence (and that both sustain the storm at equal WAF);
     cost-benefit's distinct *choices* are covered by unit tests.
     """
-    import numpy as np
-
-    results = {}
-    for policy in ("greedy", "cost-benefit"):
-        # A smaller array reaches GC steady state (where the policies
-        # diverge) within a tractable number of overwrites.
-        config = dataclasses.replace(
-            device_config(
-                DeviceKind.ULL, blocks_per_die=12, pages_per_block=64
-            ),
-            gc_policy=policy,
+    policies = ("greedy", "cost-benefit")
+    points = [
+        make_point(
+            policy,
+            "gc_policy",
+            device="ull",
+            policy=policy,
+            io_count=io_count,
+            hot_fraction=hot_fraction,
+            # A smaller array reaches GC steady state (where the
+            # policies diverge) within a tractable number of overwrites.
+            config_overrides=(("blocks_per_die", 12), ("pages_per_block", 64)),
         )
-        sim = Simulator()
-        device = SsdDevice(sim, config)
-        device.precondition()
-        rng = np.random.default_rng(17)
-        pages = device.logical_pages
-        hot_pages = max(1, int(pages * hot_fraction))
-        for _ in range(io_count):
-            if rng.random() < 0.8:
-                lpn = int(rng.integers(0, hot_pages))
-            else:
-                lpn = int(rng.integers(hot_pages, pages))
-            device.write(lpn * 4096, 4096)
-        sim.run()
-        results[policy] = device
-    labels = tuple(results)
+        for policy in policies
+    ]
+    data = sweep(points, name="abl-gcpolicy")
     return FigureResult(
         figure_id="abl-gcpolicy",
         title="GC victim policy under 80/20 skewed overwrites (ULL)",
@@ -198,14 +184,14 @@ def gc_policy_ablation(io_count: int = 30_000, hot_fraction: float = 0.2):
         series=(
             Series.from_points(
                 "write amplification",
-                labels,
-                [results[p].ftl.write_amplification() for p in labels],
+                policies,
+                [data[p].value("write_amplification") for p in policies],
                 "x",
             ),
             Series.from_points(
                 "erases",
-                labels,
-                [float(results[p].ftl.erases) for p in labels],
+                policies,
+                [data[p].value("erases") for p in policies],
             ),
         ),
     )
@@ -215,19 +201,18 @@ def hybrid_sleep_ablation(
     io_count: int = 2000, fractions: Tuple[float, ...] = (0.25, 0.5, 0.75)
 ) -> FigureResult:
     """The kernel's sleep-half heuristic: latency vs CPU across fractions."""
-    config = device_config(DeviceKind.ULL)
-    labels = [f"{fraction:.2f}" for fraction in fractions]
-    latency_ys, cpu_ys = [], []
-    for fraction in fractions:
-        job = FioJob(name="hy", rw="randread", engine=IoEngineKind.PSYNC,
-                     io_count=io_count)
-        result, _ = _run_on_config(
-            config, job,
-            completion=CompletionMethod.HYBRID,
-            sleep_fraction=fraction,
+    points = [
+        config_point(
+            "ull", "randread", io_count=io_count,
+            completion="hybrid", sleep_fraction=fraction,
+            key=fraction,
         )
-        latency_ys.append(result.latency.mean_us)
-        cpu_ys.append(100.0 * result.cpu_utilization())
+        for fraction in fractions
+    ]
+    data = sweep(points, name="abl-hybridsleep")
+    labels = [f"{fraction:.2f}" for fraction in fractions]
+    latency_ys = [data[f].result.latency.mean_us for f in fractions]
+    cpu_ys = [100.0 * data[f].result.cpu_utilization() for f in fractions]
     return FigureResult(
         figure_id="abl-hybridsleep",
         title="Hybrid polling: sleep fraction vs latency and CPU (ULL)",

@@ -8,7 +8,7 @@ independent and deterministic for a given seed.
 from __future__ import annotations
 
 import enum
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
 
 from repro.host.costs import DEFAULT_COSTS, SoftwareCosts
 from repro.kstack.completion import CompletionMethod
@@ -120,11 +120,15 @@ def run_async_job(
     seed: int = 42,
     capture_timeseries: bool = False,
     config: Optional[SsdConfig] = None,
-) -> Tuple[JobResult, SsdDevice]:
+    want_device: bool = False,
+) -> Union[JobResult, Tuple[JobResult, SsdDevice]]:
     """One asynchronous (libaio, interrupt-completed) measurement.
 
-    Returns the result *and* the device, because several figures also
-    read device-side state (power series, GC events).
+    Returns the :class:`JobResult`; with ``want_device=True`` returns
+    ``(result, device)`` for the few callers that also read device-side
+    state (power series, GC events).  The default drops the simulator
+    and device as soon as the run finishes, so sweeps over many points
+    do not keep every device's full state alive.
     """
     sim = Simulator()
     device = build_device(
@@ -142,4 +146,7 @@ def run_async_job(
         seed=seed,
         capture_timeseries=capture_timeseries,
     )
-    return run_job(sim, host, job), device
+    result = run_job(sim, host, job)
+    if want_device:
+        return result, device
+    return result

@@ -10,42 +10,9 @@ thin dispatch path, against the standard NVMe rings, on the ULL SSD.
 
 from __future__ import annotations
 
-from repro.core.experiment import DeviceKind, build_device
 from repro.core.metrics import FigureResult, Series
-from repro.kstack.completion import CompletionMethod
-from repro.kstack.stack import KernelStack
-from repro.nvme.lightweight import LightQueuePair
-from repro.sim.engine import Simulator
-from repro.workloads.job import FioJob, IoEngineKind
-from repro.workloads.runner import JobResult, run_job
-
-
-def _run(
-    *,
-    light: bool,
-    completion: CompletionMethod,
-    rw: str,
-    io_count: int,
-    iodepth: int = 1,
-) -> JobResult:
-    sim = Simulator()
-    device = build_device(sim, DeviceKind.ULL)
-    qpair = None
-    if light:
-        qpair = LightQueuePair(
-            sim,
-            device,
-            interrupts_enabled=(completion is CompletionMethod.INTERRUPT),
-        )
-    stack = KernelStack(
-        sim, device, completion=completion, qpair=qpair, thin_submit=light
-    )
-    engine = IoEngineKind.PSYNC if iodepth == 1 else IoEngineKind.LIBAIO
-    job = FioJob(
-        name=f"light={light}", rw=rw, engine=engine,
-        iodepth=iodepth, io_count=io_count,
-    )
-    return run_job(sim, stack, job)
+from repro.core.runners import anatomy_point, light_point
+from repro.core.sweep import sweep
 
 
 def lightqueue_study(io_count: int = 1500) -> FigureResult:
@@ -58,19 +25,24 @@ def lightqueue_study(io_count: int = 1500) -> FigureResult:
     parallelism.
     """
     variants = (
-        ("NVMe rings, interrupt", False, CompletionMethod.INTERRUPT),
-        ("NVMe rings, poll", False, CompletionMethod.POLL),
-        ("Light queue, interrupt", True, CompletionMethod.INTERRUPT),
-        ("Light queue, poll", True, CompletionMethod.POLL),
+        ("NVMe rings, interrupt", False, "interrupt"),
+        ("NVMe rings, poll", False, "poll"),
+        ("Light queue, interrupt", True, "interrupt"),
+        ("Light queue, poll", True, "poll"),
     )
     patterns = ("randread", "randwrite")
+    points = [
+        light_point(
+            "ull", rw, light=light, completion=completion, io_count=io_count,
+            key=(label, rw),
+        )
+        for label, light, completion in variants
+        for rw in patterns
+    ]
+    data = sweep(points, name="ext-lightqueue")
     series = []
-    for label, light, completion in variants:
-        ys = [
-            _run(light=light, completion=completion, rw=rw, io_count=io_count)
-            .latency.mean_us
-            for rw in patterns
-        ]
+    for label, _light, _completion in variants:
+        ys = [data[(label, rw)].result.latency.mean_us for rw in patterns]
         series.append(Series.from_points(label, patterns, ys, "us"))
     rich = series[0]
     light_series = series[2]
@@ -103,43 +75,24 @@ def latency_anatomy(
     between interrupt, poll, and SPDK is software on either side of it,
     which is the paper's core argument in one picture.
     """
-    from repro.spdk.stack import SpdkStack
-    from repro.workloads.engines import MetricsCollector, SyncJobEngine
-    from repro.workloads.patterns import make_pattern
-
     variants = (
-        ("Kernel interrupt", "kernel", CompletionMethod.INTERRUPT),
-        ("Kernel poll", "kernel", CompletionMethod.POLL),
+        ("Kernel interrupt", "kernel", "interrupt"),
+        ("Kernel poll", "kernel", "poll"),
         ("SPDK", "spdk", None),
     )
     stage_names = ("submit", "device", "complete")
+    points = [
+        anatomy_point(kind, completion, rw, io_count, seed=seed, key=label)
+        for label, kind, completion in variants
+    ]
+    data = sweep(points, name="ext-anatomy")
     series = []
-    for label, kind, completion in variants:
-        sim = Simulator()
-        device = build_device(sim, DeviceKind.ULL, seed=seed)
-        if kind == "spdk":
-            stack = SpdkStack(sim, device)
-        else:
-            stack = KernelStack(sim, device, completion=completion)
-        stack.stage_log = []
-        job = FioJob(
-            name=label, rw=rw, engine=IoEngineKind.PSYNC, io_count=io_count
-        )
-        pattern = make_pattern(job.rw, job.block_size, device.capacity_bytes)
-        metrics = MetricsCollector()
-        process = sim.process(SyncJobEngine(sim, stack, job, pattern, metrics).run())
-        sim.run_until_event(process)
-        count = len(stack.stage_log)
-        sums = [0, 0, 0]
-        for start, submitted, cqe, done in stack.stage_log:
-            sums[0] += submitted - start
-            sums[1] += cqe - submitted
-            sums[2] += done - cqe
-        series.append(
-            Series.from_points(
-                label, stage_names, [s / count / 1000.0 for s in sums], "us"
-            )
-        )
+    for label, _kind, _completion in variants:
+        measured = data[label]
+        ys = [
+            measured.value(f"{stage}_ns") / 1000.0 for stage in stage_names
+        ]
+        series.append(Series.from_points(label, stage_names, ys, "us"))
     return FigureResult(
         figure_id="ext-anatomy",
         title=f"Latency anatomy of a 4KB {rw} (ULL SSD, QD1)",
@@ -157,18 +110,20 @@ def lightqueue_depth_limit(io_count: int = 2500) -> FigureResult:
     SSD (which saturates by QD 8-16) — the shallow queue loses nothing.
     """
     depths = (1, 4, 8, 16, 32)
+    variants = (("NVMe rings", False), ("Light queue", True))
+    points = [
+        light_point(
+            "ull", "randread", light=light, completion="interrupt",
+            io_count=max(io_count, depth * 40), iodepth=depth,
+            key=(label, depth),
+        )
+        for label, light in variants
+        for depth in depths
+    ]
+    data = sweep(points, name="ext-lightqueue-depth")
     series = []
-    for label, light in (("NVMe rings", False), ("Light queue", True)):
-        ys = []
-        for depth in depths:
-            result = _run(
-                light=light,
-                completion=CompletionMethod.INTERRUPT,
-                rw="randread",
-                io_count=max(io_count, depth * 40),
-                iodepth=depth,
-            )
-            ys.append(result.bandwidth_mbps)
+    for label, _light in variants:
+        ys = [data[(label, depth)].result.bandwidth_mbps for depth in depths]
         series.append(Series.from_points(label, depths, ys, "MB/s"))
     return FigureResult(
         figure_id="ext-lightqueue-depth",

@@ -1,43 +1,41 @@
 """Figures 9-16: I/O completion methods (paper Section V).
 
 All experiments are synchronous (pvsync2) on one core, as in the paper.
+Each figure declares its (pattern x variant x block size) grid as sweep
+points; identical cells across figures (Figs. 9-16 share many runs)
+collapse in the engine's memo and persistent cache.
 """
 
 from __future__ import annotations
 
 from typing import Tuple
 
-from repro.core.experiment import DeviceKind, StackKind, run_sync_job
-from repro.core.figures_device import PATTERN_LABELS, PATTERNS
+from repro.core.display import KB, PATTERN_LABELS, PATTERNS
+from repro.core.experiment import DeviceKind
 from repro.core.metrics import FigureResult, Series
+from repro.core.runners import sync_point
+from repro.core.sweep import sweep
 from repro.host.accounting import ExecMode
-from repro.kstack.completion import CompletionMethod
-from repro.obs.core import obs_aware_cache
 
 BLOCK_SIZES = (4096, 8192, 16384, 32768)
-KB = {4096: "4KB", 8192: "8KB", 16384: "16KB", 32768: "32KB",
-      65536: "64KB", 131072: "128KB", 262144: "256KB",
-      524288: "512KB", 1048576: "1MB"}
 
 
-@obs_aware_cache
-def _sync_run(
-    device: str,
-    rw: str,
-    block_size: int,
-    method: str,
-    io_count: int,
-    stack: str = "kernel",
-):
-    """Cached synchronous measurement (shared across figures)."""
-    return run_sync_job(
-        DeviceKind(device),
-        rw,
-        block_size=block_size,
-        io_count=io_count,
-        stack=StackKind(stack),
-        completion=CompletionMethod(method),
-    )
+def _sync_sweep(name: str, cells, io_count: int):
+    """Run every unique (device, rw, block_size, method, stack) cell.
+
+    Returns ``{cell: JobResult}``; cells may repeat (figures often pair
+    a variant with its interrupt baseline per block size).
+    """
+    unique = tuple(dict.fromkeys(cells))
+    points = [
+        sync_point(
+            device, rw, block_size=bs, method=method, stack=stack,
+            io_count=io_count,
+        )
+        for device, rw, bs, method, stack in unique
+    ]
+    data = sweep(points, name=name)
+    return {cell: data[cell].result for cell in unique}
 
 
 def _latency_vs_bs(
@@ -51,13 +49,19 @@ def _latency_vs_bs(
     metric: str = "mean",
 ):
     """Generic grid: per pattern, one series per completion variant."""
+    cells = [
+        (device.value, rw, bs, method, stack)
+        for rw in patterns
+        for _label, method, stack in variants
+        for bs in block_sizes
+    ]
+    data = _sync_sweep(figure_id, cells, io_count)
     series = []
     for rw in patterns:
         for label, method, stack in variants:
             ys = []
             for bs in block_sizes:
-                result = _sync_run(device.value, rw, bs, method, io_count, stack)
-                summary = result.latency
+                summary = data[(device.value, rw, bs, method, stack)].latency
                 ys.append(
                     summary.mean_us if metric == "mean" else summary.p99999_us
                 )
@@ -114,13 +118,21 @@ def fig10(io_count: int = 2000, block_sizes: Tuple[int, ...] = BLOCK_SIZES):
 # ----------------------------------------------------------------------
 def fig11(io_count: int = 25000, block_sizes: Tuple[int, ...] = BLOCK_SIZES):
     """Five-nines latency of the ULL SSD: polling's tail is worse (Fig. 11)."""
+    panels = (("randread", "Reads"), ("randwrite", "Writes"))
+    cells = [
+        ("ull", rw, bs, method, stack)
+        for rw, _panel in panels
+        for _label, method, stack in POLL_VS_INT
+        for bs in block_sizes
+    ]
+    data = _sync_sweep("fig11", cells, io_count)
     series = []
-    for rw, panel in (("randread", "Reads"), ("randwrite", "Writes")):
+    for rw, panel in panels:
         for label, method, stack in POLL_VS_INT:
-            ys = []
-            for bs in block_sizes:
-                result = _sync_run("ull", rw, bs, method, io_count, stack)
-                ys.append(result.latency.p99999_us)
+            ys = [
+                data[("ull", rw, bs, method, stack)].latency.p99999_us
+                for bs in block_sizes
+            ]
             series.append(
                 Series.from_points(
                     f"{panel} {label}", [KB[bs] for bs in block_sizes], ys, "us"
@@ -141,12 +153,18 @@ def fig11(io_count: int = 25000, block_sizes: Tuple[int, ...] = BLOCK_SIZES):
 # ----------------------------------------------------------------------
 def fig12(io_count: int = 1500, block_sizes: Tuple[int, ...] = BLOCK_SIZES):
     """CPU utilization of hybrid polling (Fig. 12)."""
+    cells = [
+        ("ull", rw, bs, "hybrid", "kernel")
+        for rw in PATTERNS
+        for bs in block_sizes
+    ]
+    data = _sync_sweep("fig12", cells, io_count)
     series = []
     for rw in PATTERNS:
-        ys = []
-        for bs in block_sizes:
-            result = _sync_run("ull", rw, bs, "hybrid", io_count)
-            ys.append(100.0 * result.cpu_utilization())
+        ys = [
+            100.0 * data[("ull", rw, bs, "hybrid", "kernel")].cpu_utilization()
+            for bs in block_sizes
+        ]
         series.append(
             Series.from_points(
                 PATTERN_LABELS[rw], [KB[bs] for bs in block_sizes], ys, "%"
@@ -163,17 +181,23 @@ def fig12(io_count: int = 1500, block_sizes: Tuple[int, ...] = BLOCK_SIZES):
 
 def fig13(io_count: int = 1500, block_sizes: Tuple[int, ...] = BLOCK_SIZES):
     """CPU utilization, interrupt vs. poll, split user/kernel (Fig. 13)."""
+    variants = (("Interrupt", "interrupt", "kernel"), ("Poll", "poll", "kernel"))
+    cells = [
+        ("ull", rw, bs, method, stack)
+        for rw in PATTERNS
+        for _label, method, stack in variants
+        for bs in block_sizes
+    ]
+    data = _sync_sweep("fig13", cells, io_count)
     series = []
     for rw in PATTERNS:
-        for label, method, stack in (
-            ("Interrupt", "interrupt", "kernel"),
-            ("Poll", "poll", "kernel"),
-        ):
+        for label, method, stack in variants:
             for mode in (ExecMode.USER, ExecMode.KERNEL):
-                ys = []
-                for bs in block_sizes:
-                    result = _sync_run("ull", rw, bs, method, io_count, stack)
-                    ys.append(100.0 * result.cpu_utilization(mode))
+                ys = [
+                    100.0
+                    * data[("ull", rw, bs, method, stack)].cpu_utilization(mode)
+                    for bs in block_sizes
+                ]
                 series.append(
                     Series.from_points(
                         f"{PATTERN_LABELS[rw]} {label} {mode.value}",
@@ -196,9 +220,11 @@ def fig13(io_count: int = 1500, block_sizes: Tuple[int, ...] = BLOCK_SIZES):
 # ----------------------------------------------------------------------
 def fig14a(io_count: int = 1500):
     """Kernel cycles: NVMe driver vs. rest of the storage stack (Fig. 14a)."""
+    cells = [("ull", rw, 4096, "poll", "kernel") for rw in PATTERNS]
+    data = _sync_sweep("fig14a", cells, io_count)
     driver_share, stack_share = [], []
     for rw in PATTERNS:
-        result = _sync_run("ull", rw, 4096, "poll", io_count)
+        result = data[("ull", rw, 4096, "poll", "kernel")]
         by_module = result.accounting.cycles_by_module(ExecMode.KERNEL)
         storage = {
             module: ns
@@ -224,9 +250,11 @@ def fig14a(io_count: int = 1500):
 
 def fig14b(io_count: int = 1500):
     """Kernel cycles: blk_mq_poll and nvme_poll dominate (Fig. 14b)."""
+    cells = [("ull", rw, 4096, "poll", "kernel") for rw in PATTERNS]
+    data = _sync_sweep("fig14b", cells, io_count)
     blk_poll, nvme_poll = [], []
     for rw in PATTERNS:
-        result = _sync_run("ull", rw, 4096, "poll", io_count)
+        result = data[("ull", rw, 4096, "poll", "kernel")]
         shares = result.accounting.cycle_share_by_function(ExecMode.KERNEL)
         blk_poll.append(100.0 * shares.get("blk_mq_poll", 0.0))
         nvme_poll.append(100.0 * shares.get("nvme_poll", 0.0))
@@ -248,12 +276,20 @@ def fig14b(io_count: int = 1500):
 # ----------------------------------------------------------------------
 def fig15(io_count: int = 1500, block_sizes: Tuple[int, ...] = BLOCK_SIZES):
     """Normalized load/store counts of polling (Fig. 15)."""
+    panels = (("randread", "Reads"), ("randwrite", "Writes"))
+    cells = [
+        ("ull", rw, bs, method, "kernel")
+        for rw, _panel in panels
+        for bs in block_sizes
+        for method in ("poll", "interrupt")
+    ]
+    data = _sync_sweep("fig15", cells, io_count)
     series = []
-    for rw, panel in (("randread", "Reads"), ("randwrite", "Writes")):
+    for rw, panel in panels:
         loads, stores = [], []
         for bs in block_sizes:
-            poll = _sync_run("ull", rw, bs, "poll", io_count)
-            interrupt = _sync_run("ull", rw, bs, "interrupt", io_count)
+            poll = data[("ull", rw, bs, "poll", "kernel")]
+            interrupt = data[("ull", rw, bs, "interrupt", "kernel")]
             loads.append(
                 poll.accounting.total_loads() / interrupt.accounting.total_loads()
             )
@@ -277,13 +313,20 @@ def fig15(io_count: int = 1500, block_sizes: Tuple[int, ...] = BLOCK_SIZES):
 # ----------------------------------------------------------------------
 def fig16(io_count: int = 2000, block_sizes: Tuple[int, ...] = BLOCK_SIZES):
     """Latency reduction vs. interrupt: poll and hybrid (Fig. 16)."""
+    cells = [
+        ("ull", rw, bs, method, "kernel")
+        for rw in PATTERNS
+        for bs in block_sizes
+        for method in ("interrupt", "poll", "hybrid")
+    ]
+    data = _sync_sweep("fig16", cells, io_count)
     series = []
     for rw in PATTERNS:
         for label, method in (("Polling", "poll"), ("Hybrid Polling", "hybrid")):
             ys = []
             for bs in block_sizes:
-                base = _sync_run("ull", rw, bs, "interrupt", io_count)
-                variant = _sync_run("ull", rw, bs, method, io_count)
+                base = data[("ull", rw, bs, "interrupt", "kernel")]
+                variant = data[("ull", rw, bs, method, "kernel")]
                 reduction = 100.0 * (
                     1.0 - variant.latency.mean_ns / base.latency.mean_ns
                 )

@@ -2,51 +2,35 @@
 
 All experiments here drive the devices with libaio through the kernel
 interrupt path, exactly like the paper's fio setup for this section.
+Each figure declares its measurement grid as sweep points and submits
+the whole grid at once, so the engine can satisfy it from cache or fan
+it out across worker processes.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Tuple
 
-from repro.core.experiment import (
-    DeviceKind,
-    build_device,
-    build_stack,
-    device_config,
-    run_async_job,
-    run_sync_job,
-)
+from repro.core.display import PATTERN_LABELS, PATTERNS, US
+from repro.core.experiment import DeviceKind, device_config
 from repro.core.metrics import FigureResult, Series
-from repro.obs.core import obs_aware_cache
-from repro.sim.engine import Simulator
-from repro.workloads.job import FioJob, IoEngineKind
-from repro.workloads.runner import run_job
-
-PATTERNS = ("read", "randread", "write", "randwrite")
-PATTERN_LABELS = {
-    "read": "SeqRd",
-    "randread": "RndRd",
-    "write": "SeqWr",
-    "randwrite": "RndWr",
-}
-US = 1_000.0
+from repro.core.runners import async_point, gc_point, idle_point, sync_point
+from repro.core.sweep import sweep
 
 
 # ----------------------------------------------------------------------
 # Figure 4: latency vs. queue depth
 # ----------------------------------------------------------------------
-@obs_aware_cache
 def _qd_sweep(io_count: int, depths: Tuple[int, ...]):
     """Shared runs for Figs. 4a/4b: JobResult per (device, rw, depth)."""
-    results: Dict[Tuple[str, str, int], object] = {}
-    for kind in DeviceKind:
-        for rw in PATTERNS:
-            for depth in depths:
-                result, _device = run_async_job(
-                    kind, rw, iodepth=depth, io_count=io_count
-                )
-                results[(kind.value, rw, depth)] = result
-    return results
+    points = [
+        async_point(kind.value, rw, iodepth=depth, io_count=io_count)
+        for kind in DeviceKind
+        for rw in PATTERNS
+        for depth in depths
+    ]
+    data = sweep(points, name="qd_sweep")
+    return {key: m.result for key, m in data.items()}
 
 
 def fig04a(io_count: int = 2000, depths: Tuple[int, ...] = (1, 2, 4, 8, 16, 32)):
@@ -96,20 +80,29 @@ def fig04b(io_count: int = 2000, depths: Tuple[int, ...] = (1, 2, 4, 8, 16, 32))
 # ----------------------------------------------------------------------
 # Figure 5: normalized bandwidth vs. queue depth
 # ----------------------------------------------------------------------
-def _bandwidth_sweep(kind: DeviceKind, depths: Tuple[int, ...], io_count: int):
+def _io_count_for(kind: DeviceKind, rw: str, depth: int, io_count: int) -> int:
     # Write runs must outlast the DRAM write buffer, or the measurement
     # reports buffered-absorption bandwidth instead of steady state.
-    buffer_units = device_config(kind).write_buffer_units
-    series = {}
-    for rw in PATTERNS:
-        values = []
-        for depth in depths:
-            count = max(io_count, depth * 30)
-            if "write" in rw or rw in ("rw", "randrw"):
-                count = max(count, buffer_units * 5)
-            result, _device = run_async_job(kind, rw, iodepth=depth, io_count=count)
-            values.append(result.bandwidth_mbps)
-        series[rw] = values
+    count = max(io_count, depth * 30)
+    if "write" in rw or rw in ("rw", "randrw"):
+        count = max(count, device_config(kind).write_buffer_units * 5)
+    return count
+
+
+def _bandwidth_sweep(kind: DeviceKind, depths: Tuple[int, ...], io_count: int):
+    points = [
+        async_point(
+            kind.value, rw, iodepth=depth,
+            io_count=_io_count_for(kind, rw, depth, io_count),
+        )
+        for rw in PATTERNS
+        for depth in depths
+    ]
+    data = sweep(points, name="bandwidth_sweep")
+    series = {
+        rw: [data[(kind.value, rw, d)].result.bandwidth_mbps for d in depths]
+        for rw in PATTERNS
+    }
     peak = max(max(vals) for vals in series.values())
     return {
         rw: [100.0 * v / peak for v in vals] for rw, vals in series.items()
@@ -146,25 +139,27 @@ def fig05b(io_count: int = 2000, depths: Tuple[int, ...] = (1, 4, 16, 64, 128, 2
 # ----------------------------------------------------------------------
 # Figure 6: read/write interference
 # ----------------------------------------------------------------------
-@obs_aware_cache
 def _interference(io_count: int, fractions: Tuple[int, ...], iodepth: int):
-    results = {}
+    points = []
     for kind in DeviceKind:
         for frac in fractions:
             if frac == 0:
-                result, _device = run_async_job(
-                    kind, "randread", iodepth=iodepth, io_count=io_count
+                points.append(
+                    async_point(
+                        kind.value, "randread", iodepth=iodepth,
+                        io_count=io_count, key=(kind.value, frac),
+                    )
                 )
             else:
-                result, _device = run_async_job(
-                    kind,
-                    "randrw",
-                    iodepth=iodepth,
-                    io_count=io_count,
-                    write_fraction=frac / 100.0,
+                points.append(
+                    async_point(
+                        kind.value, "randrw", iodepth=iodepth,
+                        io_count=io_count, write_fraction=frac / 100.0,
+                        key=(kind.value, frac),
+                    )
                 )
-            results[(kind.value, frac)] = result
-    return results
+    data = sweep(points, name="interference")
+    return {key: m.result for key, m in data.items()}
 
 
 def _fig06(figure_id: str, metric: str, io_count: int, fractions, iodepth: int):
@@ -206,23 +201,35 @@ def fig06b(io_count: int = 4000, fractions=(0, 20, 40, 60, 80), iodepth: int = 8
 # ----------------------------------------------------------------------
 def fig07a(io_count: int = 1500):
     """Average device power, async/sync x pattern + idle (Fig. 7a)."""
+    points = []
+    for kind in DeviceKind:
+        for rw in PATTERNS:
+            points.append(
+                async_point(
+                    kind.value, rw, iodepth=16, io_count=io_count,
+                    key=(kind.value, "async", rw),
+                )
+            )
+        for rw in PATTERNS:
+            points.append(
+                sync_point(
+                    kind.value, rw, io_count=max(200, io_count // 4),
+                    key=(kind.value, "sync", rw),
+                )
+            )
+        points.append(idle_point(kind.value, key=(kind.value, "idle", None)))
+    data = sweep(points, name="fig07a")
     series = []
     for kind in DeviceKind:
         labels, values = [], []
         for rw in PATTERNS:
-            result, _device = run_async_job(kind, rw, iodepth=16, io_count=io_count)
             labels.append(f"Async {PATTERN_LABELS[rw]}")
-            values.append(result.avg_power_w)
+            values.append(data[(kind.value, "async", rw)].result.avg_power_w)
         for rw in PATTERNS:
-            result = run_sync_job(kind, rw, io_count=max(200, io_count // 4))
             labels.append(f"Sync {PATTERN_LABELS[rw]}")
-            values.append(result.avg_power_w)
-        # Idle: a device left alone for 10 ms.
-        sim = Simulator()
-        device = build_device(sim, kind)
-        sim.run(until=10_000_000)
+            values.append(data[(kind.value, "sync", rw)].result.avg_power_w)
         labels.append("Idle")
-        values.append(device.power.average_watts(sim.now))
+        values.append(data[(kind.value, "idle", None)].value("avg_power_w"))
         series.append(
             Series.from_points(f"{kind.value.upper()} SSD", labels, values, "W")
         )
@@ -238,40 +245,32 @@ def fig07a(io_count: int = 1500):
 # ----------------------------------------------------------------------
 # Figures 7b and 8: garbage collection time series
 # ----------------------------------------------------------------------
-@obs_aware_cache
-def _gc_run(kind_value: str, io_count: int):
+#: Default overwrite counts: enough to exhaust each preset's erased pool.
+GC_IO_COUNT = {"ull": 30_000, "nvme": 45_000}
+
+
+def _gc_runs(kinds, io_count: int):
     """Sustained random overwrites on a full device until GC engages.
 
     Synchronous QD-1, matching the paper's time-series methodology: the
     host keeps exactly one 4 KB overwrite outstanding, so latency shows
     the *device's* ability to absorb GC rather than host queueing.
     """
-    kind = DeviceKind(kind_value)
-    sim = Simulator()
-    device = build_device(sim, kind)
-    stack = build_stack(sim, device)
-    job = FioJob(
-        name=f"gc-{kind_value}",
-        rw="randwrite",
-        engine=IoEngineKind.PSYNC,
-        io_count=io_count,
-        capture_timeseries=True,
-    )
-    result = run_job(sim, stack, job)
-    return result, device
-
-
-#: Default overwrite counts: enough to exhaust each preset's erased pool.
-GC_IO_COUNT = {"ull": 30_000, "nvme": 45_000}
+    points = [
+        gc_point(kind.value, io_count or GC_IO_COUNT[kind.value])
+        for kind in kinds
+    ]
+    return sweep(points, name="gc_run")
 
 
 def fig07b(io_count: int = 0, windows: int = 40):
     """Write latency over time as GC kicks in (Fig. 7b)."""
+    data = _gc_runs(tuple(DeviceKind), io_count)
     series = []
     gc_counts = {}
     for kind in DeviceKind:
-        count = io_count or GC_IO_COUNT[kind.value]
-        result, device = _gc_run(kind.value, count)
+        measured = data[("gc", kind.value)]
+        result = measured.result
         window_ns = max(1, result.duration_ns // windows)
         windowed = result.timeseries.windowed(window_ns)
         xs = [start / 1e6 for start in windowed.starts_ns]  # ms
@@ -279,9 +278,7 @@ def fig07b(io_count: int = 0, windows: int = 40):
         series.append(
             Series.from_points(f"{kind.value.upper()} SSD", xs, ys, "us")
         )
-        gc_counts[f"{kind.value}_gc_events"] = float(
-            len(device.stats.gc_events)
-        )
+        gc_counts[f"{kind.value}_gc_events"] = float(measured.device.gc_events)
     return FigureResult(
         figure_id="fig07b",
         title="Write latency over time under sustained random overwrites",
@@ -294,11 +291,11 @@ def fig07b(io_count: int = 0, windows: int = 40):
 
 
 def _fig08(figure_id: str, kind: DeviceKind, io_count: int, windows: int):
-    count = io_count or GC_IO_COUNT[kind.value]
-    result, device = _gc_run(kind.value, count)
+    measured = _gc_runs((kind,), io_count)[("gc", kind.value)]
+    result = measured.result
     window_ns = max(1, result.duration_ns // windows)
     latency = result.timeseries.windowed(window_ns)
-    power = device.power.series.windowed(window_ns)
+    power = measured.device.power_series.windowed(window_ns)
     series = (
         Series.from_points(
             "Latency", [s / 1e6 for s in latency.starts_ns],
@@ -308,11 +305,14 @@ def _fig08(figure_id: str, kind: DeviceKind, io_count: int, windows: int):
             "Power", [s / 1e6 for s in power.starts_ns], list(power.means), "W"
         ),
     )
-    gc_events = device.stats.gc_events
     extras = {
-        "gc_events": float(len(gc_events)),
-        "first_gc_ms": gc_events[0].start_ns / 1e6 if gc_events else -1.0,
-        "write_amplification": device.ftl.write_amplification(),
+        "gc_events": float(measured.device.gc_events),
+        "first_gc_ms": (
+            measured.device.first_gc_ns / 1e6
+            if measured.device.first_gc_ns >= 0
+            else -1.0
+        ),
+        "write_amplification": measured.device.write_amplification,
     }
     return FigureResult(
         figure_id=figure_id,

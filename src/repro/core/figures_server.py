@@ -4,19 +4,11 @@ from __future__ import annotations
 
 from typing import Tuple
 
-from repro.core.experiment import DeviceKind, build_device
-from repro.core.figures_completion import KB
+from repro.core.display import KB
 from repro.core.metrics import FigureResult, Series
-from repro.host.accounting import CpuAccounting, ExecMode
-from repro.host.costs import DEFAULT_COSTS
-from repro.kstack.filesystem import Ext4Model
-from repro.net.link import NetworkLink
-from repro.net.nbd import NbdServerKind, NbdSystem
-from repro.obs.core import obs_aware_cache
-from repro.sim.engine import Simulator
-from repro.ssd.device import IoOp
-from repro.workloads.job import FioJob, IoEngineKind
-from repro.workloads.runner import run_job
+from repro.core.runners import FileSystemOverNbd, nbd_point  # noqa: F401 (re-export)
+from repro.core.sweep import sweep
+from repro.net.nbd import NbdServerKind
 
 NBD_BLOCK_SIZES = (4096, 8192, 16384, 32768, 65536)
 NBD_PATTERNS = ("read", "randread", "write", "randwrite")
@@ -25,73 +17,24 @@ NBD_PATTERN_LABELS = {
 }
 
 
-class FileSystemOverNbd:
-    """fio -> ext4 -> NBD client -> network -> server -> ULL SSD.
-
-    Adapts the ext4 model to the ``sync_io`` contract the workload
-    engines expect, adding the client's user-space cost per file I/O.
-    """
-
-    def __init__(self, sim: Simulator, server: NbdServerKind) -> None:
-        self.sim = sim
-        self.accounting = CpuAccounting()
-        self.costs = DEFAULT_COSTS
-        self.device = build_device(sim, DeviceKind.ULL)
-        self.nbd = NbdSystem(
-            sim, self.device, server=server, accounting=self.accounting
-        )
-        self.fs = Ext4Model(
-            sim,
-            self.accounting,
-            self.nbd.sync_io,
-            self.device.capacity_bytes,
-        )
-
-    @property
-    def data_region_bytes(self) -> int:
-        """File-data capacity left after the metadata/journal region."""
-        return self.device.capacity_bytes - self.fs.data_base
-
-    def sync_io(self, op: IoOp, offset: int, nbytes: int):
-        costs = self.costs
-        self.accounting.charge(
-            costs.user_io_prep.ns, ExecMode.USER, "fio", "fio_rw",
-            loads=costs.user_io_prep.loads, stores=costs.user_io_prep.stores,
-        )
-        yield self.sim.timeout(costs.user_io_prep.ns)
-        if op is IoOp.READ:
-            latency = yield from self.fs.read(offset, nbytes)
-        else:
-            latency = yield from self.fs.write(offset, nbytes)
-        return latency + costs.user_io_prep.ns
-
-
-@obs_aware_cache
-def _nbd_run(server_value: str, rw: str, block_size: int, io_count: int):
-    sim = Simulator()
-    stack = FileSystemOverNbd(sim, NbdServerKind(server_value))
-    job = FioJob(
-        name=f"nbd-{server_value}-{rw}-{block_size}",
-        rw=rw,
-        block_size=block_size,
-        engine=IoEngineKind.PSYNC,
-        io_count=io_count,
-        # Keep file data inside the region ext4 reserves for it.
-        region_bytes=(stack.data_region_bytes // block_size) * block_size,
-    )
-    return run_job(sim, stack, job)
-
-
 def fig23(io_count: int = 800, block_sizes: Tuple[int, ...] = NBD_BLOCK_SIZES):
     """Kernel NBD vs. SPDK NBD latency over ext4 (Fig. 23)."""
+    servers = (NbdServerKind.KERNEL, NbdServerKind.SPDK)
+    points = [
+        nbd_point(server.value, rw, bs, io_count)
+        for rw in NBD_PATTERNS
+        for server in servers
+        for bs in block_sizes
+    ]
+    data = sweep(points, name="fig23")
     series = []
     for rw in NBD_PATTERNS:
-        for server in (NbdServerKind.KERNEL, NbdServerKind.SPDK):
+        for server in servers:
             label = "Kernel NBD" if server is NbdServerKind.KERNEL else "SPDK NBD"
-            ys = []
-            for bs in block_sizes:
-                result = _nbd_run(server.value, rw, bs, io_count)
-                ys.append(result.latency.mean_us)
+            ys = [
+                data[(server.value, rw, bs)].result.latency.mean_us
+                for bs in block_sizes
+            ]
             series.append(
                 Series.from_points(
                     f"{NBD_PATTERN_LABELS[rw]} {label}",

@@ -4,9 +4,9 @@ from __future__ import annotations
 
 from typing import Tuple
 
+from repro.core.display import KB, PATTERN_LABELS, PATTERNS
 from repro.core.experiment import DeviceKind
-from repro.core.figures_completion import KB, _sync_run
-from repro.core.figures_device import PATTERN_LABELS, PATTERNS
+from repro.core.figures_completion import _sync_sweep
 from repro.core.metrics import FigureResult, Series
 from repro.host.accounting import ExecMode
 
@@ -18,13 +18,20 @@ SPDK_VS_INT = (("SPDK", "poll", "spdk"), ("Kernel Interrupt", "interrupt", "kern
 
 def _spdk_latency_fig(figure_id: str, device: DeviceKind, io_count: int,
                       block_sizes: Tuple[int, ...]):
+    cells = [
+        (device.value, rw, bs, method, stack)
+        for rw in PATTERNS
+        for _label, method, stack in SPDK_VS_INT
+        for bs in block_sizes
+    ]
+    data = _sync_sweep(figure_id, cells, io_count)
     series = []
     for rw in PATTERNS:
         for label, method, stack in SPDK_VS_INT:
-            ys = []
-            for bs in block_sizes:
-                result = _sync_run(device.value, rw, bs, method, io_count, stack)
-                ys.append(result.latency.mean_us)
+            ys = [
+                data[(device.value, rw, bs, method, stack)].latency.mean_us
+                for bs in block_sizes
+            ]
             series.append(
                 Series.from_points(
                     f"{PATTERN_LABELS[rw]} {label}",
@@ -60,14 +67,22 @@ def fig19(io_count: int = 400, block_sizes: Tuple[int, ...] = BIG_BLOCK_SIZES):
 
 def fig20(io_count: int = 1200, block_sizes: Tuple[int, ...] = BLOCK_SIZES):
     """CPU utilization: SPDK owns the whole core (Fig. 20)."""
+    cells = [
+        ("ull", rw, bs, method, stack)
+        for rw in PATTERNS
+        for _label, method, stack in SPDK_VS_INT
+        for bs in block_sizes
+    ]
+    data = _sync_sweep("fig20", cells, io_count)
     series = []
     for rw in PATTERNS:
         for label, method, stack in SPDK_VS_INT:
             for mode in (ExecMode.USER, ExecMode.KERNEL):
-                ys = []
-                for bs in block_sizes:
-                    result = _sync_run("ull", rw, bs, method, io_count, stack)
-                    ys.append(100.0 * result.cpu_utilization(mode))
+                ys = [
+                    100.0
+                    * data[("ull", rw, bs, method, stack)].cpu_utilization(mode)
+                    for bs in block_sizes
+                ]
                 series.append(
                     Series.from_points(
                         f"{PATTERN_LABELS[rw]} {label} {mode.value}",
@@ -87,12 +102,19 @@ def fig20(io_count: int = 1200, block_sizes: Tuple[int, ...] = BLOCK_SIZES):
 
 def fig21(io_count: int = 1200, block_sizes: Tuple[int, ...] = BLOCK_SIZES):
     """SPDK memory instructions, normalized to the interrupt path (Fig. 21)."""
+    cells = [
+        ("ull", rw, bs, method, stack)
+        for rw in PATTERNS
+        for bs in block_sizes
+        for method, stack in (("poll", "spdk"), ("interrupt", "kernel"))
+    ]
+    data = _sync_sweep("fig21", cells, io_count)
     series = []
     for rw in PATTERNS:
         loads, stores = [], []
         for bs in block_sizes:
-            spdk = _sync_run("ull", rw, bs, "poll", io_count, "spdk")
-            interrupt = _sync_run("ull", rw, bs, "interrupt", io_count, "kernel")
+            spdk = data[("ull", rw, bs, "poll", "spdk")]
+            interrupt = data[("ull", rw, bs, "interrupt", "kernel")]
             loads.append(
                 spdk.accounting.total_loads() / interrupt.accounting.total_loads()
             )
@@ -118,14 +140,14 @@ def fig21(io_count: int = 1200, block_sizes: Tuple[int, ...] = BLOCK_SIZES):
 # ----------------------------------------------------------------------
 # Figure 22: per-function load/store breakdowns
 # ----------------------------------------------------------------------
-def fig22a(io_count: int = 1200):
-    """Kernel polling: which functions issue the memory traffic (Fig. 22a)."""
-    functions = ("blk_mq_poll", "nvme_poll")
+def _fig22(figure_id: str, title: str, stack: str, functions, io_count: int):
+    cells = [("ull", rw, 4096, "poll", stack) for rw in PATTERNS]
+    data = _sync_sweep(figure_id, cells, io_count)
     series = []
     for function in functions + ("others",):
         xs, ys = [], []
         for rw in PATTERNS:
-            result = _sync_run("ull", rw, 4096, "poll", io_count)
+            result = data[("ull", rw, 4096, "poll", stack)]
             load_share = result.accounting.load_share_by_function()
             store_share = result.accounting.store_share_by_function()
             for kind, shares in (("LD", load_share), ("ST", store_share)):
@@ -137,40 +159,35 @@ def fig22a(io_count: int = 1200):
                     ys.append(100.0 * shares.get(function, 0.0))
         series.append(Series.from_points(function, xs, ys, "%"))
     return FigureResult(
-        figure_id="fig22a",
-        title="Load/store breakdown by function — kernel polling (ULL, 4KB)",
+        figure_id=figure_id,
+        title=title,
         x_label="pattern-instruction",
         y_label="% of instructions",
         series=tuple(series),
+    )
+
+
+def fig22a(io_count: int = 1200):
+    """Kernel polling: which functions issue the memory traffic (Fig. 22a)."""
+    return _fig22(
+        "fig22a",
+        "Load/store breakdown by function — kernel polling (ULL, 4KB)",
+        "kernel",
+        ("blk_mq_poll", "nvme_poll"),
+        io_count,
     )
 
 
 def fig22b(io_count: int = 1200):
     """SPDK: which functions issue the memory traffic (Fig. 22b)."""
-    functions = (
-        "spdk_nvme_qpair_process_completions",
-        "nvme_pcie_qpair_process_completions",
-        "nvme_qpair_check_enabled",
-    )
-    series = []
-    for function in functions + ("others",):
-        xs, ys = [], []
-        for rw in PATTERNS:
-            result = _sync_run("ull", rw, 4096, "poll", io_count, "spdk")
-            load_share = result.accounting.load_share_by_function()
-            store_share = result.accounting.store_share_by_function()
-            for kind, shares in (("LD", load_share), ("ST", store_share)):
-                xs.append(f"{PATTERN_LABELS[rw]}-{kind}")
-                if function == "others":
-                    covered = sum(shares.get(f, 0.0) for f in functions)
-                    ys.append(100.0 * (1.0 - covered))
-                else:
-                    ys.append(100.0 * shares.get(function, 0.0))
-        series.append(Series.from_points(function, xs, ys, "%"))
-    return FigureResult(
-        figure_id="fig22b",
-        title="Load/store breakdown by function — SPDK (ULL, 4KB)",
-        x_label="pattern-instruction",
-        y_label="% of instructions",
-        series=tuple(series),
+    return _fig22(
+        "fig22b",
+        "Load/store breakdown by function — SPDK (ULL, 4KB)",
+        "spdk",
+        (
+            "spdk_nvme_qpair_process_completions",
+            "nvme_pcie_qpair_process_completions",
+            "nvme_qpair_check_enabled",
+        ),
+        io_count,
     )

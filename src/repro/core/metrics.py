@@ -40,6 +40,15 @@ class Series:
         except ValueError as exc:
             raise KeyError(f"x={x_value!r} not in series {self.label!r}") from exc
 
+    def to_dict(self) -> Dict:
+        """A JSON-serializable rendering of this series."""
+        return {
+            "label": self.label,
+            "x": list(self.x),
+            "y": list(self.y),
+            "unit": self.unit,
+        }
+
 
 @dataclass
 class FigureResult:
@@ -80,3 +89,15 @@ class FigureResult:
     @property
     def labels(self) -> Tuple[str, ...]:
         return tuple(series.label for series in self.series)
+
+    def to_dict(self) -> Dict:
+        """A JSON-serializable rendering (machine-readable results)."""
+        return {
+            "figure_id": self.figure_id,
+            "title": self.title,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "series": [series.to_dict() for series in self.series],
+            "notes": self.notes,
+            "extras": dict(self.extras),
+        }

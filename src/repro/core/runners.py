@@ -1,0 +1,520 @@
+"""Measurement runners: the execution layer behind the sweep engine.
+
+Each runner is a pure function from canonical parameters to a
+:class:`~repro.core.sweep.Measurement` — it builds a fresh simulator,
+device, and host stack, runs one job, and returns only detached data
+(job summaries, device snapshots, scalars), never live simulator state.
+That contract is what lets the engine execute points in worker
+processes and persist results across runs.
+
+Runners:
+
+* ``job`` — the universal fio-style measurement: any device (with
+  config overrides), any pattern/block size/engine/queue depth, kernel
+  (interrupt/poll/hybrid, optionally the NCQ-style light queue) or SPDK
+  host path.  Seeds are explicit (``device_seed``/``stack_seed``/
+  ``job_seed``) so every figure reproduces its historical numbers.
+* ``idle`` — a preconditioned device left alone; reports average power.
+* ``nbd`` — fio over ext4 over an NBD client/server pair (Fig. 23).
+* ``gc_policy`` — raw skewed-overwrite storm against the device (the
+  GC victim-policy ablation; no host stack involved).
+* ``anatomy`` — stage-probe run splitting latency into
+  submit/device/complete (the ``ext-anatomy`` extension).
+
+The point constructors (:func:`sync_point`, :func:`async_point`, ...)
+encode the seed conventions the pre-engine helpers used, so figures
+declare grids without repeating them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+from repro.core.experiment import DeviceKind, build_device, device_config
+from repro.core.sweep import DeviceSnapshot, Measurement, Point, make_point, runner
+from repro.host.costs import DEFAULT_COSTS
+from repro.kstack.completion import CompletionMethod
+from repro.kstack.stack import KernelStack
+from repro.sim.engine import Simulator
+from repro.spdk.stack import SpdkStack
+from repro.ssd.device import SsdDevice
+from repro.workloads.job import FioJob, IoEngineKind
+from repro.workloads.runner import run_job
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+def _resolve_config(device: str, config_overrides=()):
+    config = device_config(DeviceKind(device))
+    overrides = dict(config_overrides)
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+    return config
+
+
+def _snapshot(device: SsdDevice) -> DeviceSnapshot:
+    events = device.stats.gc_events
+    return DeviceSnapshot(
+        gc_events=len(events),
+        first_gc_ns=events[0].start_ns if events else -1,
+        write_amplification=device.ftl.write_amplification(),
+        erases=int(device.ftl.erases),
+        power_series=device.power.series,
+    )
+
+
+# ----------------------------------------------------------------------
+# The universal job runner
+# ----------------------------------------------------------------------
+@runner("job")
+def job_runner(
+    *,
+    device: str,
+    rw: str,
+    engine: str = "psync",
+    block_size: int = 4096,
+    iodepth: int = 1,
+    io_count: int = 1000,
+    write_fraction: float = 0.5,
+    precondition: float = 1.0,
+    stack: str = "kernel",
+    completion: str = "interrupt",
+    sleep_fraction: Optional[float] = None,
+    light: bool = False,
+    capture_timeseries: bool = False,
+    config_overrides: Tuple = (),
+    device_seed: int = 42,
+    stack_seed: int = 11,
+    job_seed: int = 1234,
+    want_device: bool = False,
+) -> Measurement:
+    """One fio-style measurement on a fresh simulator."""
+    sim = Simulator()
+    config = _resolve_config(device, config_overrides)
+    ssd = SsdDevice(sim, config, seed=device_seed)
+    if precondition > 0:
+        ssd.precondition(precondition)
+    if stack == "spdk":
+        host = SpdkStack(sim, ssd, costs=DEFAULT_COSTS)
+        engine_kind = IoEngineKind.SPDK
+    else:
+        qpair = None
+        if light:
+            from repro.nvme.lightweight import LightQueuePair
+
+            qpair = LightQueuePair(
+                sim, ssd, interrupts_enabled=(completion == "interrupt")
+            )
+        host = KernelStack(
+            sim,
+            ssd,
+            completion=CompletionMethod(completion),
+            costs=DEFAULT_COSTS,
+            seed=stack_seed,
+            qpair=qpair,
+            thin_submit=light,
+        )
+        if sleep_fraction is not None:
+            host.engine.sleep_fraction = sleep_fraction
+        engine_kind = (
+            IoEngineKind.LIBAIO if engine == "libaio" else IoEngineKind.PSYNC
+        )
+    job = FioJob(
+        name=f"{device}-{rw}-{block_size}-qd{iodepth}",
+        rw=rw,
+        block_size=block_size,
+        engine=engine_kind,
+        iodepth=iodepth,
+        io_count=io_count,
+        write_fraction=write_fraction,
+        seed=job_seed,
+        capture_timeseries=capture_timeseries,
+    )
+    result = run_job(sim, host, job)
+    return Measurement(
+        result=result, device=_snapshot(ssd) if want_device else None
+    )
+
+
+# ----------------------------------------------------------------------
+# Idle power
+# ----------------------------------------------------------------------
+@runner("idle")
+def idle_runner(
+    *,
+    device: str,
+    duration_ns: int = 10_000_000,
+    precondition: float = 1.0,
+    device_seed: int = 42,
+) -> Measurement:
+    """A device left alone; reports its average power over the window."""
+    sim = Simulator()
+    ssd = build_device(
+        sim, DeviceKind(device), precondition=precondition, seed=device_seed
+    )
+    sim.run(until=duration_ns)
+    return Measurement(
+        values=(("avg_power_w", ssd.power.average_watts(sim.now)),)
+    )
+
+
+# ----------------------------------------------------------------------
+# Server-client NBD path (Fig. 23)
+# ----------------------------------------------------------------------
+class FileSystemOverNbd:
+    """fio -> ext4 -> NBD client -> network -> server -> ULL SSD.
+
+    Adapts the ext4 model to the ``sync_io`` contract the workload
+    engines expect, adding the client's user-space cost per file I/O.
+    """
+
+    def __init__(self, sim: Simulator, server) -> None:
+        from repro.host.accounting import CpuAccounting
+        from repro.kstack.filesystem import Ext4Model
+        from repro.net.nbd import NbdSystem
+
+        self.sim = sim
+        self.accounting = CpuAccounting()
+        self.costs = DEFAULT_COSTS
+        self.device = build_device(sim, DeviceKind.ULL)
+        self.nbd = NbdSystem(
+            sim, self.device, server=server, accounting=self.accounting
+        )
+        self.fs = Ext4Model(
+            sim,
+            self.accounting,
+            self.nbd.sync_io,
+            self.device.capacity_bytes,
+        )
+
+    @property
+    def data_region_bytes(self) -> int:
+        """File-data capacity left after the metadata/journal region."""
+        return self.device.capacity_bytes - self.fs.data_base
+
+    def sync_io(self, op, offset: int, nbytes: int):
+        from repro.host.accounting import ExecMode
+        from repro.ssd.device import IoOp
+
+        costs = self.costs
+        self.accounting.charge(
+            costs.user_io_prep.ns, ExecMode.USER, "fio", "fio_rw",
+            loads=costs.user_io_prep.loads, stores=costs.user_io_prep.stores,
+        )
+        yield self.sim.timeout(costs.user_io_prep.ns)
+        if op is IoOp.READ:
+            latency = yield from self.fs.read(offset, nbytes)
+        else:
+            latency = yield from self.fs.write(offset, nbytes)
+        return latency + costs.user_io_prep.ns
+
+
+@runner("nbd")
+def nbd_runner(
+    *,
+    server: str,
+    rw: str,
+    block_size: int = 4096,
+    io_count: int = 800,
+    device: str = "ull",
+    job_seed: int = 1234,
+) -> Measurement:
+    """One synchronous file-I/O run over the NBD client/server system."""
+    from repro.net.nbd import NbdServerKind
+
+    if device != "ull":
+        raise ValueError("the NBD system models the ULL SSD only")
+    sim = Simulator()
+    stack = FileSystemOverNbd(sim, NbdServerKind(server))
+    job = FioJob(
+        name=f"nbd-{server}-{rw}-{block_size}",
+        rw=rw,
+        block_size=block_size,
+        engine=IoEngineKind.PSYNC,
+        io_count=io_count,
+        seed=job_seed,
+        # Keep file data inside the region ext4 reserves for it.
+        region_bytes=(stack.data_region_bytes // block_size) * block_size,
+    )
+    return Measurement(result=run_job(sim, stack, job))
+
+
+# ----------------------------------------------------------------------
+# GC victim-policy storm (ablation)
+# ----------------------------------------------------------------------
+@runner("gc_policy")
+def gc_policy_runner(
+    *,
+    device: str,
+    policy: str,
+    io_count: int,
+    hot_fraction: float,
+    config_overrides: Tuple = (),
+    rng_seed: int = 17,
+) -> Measurement:
+    """Skewed (80/20) raw overwrites against the device until GC steady
+    state; reports write amplification and erase count."""
+    import numpy as np
+
+    config = dataclasses.replace(
+        _resolve_config(device, config_overrides), gc_policy=policy
+    )
+    sim = Simulator()
+    ssd = SsdDevice(sim, config)
+    ssd.precondition()
+    rng = np.random.default_rng(rng_seed)
+    pages = ssd.logical_pages
+    hot_pages = max(1, int(pages * hot_fraction))
+    for _ in range(io_count):
+        if rng.random() < 0.8:
+            lpn = int(rng.integers(0, hot_pages))
+        else:
+            lpn = int(rng.integers(hot_pages, pages))
+        ssd.write(lpn * 4096, 4096)
+    sim.run()
+    return Measurement(
+        device=_snapshot(ssd),
+        values=(
+            ("write_amplification", ssd.ftl.write_amplification()),
+            ("erases", float(ssd.ftl.erases)),
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Latency anatomy via stage probes (extension)
+# ----------------------------------------------------------------------
+@runner("anatomy")
+def anatomy_runner(
+    *,
+    device: str,
+    stack: str,
+    completion: Optional[str],
+    rw: str,
+    io_count: int,
+    device_seed: int = 42,
+) -> Measurement:
+    """Mean submit/device/complete stage times of a synchronous run."""
+    from repro.workloads.engines import MetricsCollector, SyncJobEngine
+    from repro.workloads.patterns import make_pattern
+
+    sim = Simulator()
+    ssd = build_device(sim, DeviceKind(device), seed=device_seed)
+    if stack == "spdk":
+        host = SpdkStack(sim, ssd)
+    else:
+        host = KernelStack(sim, ssd, completion=CompletionMethod(completion))
+    host.stage_log = []
+    job = FioJob(
+        name=f"anatomy-{stack}", rw=rw, engine=IoEngineKind.PSYNC, io_count=io_count
+    )
+    pattern = make_pattern(job.rw, job.block_size, ssd.capacity_bytes)
+    metrics = MetricsCollector()
+    process = sim.process(SyncJobEngine(sim, host, job, pattern, metrics).run())
+    sim.run_until_event(process)
+    count = len(host.stage_log)
+    sums = [0, 0, 0]
+    for start, submitted, cqe, done in host.stage_log:
+        sums[0] += submitted - start
+        sums[1] += cqe - submitted
+        sums[2] += done - cqe
+    return Measurement(
+        values=(
+            ("submit_ns", sums[0] / count),
+            ("device_ns", sums[1] / count),
+            ("complete_ns", sums[2] / count),
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# Point constructors: the seed conventions of the pre-engine helpers
+# ----------------------------------------------------------------------
+def sync_point(
+    device: str,
+    rw: str,
+    *,
+    block_size: int = 4096,
+    method: str = "interrupt",
+    stack: str = "kernel",
+    io_count: int = 2000,
+    key=None,
+) -> Point:
+    """A synchronous (pvsync2 / SPDK-plugin) measurement.
+
+    Mirrors ``run_sync_job``: one seed (42) drives device, stack, and
+    access pattern alike.
+    """
+    return make_point(
+        key if key is not None else (device, rw, block_size, method, stack),
+        "job",
+        device=device,
+        rw=rw,
+        engine="psync",
+        block_size=block_size,
+        io_count=io_count,
+        stack=stack,
+        completion=method,
+        device_seed=42,
+        stack_seed=42,
+        job_seed=42,
+    )
+
+
+def async_point(
+    device: str,
+    rw: str,
+    *,
+    iodepth: int = 1,
+    io_count: int = 2000,
+    write_fraction: float = 0.5,
+    capture_timeseries: bool = False,
+    config_overrides: Tuple = (),
+    want_device: bool = False,
+    key=None,
+) -> Point:
+    """An asynchronous (libaio, interrupt-completed) measurement.
+
+    Mirrors ``run_async_job``: device and pattern seeded 42, stack 11.
+    """
+    return make_point(
+        key if key is not None else (device, rw, iodepth),
+        "job",
+        device=device,
+        rw=rw,
+        engine="libaio",
+        iodepth=iodepth,
+        io_count=io_count,
+        write_fraction=write_fraction,
+        capture_timeseries=capture_timeseries,
+        config_overrides=config_overrides,
+        want_device=want_device,
+        device_seed=42,
+        stack_seed=11,
+        job_seed=42,
+    )
+
+
+def gc_point(device: str, io_count: int, *, key=None) -> Point:
+    """Sustained sync QD-1 random overwrites until GC engages, with the
+    latency time series and a device snapshot (Figs. 7b/8)."""
+    return make_point(
+        key if key is not None else ("gc", device),
+        "job",
+        device=device,
+        rw="randwrite",
+        engine="psync",
+        io_count=io_count,
+        capture_timeseries=True,
+        want_device=True,
+        device_seed=42,
+        stack_seed=11,
+        job_seed=1234,
+    )
+
+
+def config_point(
+    device: str,
+    rw: str,
+    *,
+    io_count: int,
+    config_overrides: Tuple = (),
+    engine: str = "psync",
+    iodepth: int = 1,
+    write_fraction: float = 0.5,
+    completion: str = "interrupt",
+    sleep_fraction: Optional[float] = None,
+    want_device: bool = False,
+    key,
+) -> Point:
+    """An ablation-style run on a modified device config.
+
+    Mirrors ``ablations._run_on_config``: device seed 42, stack seed 11,
+    fio's default pattern seed (1234).
+    """
+    return make_point(
+        key,
+        "job",
+        device=device,
+        rw=rw,
+        engine=engine,
+        iodepth=iodepth,
+        io_count=io_count,
+        write_fraction=write_fraction,
+        completion=completion,
+        sleep_fraction=sleep_fraction,
+        config_overrides=config_overrides,
+        want_device=want_device,
+        device_seed=42,
+        stack_seed=11,
+        job_seed=1234,
+    )
+
+
+def light_point(
+    device: str,
+    rw: str,
+    *,
+    light: bool,
+    completion: str,
+    io_count: int,
+    iodepth: int = 1,
+    key=None,
+) -> Point:
+    """A light-queue-vs-NVMe-rings measurement (extension studies)."""
+    return make_point(
+        key if key is not None else (device, rw, light, completion, iodepth),
+        "job",
+        device=device,
+        rw=rw,
+        engine="psync" if iodepth == 1 else "libaio",
+        iodepth=iodepth,
+        io_count=io_count,
+        completion=completion,
+        light=light,
+        device_seed=42,
+        stack_seed=11,
+        job_seed=1234,
+    )
+
+
+def idle_point(device: str, *, duration_ns: int = 10_000_000, key=None) -> Point:
+    """Average power of an idle, preconditioned device."""
+    return make_point(
+        key if key is not None else ("idle", device),
+        "idle",
+        device=device,
+        duration_ns=duration_ns,
+    )
+
+
+def nbd_point(server: str, rw: str, block_size: int, io_count: int, *, key=None) -> Point:
+    """One Fig. 23 server-client NBD measurement."""
+    return make_point(
+        key if key is not None else (server, rw, block_size),
+        "nbd",
+        device="ull",
+        server=server,
+        rw=rw,
+        block_size=block_size,
+        io_count=io_count,
+    )
+
+
+def anatomy_point(
+    stack: str, completion: Optional[str], rw: str, io_count: int, *,
+    device: str = "ull", seed: int = 42, key=None,
+) -> Point:
+    """One stage-probe run for the latency-anatomy extension."""
+    return make_point(
+        key if key is not None else (stack, completion),
+        "anatomy",
+        device=device,
+        stack=stack,
+        completion=completion,
+        rw=rw,
+        io_count=io_count,
+        device_seed=seed,
+    )

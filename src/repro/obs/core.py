@@ -39,6 +39,18 @@ class Observability:
         """Called by each :class:`Simulator` binding itself to this bundle."""
         self.tracer.new_sim()
 
+    def absorb(self, other: "Observability") -> None:
+        """Merge a worker bundle (spans and metrics) into this one.
+
+        The sweep engine ships per-point bundles back from worker
+        processes and absorbs them in point order, so parallel traced
+        runs produce the same pids/io ids a serial run would.
+        """
+        if self.tracer.enabled and getattr(other.tracer, "enabled", False):
+            self.tracer.absorb(other.tracer)
+        if self.registry.enabled and getattr(other.registry, "enabled", False):
+            self.registry.absorb(other.registry)
+
     # ------------------------------------------------------------------
     def install(self) -> "Observability":
         """Make this the bundle new simulators pick up."""

@@ -178,6 +178,47 @@ class MetricsRegistry:
         return len(self._metrics)
 
     # ------------------------------------------------------------------
+    def absorb(self, other: "MetricsRegistry") -> None:
+        """Merge another registry's instruments into this one.
+
+        Counters add; histograms merge counts, extremes, and buckets.
+        Gauges concatenate their timelines — areas and elapsed times
+        both add, so the time-weighted mean becomes the average level
+        across all absorbed measurements (each measurement runs on a
+        fresh simulator clock, so the windows are sequential, not
+        overlapping) — keep the higher high-water mark, and take the
+        absorbed (later) level.  Instruments absent here are created
+        first, so insertion order follows the absorb order
+        deterministically.
+        """
+        for metric in other:
+            mine = self._get_or_create(
+                metric.kind, metric.name, metric.unit, metric.help
+            )
+            if metric.kind == "counter":
+                mine.value += metric.value
+            elif metric.kind == "gauge":
+                mine._area += metric._area
+                mine._last_ns += metric._last_ns
+                mine.max_value = max(mine.max_value, metric.max_value)
+                mine.value = metric.value
+            else:
+                mine.count += metric.count
+                mine.total += metric.total
+                if metric.min is not None:
+                    mine.min = (
+                        metric.min if mine.min is None else min(mine.min, metric.min)
+                    )
+                if metric.max is not None:
+                    mine.max = (
+                        metric.max if mine.max is None else max(mine.max, metric.max)
+                    )
+                for exponent, count in metric._buckets.items():
+                    mine._buckets[exponent] = (
+                        mine._buckets.get(exponent, 0) + count
+                    )
+
+    # ------------------------------------------------------------------
     def snapshot(self, now_ns: Optional[int] = None) -> List[dict]:
         """One dict per instrument (the exporters' common substrate)."""
         rows = []

@@ -249,6 +249,53 @@ class SpanTracer:
         self.finished_ios.append(trace)
 
     # ------------------------------------------------------------------
+    def absorb(self, other: "SpanTracer") -> None:
+        """Merge another tracer's spans into this one (worker hand-back).
+
+        The other tracer's pids and io ids are rebased past this one's
+        counters, so absorbing worker bundles in submission order yields
+        the same ids a serial run would have assigned.
+        """
+        pid_base = self._pid
+        io_base = self._next_io_id
+        for trace in other.finished_ios:
+            trace.tracer = self
+            trace.io_id += io_base
+            trace.pid += pid_base
+            if trace._nested:
+                trace._nested = [
+                    Span(
+                        name=span.name,
+                        start_ns=span.start_ns,
+                        end_ns=span.end_ns,
+                        track=span.track,
+                        io_id=trace.io_id,
+                        depth=span.depth,
+                        args=span.args,
+                    )
+                    for span in trace._nested
+                ]
+            self.finished_ios.append(trace)
+        for span in other.track_spans:
+            args = tuple(
+                ("pid", value + pid_base) if name == "pid" else (name, value)
+                for name, value in span.args
+            )
+            self.track_spans.append(
+                Span(
+                    name=span.name,
+                    start_ns=span.start_ns,
+                    end_ns=span.end_ns,
+                    track=span.track,
+                    io_id=span.io_id,
+                    depth=span.depth,
+                    args=args,
+                )
+            )
+        self._pid += other._pid
+        self._next_io_id += other._next_io_id
+
+    # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self.finished_ios)
 

@@ -1,0 +1,27 @@
+"""Shared test fixtures.
+
+The sweep engine is process-global state: the CLI configures its job
+count and persistent cache directory in place.  Tests must never leak a
+persistent cache (stale on-disk measurements would mask regressions) or
+a parallel job count into each other, so every test runs against a
+serial, disk-cache-free engine.  The in-process memo is deliberately
+left alone — figure tests share measurements through it, exactly as a
+single CLI invocation would.
+"""
+
+import pytest
+
+from repro.core import sweep
+
+
+@pytest.fixture(autouse=True)
+def _serial_uncached_sweep_engine(tmp_path, monkeypatch):
+    # Tests invoking the CLI (which defaults the persistent cache on)
+    # must not touch ~/.cache/repro: a stale entry written by another
+    # checkout would mask regressions.
+    monkeypatch.setattr(sweep, "DEFAULT_CACHE_DIR", tmp_path / "sweep-cache")
+    engine = sweep.default_engine()
+    jobs, cache = engine.jobs, engine.cache
+    engine.jobs, engine.cache = 1, None
+    yield engine
+    engine.jobs, engine.cache = jobs, cache

@@ -68,14 +68,15 @@ class TestRunners:
 
     def test_async_job_returns_device(self):
         result, device = run_async_job(
-            DeviceKind.ULL, "randread", iodepth=4, io_count=200
+            DeviceKind.ULL, "randread", iodepth=4, io_count=200,
+            want_device=True,
         )
         assert result.latency.count == 200
         assert device.completed_reads == 200
 
     def test_async_bandwidth_grows_with_depth(self):
-        shallow, _ = run_async_job(DeviceKind.ULL, "randread", iodepth=1, io_count=300)
-        deep, _ = run_async_job(DeviceKind.ULL, "randread", iodepth=16, io_count=300)
+        shallow = run_async_job(DeviceKind.ULL, "randread", iodepth=1, io_count=300)
+        deep = run_async_job(DeviceKind.ULL, "randread", iodepth=16, io_count=300)
         assert deep.bandwidth_mbps > 4 * shallow.bandwidth_mbps
 
     def test_seed_reproducibility(self):
@@ -89,23 +90,23 @@ class TestHeadlineNumbers:
     """Coarse checks against the paper's Section IV numbers."""
 
     def test_ull_random_read_near_16us(self):
-        result, _ = run_async_job(DeviceKind.ULL, "randread", iodepth=1, io_count=400)
+        result = run_async_job(DeviceKind.ULL, "randread", iodepth=1, io_count=400)
         assert 12 < result.latency.mean_us < 20  # paper: 15.9 us
 
     def test_nvme_random_read_near_83us(self):
-        result, _ = run_async_job(DeviceKind.NVME, "randread", iodepth=1, io_count=400)
+        result = run_async_job(DeviceKind.NVME, "randread", iodepth=1, io_count=400)
         assert 70 < result.latency.mean_us < 95  # paper: 82.9 us
 
     def test_nvme_buffered_write_near_14us(self):
-        result, _ = run_async_job(DeviceKind.NVME, "randwrite", iodepth=1, io_count=400)
+        result = run_async_job(DeviceKind.NVME, "randwrite", iodepth=1, io_count=400)
         assert 10 < result.latency.mean_us < 18  # paper: 14.1 us
 
     def test_ull_write_near_11us(self):
-        result, _ = run_async_job(DeviceKind.ULL, "randwrite", iodepth=1, io_count=400)
+        result = run_async_job(DeviceKind.ULL, "randwrite", iodepth=1, io_count=400)
         assert 8 < result.latency.mean_us < 15  # paper: 11.3 us
 
     def test_nvme_random_read_5x_slower_than_ull(self):
-        nvme, _ = run_async_job(DeviceKind.NVME, "randread", iodepth=1, io_count=300)
-        ull, _ = run_async_job(DeviceKind.ULL, "randread", iodepth=1, io_count=300)
+        nvme = run_async_job(DeviceKind.NVME, "randread", iodepth=1, io_count=300)
+        ull = run_async_job(DeviceKind.ULL, "randread", iodepth=1, io_count=300)
         ratio = nvme.latency.mean_ns / ull.latency.mean_ns
         assert 3.5 < ratio < 7.0  # paper: 5.2x

@@ -3,7 +3,9 @@
 import pytest
 
 from repro.core.ablations import hybrid_sleep_ablation, map_cache_ablation
-from repro.core.extensions import _run, lightqueue_study
+from repro.core.extensions import lightqueue_study
+from repro.core.runners import light_point
+from repro.core.sweep import sweep
 from repro.kstack.completion import CompletionMethod
 from repro.nvme.lightweight import LightQueuePair, LightQueueTimings
 from repro.nvme.queue import QueueFull
@@ -79,14 +81,16 @@ class TestLightQueuePair:
 
 class TestLightQueueStack:
     def test_light_stack_beats_rich_stack(self):
-        rich = _run(
-            light=False, completion=CompletionMethod.INTERRUPT,
-            rw="randread", io_count=150,
-        )
-        light = _run(
-            light=True, completion=CompletionMethod.INTERRUPT,
-            rw="randread", io_count=150,
-        )
+        points = [
+            light_point(
+                "ull", "randread", light=light,
+                completion=CompletionMethod.INTERRUPT.value, io_count=150,
+            )
+            for light in (False, True)
+        ]
+        data = sweep(points, name="light-vs-rich")
+        rich = data[points[0].key].result
+        light = data[points[1].key].result
         assert light.latency.mean_ns < rich.latency.mean_ns
 
     def test_study_structure(self):

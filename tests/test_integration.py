@@ -51,13 +51,13 @@ class TestLatencyOrdering:
 
 class TestThroughputSaturation:
     def test_ull_saturates_by_qd16(self):
-        at_8, _ = run_async_job(DeviceKind.ULL, "read", iodepth=8, io_count=1500)
-        at_32, _ = run_async_job(DeviceKind.ULL, "read", iodepth=32, io_count=1500)
+        at_8 = run_async_job(DeviceKind.ULL, "read", iodepth=8, io_count=1500)
+        at_32 = run_async_job(DeviceKind.ULL, "read", iodepth=32, io_count=1500)
         assert at_32.bandwidth_mbps < 1.2 * at_8.bandwidth_mbps
 
     def test_nvme_still_scaling_past_qd16(self):
-        at_8, _ = run_async_job(DeviceKind.NVME, "randread", iodepth=8, io_count=1500)
-        at_64, _ = run_async_job(DeviceKind.NVME, "randread", iodepth=64, io_count=1500)
+        at_8 = run_async_job(DeviceKind.NVME, "randread", iodepth=8, io_count=1500)
+        at_64 = run_async_job(DeviceKind.NVME, "randread", iodepth=64, io_count=1500)
         assert at_64.bandwidth_mbps > 2.5 * at_8.bandwidth_mbps
 
 
@@ -65,7 +65,7 @@ class TestDeviceConsistencyUnderLoad:
     def test_mixed_workload_preserves_ftl_invariants(self):
         result, device = run_async_job(
             DeviceKind.ULL, "randrw", iodepth=16, io_count=4000,
-            write_fraction=0.5,
+            write_fraction=0.5, want_device=True,
         )
         device.ftl.mapping.check_invariants()
         assert result.latency.count == 4000
@@ -74,7 +74,8 @@ class TestDeviceConsistencyUnderLoad:
         # The preset leaves ~4 erased blocks per die after precondition;
         # ~25k overwrites push every die past the GC watermark.
         result, device = run_async_job(
-            DeviceKind.NVME, "randwrite", iodepth=8, io_count=30000
+            DeviceKind.NVME, "randwrite", iodepth=8, io_count=30000,
+            want_device=True,
         )
         assert result.latency.count == 30000
         assert device.stats.gc_events, "overwrite storm must trigger GC"
@@ -82,7 +83,8 @@ class TestDeviceConsistencyUnderLoad:
 
     def test_power_always_at_least_idle(self):
         result, device = run_async_job(
-            DeviceKind.ULL, "randwrite", iodepth=8, io_count=2000
+            DeviceKind.ULL, "randwrite", iodepth=8, io_count=2000,
+            want_device=True,
         )
         values = device.power.series.values
         assert (values >= device.config.power.idle_w - 1e-9).all()
@@ -138,7 +140,7 @@ class TestPresetSanity:
 
     def test_bandwidth_scale_matches_devices(self):
         """ULL peaks near PCIe (~2.7 GB/s here); NVMe near 1.8 GB/s."""
-        ull, _ = run_async_job(DeviceKind.ULL, "read", iodepth=32, io_count=3000)
-        nvme, _ = run_async_job(DeviceKind.NVME, "randread", iodepth=256, io_count=8000)
+        ull = run_async_job(DeviceKind.ULL, "read", iodepth=32, io_count=3000)
+        nvme = run_async_job(DeviceKind.NVME, "randread", iodepth=256, io_count=8000)
         assert ull.bandwidth_mbps > 2300
         assert 1300 < nvme.bandwidth_mbps < 2100
