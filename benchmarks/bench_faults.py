@@ -1,0 +1,68 @@
+"""Fault-injection figures: resilience cost under deterministic faults."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import emit  # noqa: E402
+
+from repro.core.figures_faults import fault_nbdflap, fault_readtail, fault_retry  # noqa: E402
+
+
+def test_fault_readtail(benchmark):
+    result = emit(
+        benchmark.pedantic(
+            fault_readtail, kwargs=dict(io_count=600), rounds=1, iterations=1
+        )
+    )
+    for completion in ("interrupt", "poll"):
+        p99 = result.find(completion, "p99")
+        # Tail latency grows monotonically with the NAND failure rate...
+        assert list(p99.y) == sorted(p99.y)
+        assert p99.y[-1] > 1.5 * p99.y[0]
+        # ...while the mean moves far less than the tail.
+        mean = result.find(completion, "mean")
+        assert mean.y[-1] / mean.y[0] < p99.y[-1] / p99.y[0]
+    # Polling still wins at every injected failure rate: device-side ECC
+    # recovery shifts both completion methods alike.
+    interrupt = result.find("interrupt", "mean")
+    poll = result.find("poll", "mean")
+    assert all(p < i for p, i in zip(poll.y, interrupt.y))
+
+
+def test_fault_retry(benchmark):
+    result = emit(
+        benchmark.pedantic(
+            fault_retry, kwargs=dict(io_count=600), rounds=1, iterations=1
+        )
+    )
+    timeout_p99 = result.find("nvme-timeout", "p99")
+    requeue_p99 = result.find("blkmq-requeue", "p99")
+    # Zero-fault points coincide: same baseline measurement, both series.
+    assert timeout_p99.y[0] == requeue_p99.y[0]
+    # A lost completion pays the ~2 ms command timer, dwarfing the
+    # requeue path's 100 us-based exponential backoff.
+    assert timeout_p99.y[-1] > 5 * requeue_p99.y[-1]
+    assert timeout_p99.y[-1] > 1_000  # us — the timeout timer dominates
+    # Requeues still inflate the tail measurably over the clean baseline.
+    assert requeue_p99.y[-1] > 1.5 * requeue_p99.y[0]
+
+
+def test_fault_nbdflap(benchmark):
+    result = emit(
+        benchmark.pedantic(
+            fault_nbdflap, kwargs=dict(io_count=400), rounds=1, iterations=1
+        )
+    )
+    kernel = result.find("Kernel", "NBD")
+    spdk = result.find("SPDK", "NBD")
+    # Throughput decays as the link flaps more often (x = flaps/sec,
+    # ascending; index 0 is the healthy link).
+    assert list(kernel.y) == sorted(kernel.y, reverse=True)
+    assert kernel.y[-1] < 0.9 * kernel.y[0]
+    # On a healthy link SPDK wins; a flapping link erases most of the
+    # server-software advantage because the outage dominates.
+    healthy_gap = spdk.y[0] / kernel.y[0]
+    flappy_gap = spdk.y[-1] / kernel.y[-1]
+    assert healthy_gap > 1.0
+    assert flappy_gap < healthy_gap

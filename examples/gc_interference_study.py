@@ -24,7 +24,7 @@ from repro import (
     build_stack,
     run_job,
 )
-from repro.core.experiment import run_async_job
+from repro.api import JobConfig, Testbed
 
 
 def interference() -> None:
@@ -33,13 +33,12 @@ def interference() -> None:
     for frac in (0, 20, 40, 60, 80):
         row = []
         for kind in (DeviceKind.ULL, DeviceKind.NVME):
-            if frac == 0:
-                result = run_async_job(kind, "randread", iodepth=8, io_count=2500)
-            else:
-                result = run_async_job(
-                    kind, "randrw", iodepth=8, io_count=2500,
-                    write_fraction=frac / 100,
-                )
+            testbed = Testbed(device=kind)
+            rw = "randread" if frac == 0 else "randrw"
+            result = testbed.run_job(JobConfig(
+                rw=rw, engine="libaio", iodepth=8, io_count=2500,
+                write_fraction=frac / 100, seed=42,
+            ))
             row.append(result.read_latency.mean_us)
         print(f"{frac:7d}% {row[0]:9.1f}us {row[1]:10.1f}us")
     print()

@@ -1,7 +1,19 @@
-"""Command-line entry point: ``python -m repro <figure-id> [...]``.
+"""Command-line entry point: ``python -m repro <subcommand> [...]``.
 
-Runs one or more figure reproductions and prints their tables.  Use
-``--scale`` to grow or shrink I/O counts (0.1 = 10 % of the default
+Three subcommands share one flag vocabulary:
+
+* ``figures`` — run figure reproductions and print their tables.  The
+  historical flat form (``python -m repro fig10 --scale 0.2``) still
+  works: a first argument that is not a subcommand is treated as
+  ``figures ...``.
+* ``sweep`` — execute figures for their measurements only (a cache
+  warmer): no tables, just per-figure engine statistics.  ``--clear-cache``
+  empties the persistent cache first.
+* ``trace`` — run ONE figure under a fresh observability bundle and
+  report what the spans say; defaults to the latency-anatomy breakdown
+  when no other observability output is selected.
+
+Use ``--scale`` to grow or shrink I/O counts (0.1 = 10 % of the default
 samples, 2.0 = double), ``--list`` to enumerate figure ids.
 
 Execution flags configure the sweep engine every figure runs on:
@@ -12,6 +24,15 @@ Execution flags configure the sweep engine every figure runs on:
 * ``--cache-dir DIR`` — persist measurements on disk (default
   ``~/.cache/repro``; a warm rerun executes zero simulations);
 * ``--no-cache`` — keep everything in-process only.
+
+Fault flags install a deterministic :class:`repro.faults.FaultPlan`
+around every figure run (workers inherit it, so parallel runs stay
+bit-identical to serial):
+
+* ``--faults SPEC`` — e.g. ``--faults nand.read_fail_prob=0.01``,
+  repeatable and comma-splittable (``nvme.timeout_prob=1e-3,nvme.max_retries=2``);
+* ``--fault-seed N`` — seeds every injector stream; also forwarded to
+  figures that take a ``fault_seed`` argument (the ``fault-*`` studies).
 
 Observability flags wrap each figure run in a fresh
 :class:`repro.obs.core.Observability` bundle:
@@ -29,6 +50,7 @@ With several figures selected, file outputs get a per-figure suffix
 from __future__ import annotations
 
 import argparse
+import contextlib
 import inspect
 import os
 import sys
@@ -38,9 +60,11 @@ from repro.core import sweep as sweep_engine
 from repro.core.figures import FIGURES, run_figure
 from repro.core.report import render_figure
 
+SUBCOMMANDS = ("figures", "sweep", "trace")
 
-def _scaled_kwargs(figure_id: str, scale: float, seed=None) -> dict:
-    """Per-figure keyword overrides for ``--scale`` and ``--seed``.
+
+def _scaled_kwargs(figure_id: str, scale: float, seed=None, fault_seed=None) -> dict:
+    """Per-figure keyword overrides for ``--scale``/``--seed``/``--fault-seed``.
 
     Scaling grows as well as shrinks; shrinking keeps a 100-I/O floor so
     percentiles stay meaningful.  Figures that pick their own I/O count
@@ -52,6 +76,8 @@ def _scaled_kwargs(figure_id: str, scale: float, seed=None) -> dict:
     kwargs = {}
     if seed is not None and "seed" in params:
         kwargs["seed"] = seed
+    if fault_seed is not None and "fault_seed" in params:
+        kwargs["fault_seed"] = fault_seed
     if scale != 1.0:
         default = (
             params["io_count"].default if "io_count" in params else None
@@ -101,23 +127,7 @@ def _emit_observability(obs, figure_id: str, args, multi: bool) -> None:
         print(f"wrote metrics to {path}", file=sys.stderr)
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="Reproduce figures from 'Faster than Flash' (IISWC'19)",
-    )
-    parser.add_argument("figures", nargs="*", help="figure ids (e.g. fig10 fig18)")
-    parser.add_argument("--list", action="store_true", help="list figure ids")
-    parser.add_argument("--all", action="store_true", help="run every figure")
-    parser.add_argument(
-        "--scale", type=float, default=1.0, help="I/O-count scale factor (default 1.0)"
-    )
-    parser.add_argument(
-        "--seed",
-        type=int,
-        default=None,
-        help="override the device seed on figures that accept one",
-    )
+def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
         type=int,
@@ -139,6 +149,32 @@ def main(argv=None) -> int:
         action="store_true",
         help="disable the persistent measurement cache",
     )
+
+
+def _add_fault_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--faults",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help=(
+            "inject faults: layer.field=value "
+            "(e.g. nand.read_fail_prob=0.01); repeatable, comma-splittable"
+        ),
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "seed for every fault-injector stream (default 0); also passed "
+            "to figures that accept a fault_seed argument"
+        ),
+    )
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace-out",
         metavar="FILE",
@@ -161,55 +197,180 @@ def main(argv=None) -> int:
         action="store_true",
         help="print the span-level latency-anatomy breakdown",
     )
-    args = parser.parse_args(argv)
 
-    if args.list:
-        for figure_id, fn in sorted(FIGURES.items()):
-            doc = (fn.__doc__ or "").strip().splitlines()[0]
-            print(f"{figure_id:8s} {doc}")
-        return 0
 
-    targets = sorted(FIGURES) if args.all else args.figures
-    if not targets:
-        parser.print_usage()
-        return 2
+def _add_select_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("figures", nargs="*", help="figure ids (e.g. fig10 fig18)")
+    parser.add_argument("--list", action="store_true", help="list figure ids")
+    parser.add_argument("--all", action="store_true", help="run every figure")
+    parser.add_argument(
+        "--scale", type=float, default=1.0, help="I/O-count scale factor (default 1.0)"
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the device seed on figures that accept one",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce figures from 'Faster than Flash' (IISWC'19)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figures = sub.add_parser(
+        "figures",
+        help="run figure reproductions and print their tables (default)",
+    )
+    _add_select_flags(figures)
+    _add_exec_flags(figures)
+    _add_fault_flags(figures)
+    _add_obs_flags(figures)
+
+    warm = sub.add_parser(
+        "sweep",
+        help="execute figures for their measurements only (cache warmer)",
+    )
+    _add_select_flags(warm)
+    _add_exec_flags(warm)
+    _add_fault_flags(warm)
+    warm.add_argument(
+        "--clear-cache",
+        action="store_true",
+        help="empty the persistent measurement cache before running",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="run ONE figure under observability (defaults to --anatomy)",
+    )
+    trace.add_argument("figures", nargs=1, metavar="figure", help="figure id")
+    trace.add_argument(
+        "--scale", type=float, default=1.0, help="I/O-count scale factor"
+    )
+    trace.add_argument(
+        "--seed", type=int, default=None, help="device-seed override"
+    )
+    _add_exec_flags(trace)
+    _add_fault_flags(trace)
+    _add_obs_flags(trace)
+    return parser
+
+
+def _fault_context(args):
+    """The ambient fault plan requested on the command line (or a no-op)."""
+    if not args.faults:
+        return contextlib.nullcontext()
+    from repro.faults.plan import parse_fault_spec
+
+    plan = parse_fault_spec(args.faults, seed=args.fault_seed or 0)
+    return plan.installed()
+
+
+def _configure_engine(args) -> "sweep_engine.SweepEngine":
     cache_dir = None if args.no_cache else (
         args.cache_dir or sweep_engine.DEFAULT_CACHE_DIR
     )
-    engine = sweep_engine.configure(jobs=args.jobs, cache_dir=cache_dir)
+    if getattr(args, "clear_cache", False) and cache_dir is not None:
+        import shutil
+        from pathlib import Path
+
+        root = Path(cache_dir).expanduser()
+        if root.is_dir():
+            shutil.rmtree(root)
+            print(f"cleared measurement cache at {root}", file=sys.stderr)
+    return sweep_engine.configure(jobs=args.jobs, cache_dir=cache_dir)
+
+
+def _select_targets(parser, args):
+    if getattr(args, "list", False):
+        for figure_id, fn in sorted(FIGURES.items()):
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{figure_id:8s} {doc}")
+        return None
+    targets = sorted(FIGURES) if getattr(args, "all", False) else args.figures
+    if not targets:
+        parser.print_usage()
+        return []
+    return targets
+
+
+def _run_targets(targets, args, *, render: bool, observing: bool) -> int:
+    engine = _configure_engine(args)
+    multi = len(targets) > 1
+    with _fault_context(args):
+        for figure_id in targets:
+            if figure_id not in FIGURES:
+                print(
+                    f"unknown figure {figure_id!r}; try --list", file=sys.stderr
+                )
+                return 2
+            kwargs = _scaled_kwargs(
+                figure_id, args.scale, seed=args.seed,
+                fault_seed=args.fault_seed,
+            )
+            started = time.time()
+            before = engine.stats.snapshot()
+            if observing:
+                from repro.obs.core import Observability
+
+                obs = Observability()
+                with obs:
+                    result = run_figure(figure_id, **kwargs)
+            else:
+                obs = None
+                result = run_figure(figure_id, **kwargs)
+            if render:
+                print(render_figure(result))
+                print(f"   [{time.time() - started:.1f}s]\n")
+            after = engine.stats.snapshot()
+            delta = {key: after[key] - before[key] for key in after}
+            print(
+                f"{figure_id}: points={delta['points']} "
+                f"executed={delta['executed']} memo={delta['memo_hits']} "
+                f"disk={delta['disk_hits']} traced={delta['traced']} "
+                f"[{time.time() - started:.1f}s]",
+                file=sys.stderr,
+            )
+            if obs is not None:
+                _emit_observability(obs, figure_id, args, multi)
+    return 0
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Back-compat flat form: `python -m repro fig10 --scale 0.2` (and
+    # bare option forms like `--list`) are `figures ...`.  Top-level
+    # help still reaches the subcommand overview.
+    if argv and argv[0] not in SUBCOMMANDS and argv[0] not in ("-h", "--help"):
+        argv.insert(0, "figures")
+    parser = _build_parser()
+    if not argv:
+        parser.print_usage()
+        return 2
+    args = parser.parse_args(argv)
+
+    if args.command == "trace":
+        # Observability is the point: fall back to the anatomy report
+        # when no output was chosen explicitly.
+        if not (args.trace_out or args.metrics or args.metrics_out or args.anatomy):
+            args.anatomy = True
+        return _run_targets(args.figures, args, render=True, observing=True)
+
+    targets = _select_targets(parser, args)
+    if targets is None:
+        return 0
+    if not targets:
+        return 2
+    if args.command == "sweep":
+        return _run_targets(targets, args, render=False, observing=False)
     observing = bool(
         args.trace_out or args.metrics or args.metrics_out or args.anatomy
     )
-    multi = len(targets) > 1
-    for figure_id in targets:
-        if figure_id not in FIGURES:
-            print(f"unknown figure {figure_id!r}; try --list", file=sys.stderr)
-            return 2
-        kwargs = _scaled_kwargs(figure_id, args.scale, seed=args.seed)
-        started = time.time()
-        before = engine.stats.snapshot()
-        if observing:
-            from repro.obs.core import Observability
-
-            obs = Observability()
-            with obs:
-                result = run_figure(figure_id, **kwargs)
-        else:
-            obs = None
-            result = run_figure(figure_id, **kwargs)
-        print(render_figure(result))
-        print(f"   [{time.time() - started:.1f}s]\n")
-        after = engine.stats.snapshot()
-        delta = {key: after[key] - before[key] for key in after}
-        print(
-            f"{figure_id}: points={delta['points']} "
-            f"executed={delta['executed']} memo={delta['memo_hits']} "
-            f"disk={delta['disk_hits']} traced={delta['traced']}",
-            file=sys.stderr,
-        )
-        if obs is not None:
-            _emit_observability(obs, figure_id, args, multi)
-    return 0
+    return _run_targets(targets, args, render=True, observing=observing)
 
 
 if __name__ == "__main__":

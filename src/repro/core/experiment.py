@@ -1,13 +1,21 @@
 """Build-and-run helpers: one call per measurement.
 
-Every figure function composes these.  Each measurement gets a *fresh*
-simulator and device (preconditioned unless told otherwise), so runs are
-independent and deterministic for a given seed.
+Each measurement gets a *fresh* simulator and device (preconditioned
+unless told otherwise), so runs are independent and deterministic for a
+given seed.
+
+The run helpers here (``run_sync_job``/``run_async_job``) are
+**deprecated shims** over :mod:`repro.api` — new code should build a
+:class:`repro.api.Testbed` and pass a :class:`repro.api.JobConfig`.
+The low-level builders (``device_config``/``build_device``/
+``build_stack``) remain supported for code that composes its own
+simulator.
 """
 
 from __future__ import annotations
 
 import enum
+import warnings
 from typing import Optional, Tuple, Union
 
 from repro.host.costs import DEFAULT_COSTS, SoftwareCosts
@@ -18,8 +26,7 @@ from repro.spdk.stack import SpdkStack
 from repro.ssd.config import SsdConfig
 from repro.ssd.device import SsdDevice
 from repro.ssd.presets import nvme_ssd_config, ull_ssd_config
-from repro.workloads.job import FioJob, IoEngineKind
-from repro.workloads.runner import JobResult, run_job
+from repro.workloads.runner import JobResult
 
 
 class DeviceKind(enum.Enum):
@@ -89,23 +96,42 @@ def run_sync_job(
     costs: Optional[SoftwareCosts] = None,
     capture_timeseries: bool = False,
 ) -> JobResult:
-    """One synchronous (pvsync2 / SPDK-plugin) measurement."""
-    sim = Simulator()
-    device = build_device(sim, device_kind, precondition=precondition, seed=seed)
-    host = build_stack(sim, device, stack=stack, completion=completion,
-                       costs=costs, seed=seed)
-    engine = IoEngineKind.SPDK if stack is StackKind.SPDK else IoEngineKind.PSYNC
-    job = FioJob(
-        name=f"{device_kind.value}-{rw}-{block_size}",
-        rw=rw,
-        block_size=block_size,
-        engine=engine,
-        io_count=io_count,
-        write_fraction=write_fraction,
-        seed=seed,
-        capture_timeseries=capture_timeseries,
+    """Deprecated: use :class:`repro.api.Testbed` + :class:`JobConfig`.
+
+    One synchronous (pvsync2 / SPDK-plugin) measurement; the historical
+    convention — one seed drives device, stack, and pattern alike — is
+    preserved through the facade.
+    """
+    warnings.warn(
+        "run_sync_job is deprecated; build a repro.api.Testbed and call "
+        "run_job(JobConfig(...)) instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    return run_job(sim, host, job)
+    from repro.api import JobConfig, Testbed
+
+    device_kind = DeviceKind(device_kind)
+    testbed = Testbed(
+        device=device_kind.value,
+        stack=StackKind(stack).value,
+        completion=CompletionMethod(completion).value,
+        precondition=precondition,
+        costs=costs,
+        device_seed=seed,
+        stack_seed=seed,
+    )
+    return testbed.run_job(
+        JobConfig(
+            rw=rw,
+            engine="psync",
+            block_size=block_size,
+            io_count=io_count,
+            write_fraction=write_fraction,
+            seed=seed,
+            capture_timeseries=capture_timeseries,
+            name=f"{device_kind.value}-{rw}-{block_size}",
+        )
+    )
 
 
 def run_async_job(
@@ -122,31 +148,39 @@ def run_async_job(
     config: Optional[SsdConfig] = None,
     want_device: bool = False,
 ) -> Union[JobResult, Tuple[JobResult, SsdDevice]]:
-    """One asynchronous (libaio, interrupt-completed) measurement.
+    """Deprecated: use :class:`repro.api.Testbed` + :class:`JobConfig`.
 
+    One asynchronous (libaio, interrupt-completed) measurement.
     Returns the :class:`JobResult`; with ``want_device=True`` returns
-    ``(result, device)`` for the few callers that also read device-side
-    state (power series, GC events).  The default drops the simulator
-    and device as soon as the run finishes, so sweeps over many points
-    do not keep every device's full state alive.
+    ``(result, device)`` for callers that also read device-side state.
     """
-    sim = Simulator()
-    device = build_device(
-        sim, device_kind, precondition=precondition, seed=seed, config=config
+    warnings.warn(
+        "run_async_job is deprecated; build a repro.api.Testbed and call "
+        "run_job(JobConfig(engine='libaio', ...)) instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    host = build_stack(sim, device)
-    job = FioJob(
-        name=f"{device_kind.value}-{rw}-qd{iodepth}",
+    from repro.api import JobConfig, Testbed
+
+    device_kind = DeviceKind(device_kind)
+    testbed = Testbed(
+        device=device_kind.value,
+        precondition=precondition,
+        config=config,
+        device_seed=seed,
+        stack_seed=11,
+    )
+    job = JobConfig(
         rw=rw,
+        engine="libaio",
         block_size=block_size,
-        engine=IoEngineKind.LIBAIO,
         iodepth=iodepth,
         io_count=io_count,
         write_fraction=write_fraction,
         seed=seed,
         capture_timeseries=capture_timeseries,
+        name=f"{device_kind.value}-{rw}-qd{iodepth}",
     )
-    result = run_job(sim, host, job)
     if want_device:
-        return result, device
-    return result
+        return testbed.run_job(job, want_device=True)
+    return testbed.run_job(job)

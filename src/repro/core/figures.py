@@ -47,6 +47,7 @@ from repro.core.extensions import (
     lightqueue_depth_limit,
     lightqueue_study,
 )
+from repro.core.figures_faults import fault_nbdflap, fault_readtail, fault_retry
 from repro.core.metrics import FigureResult, Series
 from repro.flash.timing import TABLE_I
 
@@ -118,6 +119,10 @@ FIGURES: Dict[str, Callable[..., FigureResult]] = {
     "ext-lightqueue": lightqueue_study,
     "ext-lightqueue-depth": lightqueue_depth_limit,
     "ext-anatomy": latency_anatomy,
+    # Resilience under deterministic fault injection (repro.faults).
+    "fault-readtail": fault_readtail,
+    "fault-retry": fault_retry,
+    "fault-nbdflap": fault_nbdflap,
 }
 
 

@@ -8,7 +8,7 @@ benchmark harness renders these and asserts their headline shapes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 
 @dataclass(frozen=True)

@@ -31,13 +31,11 @@ from __future__ import annotations
 import dataclasses
 from typing import Optional, Tuple
 
-from repro.core.experiment import DeviceKind, build_device, device_config
-from repro.core.sweep import DeviceSnapshot, Measurement, Point, make_point, runner
-from repro.host.costs import DEFAULT_COSTS
-from repro.kstack.completion import CompletionMethod
-from repro.kstack.stack import KernelStack
+from repro.api import JobConfig, Testbed, device_snapshot
+from repro.core.experiment import DeviceKind, device_config
+from repro.core.sweep import Measurement, Point, make_point, runner
+from repro.faults.plan import FaultPlan, active_plan
 from repro.sim.engine import Simulator
-from repro.spdk.stack import SpdkStack
 from repro.ssd.device import SsdDevice
 from repro.workloads.job import FioJob, IoEngineKind
 from repro.workloads.runner import run_job
@@ -54,15 +52,13 @@ def _resolve_config(device: str, config_overrides=()):
     return config
 
 
-def _snapshot(device: SsdDevice) -> DeviceSnapshot:
-    events = device.stats.gc_events
-    return DeviceSnapshot(
-        gc_events=len(events),
-        first_gc_ns=events[0].start_ns if events else -1,
-        write_amplification=device.ftl.write_amplification(),
-        erases=int(device.ftl.erases),
-        power_series=device.power.series,
-    )
+def _resolve_faults(fault_plan: Tuple) -> Optional[FaultPlan]:
+    """An explicit per-point plan wins; otherwise pick up the plan the
+    CLI/engine installed ambiently (workers re-install it, so parallel
+    runs see the same plan as serial ones)."""
+    if fault_plan:
+        return FaultPlan.from_params(fault_plan)
+    return active_plan()
 
 
 # ----------------------------------------------------------------------
@@ -88,54 +84,33 @@ def job_runner(
     device_seed: int = 42,
     stack_seed: int = 11,
     job_seed: int = 1234,
+    fault_plan: Tuple = (),
     want_device: bool = False,
 ) -> Measurement:
     """One fio-style measurement on a fresh simulator."""
-    sim = Simulator()
-    config = _resolve_config(device, config_overrides)
-    ssd = SsdDevice(sim, config, seed=device_seed)
-    if precondition > 0:
-        ssd.precondition(precondition)
-    if stack == "spdk":
-        host = SpdkStack(sim, ssd, costs=DEFAULT_COSTS)
-        engine_kind = IoEngineKind.SPDK
-    else:
-        qpair = None
-        if light:
-            from repro.nvme.lightweight import LightQueuePair
-
-            qpair = LightQueuePair(
-                sim, ssd, interrupts_enabled=(completion == "interrupt")
-            )
-        host = KernelStack(
-            sim,
-            ssd,
-            completion=CompletionMethod(completion),
-            costs=DEFAULT_COSTS,
-            seed=stack_seed,
-            qpair=qpair,
-            thin_submit=light,
-        )
-        if sleep_fraction is not None:
-            host.engine.sleep_fraction = sleep_fraction
-        engine_kind = (
-            IoEngineKind.LIBAIO if engine == "libaio" else IoEngineKind.PSYNC
-        )
-    job = FioJob(
-        name=f"{device}-{rw}-{block_size}-qd{iodepth}",
+    testbed = Testbed(
+        device=device,
+        stack=stack,
+        completion=completion,
+        precondition=precondition,
+        light=light,
+        sleep_fraction=sleep_fraction,
+        config_overrides=tuple(config_overrides),
+        device_seed=device_seed,
+        stack_seed=stack_seed,
+        faults=_resolve_faults(fault_plan),
+    )
+    config = JobConfig(
         rw=rw,
+        engine=engine,
         block_size=block_size,
-        engine=engine_kind,
         iodepth=iodepth,
         io_count=io_count,
         write_fraction=write_fraction,
         seed=job_seed,
         capture_timeseries=capture_timeseries,
     )
-    result = run_job(sim, host, job)
-    return Measurement(
-        result=result, device=_snapshot(ssd) if want_device else None
-    )
+    return testbed.run(config, want_device=want_device)
 
 
 # ----------------------------------------------------------------------
@@ -151,9 +126,10 @@ def idle_runner(
 ) -> Measurement:
     """A device left alone; reports its average power over the window."""
     sim = Simulator()
-    ssd = build_device(
-        sim, DeviceKind(device), precondition=precondition, seed=device_seed
-    )
+    ssd = Testbed(
+        device=device, precondition=precondition, device_seed=device_seed,
+        faults=active_plan(),
+    ).open_device(sim)
     sim.run(until=duration_ns)
     return Measurement(
         values=(("avg_power_w", ssd.power.average_watts(sim.now)),)
@@ -170,17 +146,19 @@ class FileSystemOverNbd:
     engines expect, adding the client's user-space cost per file I/O.
     """
 
-    def __init__(self, sim: Simulator, server) -> None:
+    def __init__(self, sim: Simulator, server, faults=None) -> None:
         from repro.host.accounting import CpuAccounting
+        from repro.host.costs import DEFAULT_COSTS
         from repro.kstack.filesystem import Ext4Model
         from repro.net.nbd import NbdSystem
 
         self.sim = sim
         self.accounting = CpuAccounting()
         self.costs = DEFAULT_COSTS
-        self.device = build_device(sim, DeviceKind.ULL)
+        self.device = Testbed(device="ull", faults=faults).open_device(sim)
         self.nbd = NbdSystem(
-            sim, self.device, server=server, accounting=self.accounting
+            sim, self.device, server=server, accounting=self.accounting,
+            faults=faults,
         )
         self.fs = Ext4Model(
             sim,
@@ -220,6 +198,7 @@ def nbd_runner(
     io_count: int = 800,
     device: str = "ull",
     job_seed: int = 1234,
+    fault_plan: Tuple = (),
 ) -> Measurement:
     """One synchronous file-I/O run over the NBD client/server system."""
     from repro.net.nbd import NbdServerKind
@@ -227,7 +206,9 @@ def nbd_runner(
     if device != "ull":
         raise ValueError("the NBD system models the ULL SSD only")
     sim = Simulator()
-    stack = FileSystemOverNbd(sim, NbdServerKind(server))
+    stack = FileSystemOverNbd(
+        sim, NbdServerKind(server), faults=_resolve_faults(fault_plan)
+    )
     job = FioJob(
         name=f"nbd-{server}-{rw}-{block_size}",
         rw=rw,
@@ -262,7 +243,7 @@ def gc_policy_runner(
         _resolve_config(device, config_overrides), gc_policy=policy
     )
     sim = Simulator()
-    ssd = SsdDevice(sim, config)
+    ssd = SsdDevice(sim, config, faults=active_plan())
     ssd.precondition()
     rng = np.random.default_rng(rng_seed)
     pages = ssd.logical_pages
@@ -275,7 +256,7 @@ def gc_policy_runner(
         ssd.write(lpn * 4096, 4096)
     sim.run()
     return Measurement(
-        device=_snapshot(ssd),
+        device=device_snapshot(ssd),
         values=(
             ("write_amplification", ssd.ftl.write_amplification()),
             ("erases", float(ssd.ftl.erases)),
@@ -301,11 +282,13 @@ def anatomy_runner(
     from repro.workloads.patterns import make_pattern
 
     sim = Simulator()
-    ssd = build_device(sim, DeviceKind(device), seed=device_seed)
-    if stack == "spdk":
-        host = SpdkStack(sim, ssd)
-    else:
-        host = KernelStack(sim, ssd, completion=CompletionMethod(completion))
+    ssd, host = Testbed(
+        device=device,
+        stack=stack,
+        completion=completion or "interrupt",
+        device_seed=device_seed,
+        faults=active_plan(),
+    ).build(sim)
     host.stage_log = []
     job = FioJob(
         name=f"anatomy-{stack}", rw=rw, engine=IoEngineKind.PSYNC, io_count=io_count

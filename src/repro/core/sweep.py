@@ -201,18 +201,36 @@ def _costs_identity() -> str:
     return repr(sorted(dataclasses.asdict(costs_module.DEFAULT_COSTS).items()))
 
 
+def _ambient_fault_params():
+    """The ambiently installed fault plan as canonical params, or None.
+
+    Points that carry an explicit ``fault_plan`` parameter are already
+    keyed by it; this covers plans installed around a whole run (the
+    CLI's ``--faults`` flag), which otherwise would alias fault-free
+    cache entries.
+    """
+    from repro.faults.plan import active_plan
+
+    plan = active_plan()
+    return plan.to_params() if plan is not None else None
+
+
 def point_cache_key(point: Point, version: int = CACHE_SCHEMA) -> str:
     """Canonical hash identifying one measurement across runs."""
-    blob = repr(
-        (
-            CACHE_SCHEMA,
-            version,
-            point.runner,
-            point.params,
-            _device_identity(point.kwargs()),
-            _costs_identity(),
-        )
-    )
+    items = [
+        CACHE_SCHEMA,
+        version,
+        point.runner,
+        point.params,
+        _device_identity(point.kwargs()),
+        _costs_identity(),
+    ]
+    ambient_faults = _ambient_fault_params()
+    if ambient_faults is not None:
+        # Appended only when a plan is live, so fault-free runs keep
+        # their historical keys (and their warm caches).
+        items.append(ambient_faults)
+    blob = repr(tuple(items))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
@@ -261,8 +279,19 @@ class SweepCache:
 # ----------------------------------------------------------------------
 # Worker entry points (module-level: must be picklable)
 # ----------------------------------------------------------------------
-def _execute_point(runner_name: str, params: Tuple[Tuple[str, Any], ...]) -> Measurement:
+def _execute_point(
+    runner_name: str,
+    params: Tuple[Tuple[str, Any], ...],
+    fault_params=None,
+) -> Measurement:
     fn = get_runner(runner_name)
+    if fault_params:
+        # Re-install the parent's ambient fault plan explicitly: worker
+        # processes (spawn in particular) don't inherit module state.
+        from repro.faults.plan import FaultPlan
+
+        with FaultPlan.from_params(fault_params).installed():
+            return fn(**dict(params))
     return fn(**dict(params))
 
 
@@ -271,11 +300,12 @@ def _execute_point_traced(
     params: Tuple[Tuple[str, Any], ...],
     tracing: bool,
     metrics: bool,
+    fault_params=None,
 ):
     """Run one point under a fresh worker-local bundle and ship both back."""
     bundle = Observability(tracing=tracing, metrics=metrics)
     with bundle:
-        measurement = _execute_point(runner_name, params)
+        measurement = _execute_point(runner_name, params, fault_params)
     return measurement, bundle
 
 
@@ -344,17 +374,23 @@ class SweepEngine:
                 pending.append((key, [point]))
 
         if pending:
+            fault_params = _ambient_fault_params()
             if self.jobs > 1 and len(pending) > 1:
                 workers = min(self.jobs, len(pending))
                 with ProcessPoolExecutor(max_workers=workers) as pool:
                     futures = [
-                        pool.submit(_execute_point, points[0].runner, points[0].params)
+                        pool.submit(
+                            _execute_point,
+                            points[0].runner,
+                            points[0].params,
+                            fault_params,
+                        )
                         for _key, points in pending
                     ]
                     measured = [future.result() for future in futures]
             else:
                 measured = [
-                    _execute_point(points[0].runner, points[0].params)
+                    _execute_point(points[0].runner, points[0].params, fault_params)
                     for _key, points in pending
                 ]
             for (key, points), measurement in zip(pending, measured):
@@ -383,20 +419,23 @@ class SweepEngine:
         points = spec.points
         tracing = bool(getattr(obs.tracer, "enabled", False))
         metrics = bool(getattr(obs.registry, "enabled", False))
+        fault_params = _ambient_fault_params()
         if self.jobs > 1 and len(points) > 1:
             workers = min(self.jobs, len(points))
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = [
                     pool.submit(
                         _execute_point_traced, point.runner, point.params,
-                        tracing, metrics,
+                        tracing, metrics, fault_params,
                     )
                     for point in points
                 ]
                 pairs = [future.result() for future in futures]
         else:
             pairs = [
-                _execute_point_traced(point.runner, point.params, tracing, metrics)
+                _execute_point_traced(
+                    point.runner, point.params, tracing, metrics, fault_params
+                )
                 for point in points
             ]
         # Absorb per-point bundles in spec order: deterministic pids,

@@ -1,0 +1,41 @@
+"""repro.faults: the deterministic fault-injection plane.
+
+See :mod:`repro.faults.plan` for the model and the determinism
+contract.  Typical use::
+
+    from repro.faults import FaultPlan, NandFaults
+
+    plan = FaultPlan(seed=7, nand=NandFaults(read_fail_prob=0.01))
+    testbed = repro.api.Testbed(faults=plan)
+
+or ambiently (the CLI's ``--faults`` flag does this)::
+
+    with plan.installed():
+        run_figure("fig10")
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FaultPlan,
+    KstackFaults,
+    NandFaults,
+    NetFaults,
+    NvmeFaults,
+    active_plan,
+    install,
+    parse_fault_spec,
+    uninstall,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "NandFaults",
+    "NvmeFaults",
+    "KstackFaults",
+    "NetFaults",
+    "active_plan",
+    "install",
+    "uninstall",
+    "parse_fault_spec",
+]

@@ -1,0 +1,31 @@
+"""The per-layer fault RNG stream.
+
+One :class:`FaultInjector` wraps one layer's spec plus a dedicated
+``numpy`` generator seeded from the plan (see
+:func:`repro.faults.plan.FaultPlan.injector`).  Layers hold the
+injector they were given and call :meth:`roll` at each potential fault
+site; because the stream is separate from every other RNG in the
+simulator, the *sequence of fault sites visited* fully determines the
+injected schedule — identical runs produce identical faults, and a
+disabled layer (injector ``None``) draws nothing at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class FaultInjector:
+    """A layer's fault spec bound to its seeded random stream."""
+
+    __slots__ = ("spec", "rng")
+
+    def __init__(self, spec, seed: int) -> None:
+        self.spec = spec
+        self.rng = np.random.default_rng(seed)
+
+    def roll(self, prob: float) -> bool:
+        """One Bernoulli draw from this layer's stream."""
+        if prob <= 0.0:
+            return False
+        return bool(self.rng.random() < prob)

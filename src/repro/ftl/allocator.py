@@ -146,6 +146,20 @@ class BlockAllocator:
         self._closed[die].discard(block)
         self._free[die].append(block)
 
+    def retire_block(self, die: int) -> Optional[int]:
+        """Permanently remove one erased block from ``die``'s pool.
+
+        Models bad-block retirement after a program failure: once the
+        failed block's live data has been re-programmed elsewhere, the
+        block leaves service for good, shrinking the die's erased pool.
+        Refuses (returns ``None``) rather than dip below the two-block
+        floor :meth:`can_host_write` relies on — a die cannot retire its
+        GC reserve.
+        """
+        if len(self._free[die]) < 2:
+            return None
+        return self._free[die].pop()
+
     def remaining_in_active(
         self, die: int, stream: WriteStream = WriteStream.HOST
     ) -> int:

@@ -22,7 +22,7 @@ Module names follow the paper's breakdowns: ``fio`` (user), ``vfs``,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

@@ -14,7 +14,7 @@ completion engines operate on.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.ssd.device import IoOp

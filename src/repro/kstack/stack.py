@@ -37,6 +37,7 @@ class KernelStack:
         qpair=None,
         thin_submit: bool = False,
         seed: int = 11,
+        faults=None,
     ) -> None:
         self.sim = sim
         self.device = device
@@ -45,12 +46,30 @@ class KernelStack:
         self.completion_method = completion
         self.thin_submit = thin_submit
         if qpair is None:
-            controller = NvmeController(sim, device, timings=nvme_timings)
+            controller = NvmeController(
+                sim, device, timings=nvme_timings, faults=faults
+            )
             qpair = controller.create_queue_pair(
                 depth=queue_depth,
                 interrupts_enabled=(completion is CompletionMethod.INTERRUPT),
             )
         self.qpair = qpair
+        # Fault injection (repro.faults): BLK_STS_RESOURCE requeues.
+        self._requeue_faults = (
+            faults.injector("kstack") if faults is not None else None
+        )
+        self.requeues = 0
+        if self._requeue_faults is not None:
+            registry = sim.obs.registry
+            self._m_requeues = registry.counter(
+                "faults.kstack.requeues",
+                help="injected blk-mq dispatch requeues",
+            )
+            self._m_backoff = registry.counter(
+                "faults.kstack.backoff_ns",
+                unit="ns",
+                help="time spent in requeue backoff",
+            )
         self.blkmq = BlkMq(cpus=1, hw_queues=1, tags_per_queue=queue_depth)
         self.driver = KernelNvmeDriver(self.blkmq, self.qpair)
         self.engine = make_engine(
@@ -130,12 +149,55 @@ class KernelStack:
         yield self._charge_and_wait(
             costs.blkmq_submit, ExecMode.KERNEL, "blk-mq", "blk_mq_make_request"
         )
+        if self._requeue_faults is not None:
+            yield from self._maybe_requeue(ctx)
         yield self._charge_and_wait(
             costs.nvme_driver_submit, ExecMode.KERNEL, "nvme-driver", "nvme_queue_rq"
         )
         yield self._charge_and_wait(
             costs.doorbell_write, ExecMode.KERNEL, "nvme-driver", "doorbell_write"
         )
+
+    def _maybe_requeue(self, ctx=None):
+        """Process: injected ``BLK_STS_RESOURCE`` dispatch failures.
+
+        Each failed dispatch requeues the request with exponential
+        backoff (doubling from ``backoff_base_ns``, capped at
+        ``backoff_max_ns``); after ``max_requeues`` attempts dispatch
+        is forced through.  The requeue kworker's CPU time is charged
+        to blk-mq.
+        """
+        fi = self._requeue_faults
+        costs = self.costs
+        attempt = 0
+        while attempt < fi.spec.max_requeues and fi.roll(fi.spec.requeue_prob):
+            delay = min(
+                fi.spec.backoff_max_ns, fi.spec.backoff_base_ns << attempt
+            )
+            attempt += 1
+            self.requeues += 1
+            self._m_requeues.inc()
+            self._m_backoff.inc(delay)
+            start = self.sim.now
+            if ctx is not None:
+                ctx.annotate(
+                    "blkmq_requeue", start, start + delay, attempt=attempt
+                )
+            tracer = self.sim.obs.tracer
+            if tracer.enabled:
+                tracer.span(
+                    "faults", "blkmq_requeue", start, start + delay,
+                    attempt=attempt,
+                )
+            self.accounting.charge(
+                costs.blkmq_submit.ns,
+                ExecMode.KERNEL,
+                "blk-mq",
+                "blk_mq_requeue_work",
+                loads=costs.blkmq_submit.loads,
+                stores=costs.blkmq_submit.stores,
+            )
+            yield self.sim.timeout(delay)
 
     # ------------------------------------------------------------------
     def submit_async(self, op: IoOp, offset: int, nbytes: int):
@@ -162,6 +224,8 @@ class KernelStack:
         yield self._charge_and_wait(
             costs.async_submit_kernel, ExecMode.KERNEL, "blk-mq", "aio_submit_path"
         )
+        if self._requeue_faults is not None:
+            yield from self._maybe_requeue(ctx)
         request = self.driver.submit(
             0, op, offset, nbytes, hipri=False, now_ns=self.sim.now, trace=ctx
         )

@@ -24,6 +24,7 @@ class NetworkLink:
         *,
         mbps: int = 1_100,  # 10 GbE payload rate after framing
         propagation_ns: int = 2_500,  # wire + switch + NIC DMA
+        faults=None,
     ) -> None:
         if mbps <= 0 or propagation_ns < 0:
             raise ValueError("link parameters must be positive")
@@ -33,13 +34,84 @@ class NetworkLink:
         self._to_server = TimelineResource(sim)
         self._to_client = TimelineResource(sim)
         self.messages = 0
+        # Fault injection (repro.faults): periodic link flaps and
+        # per-message drops; see NetFaults.
+        self._faults = faults.injector("net") if faults is not None else None
+        self.reconnects = 0
+        self.drops = 0
+        self._outages_hit: set = set()
+        if self._faults is not None:
+            registry = sim.obs.registry
+            self._m_reconnects = registry.counter(
+                "faults.net.reconnects",
+                help="NBD session re-establishments after link flaps",
+            )
+            self._m_drops = registry.counter(
+                "faults.net.drops", help="messages dropped and resent"
+            )
+            self._m_resent_bytes = registry.counter(
+                "faults.net.resent_bytes", unit="bytes",
+                help="payload re-serialized after drops",
+            )
 
     def wire_ns(self, nbytes: int) -> int:
         """Serialization time for ``nbytes`` on one direction."""
         return int(round(nbytes * 1_000 / self.mbps))
 
+    def _defer_for_outage(self, t: int) -> int:
+        """Push ``t`` past the current flap window, if it lands in one.
+
+        Flap windows open at every multiple of ``flap_interval_ns``
+        (except time zero) and last ``outage_ns``; a transfer arriving
+        inside one waits for the link to return plus ``reconnect_ns``
+        of NBD session re-establishment.
+        """
+        spec = self._faults.spec
+        interval = spec.flap_interval_ns
+        if interval <= 0:
+            return t
+        window = t // interval
+        window_start = window * interval
+        if window == 0 or t >= window_start + spec.outage_ns:
+            return t
+        resume = window_start + spec.outage_ns + spec.reconnect_ns
+        if window not in self._outages_hit:
+            self._outages_hit.add(window)
+            self.reconnects += 1
+            self._m_reconnects.inc()
+            tracer = self.sim.obs.tracer
+            if tracer.enabled:
+                tracer.span(
+                    "faults", "link_outage", window_start, resume,
+                    window=int(window),
+                )
+        return resume
+
     def _send(self, wire: TimelineResource, nbytes: int, not_before: int) -> Tuple[int, int]:
+        fi = self._faults
+        if fi is not None:
+            not_before = self._defer_for_outage(max(not_before, self.sim.now))
         start, end = wire.reserve(self.wire_ns(nbytes), not_before)
+        if fi is not None and fi.spec.drop_prob > 0.0:
+            resends = 0
+            while resends < fi.spec.max_resends and fi.roll(fi.spec.drop_prob):
+                # Dropped in flight: detected after the retransmit
+                # timeout, then re-serialized (possibly across a flap).
+                resends += 1
+                retry_at = self._defer_for_outage(
+                    end + fi.spec.retransmit_timeout_ns
+                )
+                _, end = wire.reserve(self.wire_ns(nbytes), retry_at)
+            if resends:
+                self.drops += resends
+                self._m_drops.inc(resends)
+                self._m_resent_bytes.inc(resends * nbytes)
+                tracer = self.sim.obs.tracer
+                if tracer.enabled:
+                    tracer.span(
+                        "faults", "resend", start, end,
+                        resends=resends, nbytes=nbytes,
+                    )
         self.messages += 1
         return start, end + self.propagation_ns
 

@@ -91,11 +91,12 @@ class NbdSystem:
         client_costs: SoftwareCosts = None,
         server_costs: NbdServerCosts = None,
         accounting: CpuAccounting = None,
+        faults=None,
     ) -> None:
         self.sim = sim
         self.device = device
         self.server = server
-        self.link = link or NetworkLink(sim)
+        self.link = link or NetworkLink(sim, faults=faults)
         self.costs = client_costs or DEFAULT_COSTS
         self.server_costs = server_costs or NbdServerCosts()
         self.accounting = accounting or CpuAccounting()

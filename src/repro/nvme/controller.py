@@ -13,7 +13,7 @@ them on top of the ``cqe_event`` each submission exposes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.nvme.command import NvmeCommand, Opcode, StatusCode
@@ -61,6 +61,7 @@ class NvmeQueuePair:
         depth: int = 1024,
         timings: Optional[NvmeTimings] = None,
         interrupts_enabled: bool = True,
+        fault_injector=None,
     ) -> None:
         self.sim = sim
         self.device = device
@@ -74,6 +75,8 @@ class NvmeQueuePair:
         # Statistics.
         self.submitted = 0
         self.completed = 0
+        self.timeouts = 0
+        self.resets = 0
         # Observability (no-op instruments unless a registry is installed).
         registry = sim.obs.registry
         self._m_submitted = registry.counter("nvme.sq.submitted", help="SQEs issued")
@@ -81,6 +84,17 @@ class NvmeQueuePair:
         self._m_outstanding = registry.gauge(
             "nvme.qpair.outstanding", unit="cmds", help="commands in flight"
         )
+        # Fault injection (repro.faults): lost completions recovered by
+        # the host's command timer; see NvmeFaults.
+        self._faults = fault_injector
+        if self._faults is not None:
+            self._m_timeouts = registry.counter(
+                "faults.nvme.timeouts",
+                help="injected command timeouts (completion lost)",
+            )
+            self._m_resets = registry.counter(
+                "faults.nvme.resets", help="controller resets forced by timeouts"
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -131,7 +145,11 @@ class NvmeQueuePair:
     def _fetch_and_execute(self) -> None:
         if self.sq.is_empty:
             return  # already fetched by an earlier doorbell callback
-        command = self.sq.fetch()
+        self._execute(self.sq.fetch(), attempt=0)
+
+    def _execute(self, command: NvmeCommand, attempt: int) -> None:
+        """Hand one command to the device; ``attempt`` counts injected
+        timeouts already suffered by this command."""
         op = _OP_OF[command.opcode]
         trace = self._pending[command.cid].trace
         if trace is not None:
@@ -140,7 +158,65 @@ class NvmeQueuePair:
         request = self.device.submit(
             op, command.offset_bytes, command.nbytes, trace=trace
         )
+        fi = self._faults
+        if (
+            fi is not None
+            and attempt < fi.spec.max_retries
+            and fi.roll(fi.spec.timeout_prob)
+        ):
+            # Injected fault: the completion is lost in flight.  The
+            # device still did the work; nothing reaches the CQ until
+            # the host's command timer expires and the command is
+            # aborted and re-delivered.
+            self.sim.schedule(
+                fi.spec.timeout_ns, self._command_timeout, command, attempt + 1
+            )
+            return
         request.done.add_callback(lambda _event, cid=command.cid: self._device_done(cid))
+
+    def _command_timeout(self, command: NvmeCommand, attempt: int) -> None:
+        """The host's timer fired: abort and re-deliver the command.
+
+        The ``reset_after``-th timeout of the same command escalates to
+        a controller reset (``reset_ns`` of recovery) before the retry —
+        the nvme driver's timeout handler does exactly this ladder.
+        """
+        pending = self._pending.get(command.cid)
+        if pending is None:
+            return
+        fi = self._faults
+        self.timeouts += 1
+        self._m_timeouts.inc()
+        now = self.sim.now
+        if pending.trace is not None:
+            pending.trace.annotate(
+                "nvme_timeout", now - fi.spec.timeout_ns, now, attempt=attempt
+            )
+        tracer = self.sim.obs.tracer
+        if tracer.enabled:
+            tracer.span(
+                "faults",
+                "nvme_timeout",
+                now - fi.spec.timeout_ns,
+                now,
+                cid=command.cid,
+                attempt=attempt,
+            )
+        if attempt >= fi.spec.reset_after:
+            self.resets += 1
+            self._m_resets.inc()
+            if tracer.enabled:
+                tracer.span(
+                    "faults", "nvme_reset", now, now + fi.spec.reset_ns,
+                    cid=command.cid,
+                )
+            if pending.trace is not None:
+                pending.trace.annotate(
+                    "nvme_reset", now, now + fi.spec.reset_ns
+                )
+            self.sim.schedule(fi.spec.reset_ns, self._execute, command, attempt)
+        else:
+            self._execute(command, attempt)
 
     def _device_done(self, cid: int) -> None:
         trace = self._pending[cid].trace
@@ -181,21 +257,29 @@ class NvmeController:
         device: SsdDevice,
         *,
         timings: Optional[NvmeTimings] = None,
+        faults=None,
     ) -> None:
         self.sim = sim
         self.device = device
         self.timings = timings or NvmeTimings()
+        self.faults = faults  # repro.faults.FaultPlan or None
         self.queue_pairs: List[NvmeQueuePair] = []
 
     def create_queue_pair(
         self, *, depth: int = 1024, interrupts_enabled: bool = True
     ) -> NvmeQueuePair:
+        injector = (
+            self.faults.injector("nvme", index=len(self.queue_pairs))
+            if self.faults is not None
+            else None
+        )
         pair = NvmeQueuePair(
             self.sim,
             self.device,
             depth=depth,
             timings=self.timings,
             interrupts_enabled=interrupts_enabled,
+            fault_injector=injector,
         )
         self.queue_pairs.append(pair)
         return pair

@@ -12,7 +12,7 @@ so the per-name totals sum to the total end-to-end latency exactly
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.obs.tracer import sort_span_names
 

@@ -17,7 +17,7 @@ uninstrumented runs pay nothing and stay bit-identical.
 from __future__ import annotations
 
 import functools
-from typing import List, Optional
+from typing import List
 
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, SpanTracer

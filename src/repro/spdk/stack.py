@@ -38,6 +38,7 @@ class SpdkStack:
         queue_depth: int = 1024,
         nvme_timings: Optional[NvmeTimings] = None,
         hugepages: int = 512,
+        faults=None,
     ) -> None:
         self.sim = sim
         self.device = device
@@ -51,7 +52,7 @@ class SpdkStack:
         self.bar_region = self.hugepages.map_bar(16 * 1024)
         self.io_buffers = self.hugepages.allocate(4 * 1024 * 1024, "io-buffers")
         # No ISR from user space: interrupts stay off (Section II-B4).
-        controller = NvmeController(sim, device, timings=nvme_timings)
+        controller = NvmeController(sim, device, timings=nvme_timings, faults=faults)
         self.qpair = controller.create_queue_pair(
             depth=queue_depth, interrupts_enabled=False
         )

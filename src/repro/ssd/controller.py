@@ -64,13 +64,18 @@ class ControllerStats:
     write_stalls: int = 0
     map_misses: int = 0
     flush_batches: int = 0
+    read_retries: int = 0  # injected ECC read retries (repro.faults)
+    program_fails: int = 0  # injected program failures (repro.faults)
+    blocks_retired: int = 0  # blocks retired to the bad-block list
     gc_events: List[GcEvent] = field(default_factory=list)
 
 
 class SsdController:
     """Wires FTL, flash array, caches, channels, and power together."""
 
-    def __init__(self, sim: Simulator, config: SsdConfig, *, seed: int = 42) -> None:
+    def __init__(
+        self, sim: Simulator, config: SsdConfig, *, seed: int = 42, faults=None
+    ) -> None:
         self.sim = sim
         self.config = config
         self.layout = config.ftl_layout()
@@ -140,6 +145,24 @@ class SsdController:
         self._m_gc_duration = registry.histogram(
             "ftl.gc.duration_ns", unit="ns", help="per-reclamation GC duration"
         )
+        # Fault injection (repro.faults): a dedicated RNG stream, so the
+        # zero-fault path draws nothing and existing streams are never
+        # perturbed.  Instruments register only when faults are live to
+        # keep the namespace clean otherwise.
+        self._nand_faults = faults.injector("nand") if faults is not None else None
+        if self._nand_faults is not None:
+            self._m_read_retries = registry.counter(
+                "faults.nand.read_retries",
+                help="injected read failures recovered by ECC retry",
+            )
+            self._m_program_fails = registry.counter(
+                "faults.nand.program_fails",
+                help="injected program failures (data re-programmed)",
+            )
+            self._m_blocks_retired = registry.counter(
+                "faults.nand.blocks_retired",
+                help="blocks retired to the bad-block list",
+            )
         sim.process(self._batcher())
         for die_index in range(config.dies):
             sim.process(self._flush_worker(die_index))
@@ -208,6 +231,39 @@ class SsdController:
         suspended = die.suspends > suspends_before
         if suspended:
             self._m_suspends.inc()
+        retries = 0
+        fi = self._nand_faults
+        if fi is not None and fi.spec.read_fail_prob > 0.0:
+            # Injected read failure: each retry re-reads the page with
+            # tuned reference voltages after an ECC soft-decode pass.
+            # The final permitted retry is modeled as succeeding (the
+            # heroic-recovery path); errors never propagate to the host.
+            retry_start = array_done
+            while retries < fi.spec.max_read_retries and fi.roll(
+                fi.spec.read_fail_prob
+            ):
+                retries += 1
+                _, array_done = die.read(
+                    not_before=array_done + fi.spec.ecc_retry_ns
+                )
+            if retries:
+                self.stats.read_retries += retries
+                self._m_read_retries.inc(retries)
+                if trace is not None:
+                    trace.annotate(
+                        "ecc_retry", retry_start, array_done, retries=retries
+                    )
+                tracer = self.sim.obs.tracer
+                if tracer.enabled:
+                    tracer.span(
+                        "faults",
+                        "ecc_retry",
+                        retry_start,
+                        array_done,
+                        die=die_index,
+                        lpn=lpn,
+                        retries=retries,
+                    )
         stall = 0
         if self._roll(self.config.read_stall_prob):
             self.stats.read_stalls += 1
@@ -234,6 +290,37 @@ class SsdController:
 
     def _roll(self, prob: float) -> bool:
         return prob > 0.0 and self._rng.random() < prob
+
+    def _program_page(self, die_index: int, not_before: int):
+        """Book one program op, injecting program failures when live.
+
+        A failed program burns its full tPROG before the fail status is
+        seen, the block is retired to the bad-block list (one erased
+        block permanently leaves the die's pool), and the data is
+        re-programmed — the second attempt is modeled as succeeding.
+        """
+        die = self.dies[die_index]
+        prog_start, programmed = die.program(not_before=not_before)
+        fi = self._nand_faults
+        if fi is not None and fi.roll(fi.spec.program_fail_prob):
+            self.stats.program_fails += 1
+            self._m_program_fails.inc()
+            retired = self.ftl.allocator.retire_block(die_index)
+            if retired is not None:
+                self.stats.blocks_retired += 1
+                self._m_blocks_retired.inc()
+            tracer = self.sim.obs.tracer
+            if tracer.enabled:
+                tracer.span(
+                    "faults",
+                    "program_fail",
+                    prog_start,
+                    programmed,
+                    die=die_index,
+                    retired_block=-1 if retired is None else retired,
+                )
+            _, programmed = die.program(not_before=programmed)
+        return prog_start, programmed
 
     def roll_write_stall(self) -> int:
         """Housekeeping pause delaying a write completion (0 = none)."""
@@ -313,7 +400,6 @@ class SsdController:
 
     def _flush_worker(self, die_index: int):
         config = self.config
-        die = self.dies[die_index]
         buffer = self.write_buffer
         while True:
             batch = yield self._batches.get()
@@ -343,7 +429,9 @@ class SsdController:
                 _, staged = self.channels.transfer(
                     channel, len(local) * UNIT_SIZE, not_before=self.sim.now
                 )
-                prog_start, programmed = die.program(not_before=staged)
+                prog_start, programmed = self._program_page(
+                    die_index, not_before=staged
+                )
                 if tracer.enabled:
                     tracer.span(
                         f"die{die_index}",
@@ -367,8 +455,8 @@ class SsdController:
                 _, staged = self.channels.transfer(
                     channel, UNIT_SIZE, not_before=self.sim.now
                 )
-                prog_start, programmed = self.dies[placement.die].program(
-                    not_before=staged
+                prog_start, programmed = self._program_page(
+                    placement.die, not_before=staged
                 )
                 if tracer.enabled:
                     tracer.span(
@@ -459,7 +547,7 @@ class SsdController:
             return 0
         for lpn in survivors:
             self.ftl.relocate(lpn, die_index)
-        _, programmed = self.dies[die_index].program(not_before=self.sim.now)
+        _, programmed = self._program_page(die_index, not_before=self.sim.now)
         if programmed > self.sim.now:
             yield self.sim.timeout(programmed - self.sim.now)
         return len(survivors)

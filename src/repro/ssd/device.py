@@ -50,10 +50,12 @@ class DeviceRequest:
 class SsdDevice:
     """A simulated SSD serving byte-addressed block requests."""
 
-    def __init__(self, sim: Simulator, config: SsdConfig, *, seed: int = 42) -> None:
+    def __init__(
+        self, sim: Simulator, config: SsdConfig, *, seed: int = 42, faults=None
+    ) -> None:
         self.sim = sim
         self.config = config
-        self.controller = SsdController(sim, config, seed=seed)
+        self.controller = SsdController(sim, config, seed=seed, faults=faults)
         self.completed_reads = 0
         self.completed_writes = 0
         self.completed_trims = 0

@@ -1,0 +1,146 @@
+"""Tests for the stable public facade (repro.api)."""
+
+import dataclasses
+
+import pytest
+
+from repro.api import JobConfig, Testbed, device_snapshot, open_device, run_job
+from repro.core.experiment import DeviceKind, StackKind
+from repro.kstack.stack import KernelStack
+from repro.sim import Simulator
+from repro.spdk.stack import SpdkStack
+
+
+class TestJobConfig:
+    def test_frozen(self):
+        config = JobConfig(rw="randread")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.rw = "read"
+
+    def test_defaults(self):
+        config = JobConfig(rw="randread")
+        assert config.engine == "psync"
+        assert config.block_size == 4096
+        assert config.iodepth == 1
+        assert config.seed == 1234
+
+
+class TestTestbed:
+    def test_accepts_strings_and_enums(self):
+        assert Testbed(device="ull").device_name == "ull"
+        assert Testbed(device=DeviceKind.NVME).device_name == "nvme"
+        assert Testbed(stack=StackKind.SPDK).stack_name == "spdk"
+
+    def test_device_config_applies_overrides(self):
+        base = Testbed(device="ull").device_config()
+        tweaked = Testbed(
+            device="ull", config_overrides=(("overprovision", 0.4),)
+        ).device_config()
+        assert tweaked.overprovision == 0.4
+        assert tweaked.timing == base.timing
+
+    def test_build_constructs_requested_stack(self):
+        sim = Simulator()
+        _, kernel = Testbed(device="ull", precondition=0.0).build(sim)
+        assert isinstance(kernel, KernelStack)
+        sim = Simulator()
+        _, spdk = Testbed(
+            device="ull", stack="spdk", precondition=0.0
+        ).build(sim)
+        assert isinstance(spdk, SpdkStack)
+
+    def test_open_device_preconditions(self):
+        sim = Simulator()
+        device = Testbed(device="ull").open_device(sim)
+        assert device.ftl.mapping.mapped_lpn_count == device.logical_pages
+        sim = Simulator()
+        empty = Testbed(device="ull", precondition=0.0).open_device(sim)
+        assert empty.ftl.mapping.mapped_lpn_count == 0
+
+    def test_module_level_open_device(self):
+        sim = Simulator()
+        device = open_device(sim, "nvme", precondition=0.0)
+        assert device.config.timing.name == "planar-MLC"
+
+    def test_run_job_returns_result_and_optionally_device(self):
+        testbed = Testbed(device="ull")
+        result = testbed.run_job(JobConfig(rw="randread", io_count=120))
+        assert result.latency.count == 120
+        result, device = testbed.run_job(
+            JobConfig(rw="randread", io_count=120), want_device=True
+        )
+        assert device.completed_reads == 120
+
+    def test_module_level_run_job(self):
+        result = run_job(JobConfig(rw="randread", io_count=100), device="ull")
+        assert result.latency.count == 100
+        with pytest.raises(TypeError, match="not both"):
+            run_job(
+                JobConfig(rw="randread"), Testbed(device="ull"), device="ull"
+            )
+
+    def test_runs_are_reproducible(self):
+        testbed = Testbed(device="ull", completion="poll")
+        config = JobConfig(rw="randrw", io_count=150)
+        first = testbed.run_job(config)
+        second = testbed.run_job(config)
+        assert first.latency.mean_ns == second.latency.mean_ns
+        assert first.latency.p99999_ns == second.latency.p99999_ns
+
+    def test_run_packages_measurement_with_snapshot(self):
+        testbed = Testbed(device="ull")
+        measurement = testbed.run(
+            JobConfig(rw="randwrite", io_count=150), want_device=True
+        )
+        assert measurement.result.latency.count == 150
+        assert measurement.device is not None
+        assert measurement.device.erases >= 0
+
+    def test_device_snapshot_detaches_state(self):
+        sim = Simulator()
+        device = Testbed(device="ull").open_device(sim)
+        snap = device_snapshot(device)
+        assert snap.write_amplification >= 0.0
+        assert snap.gc_events == len(device.stats.gc_events)
+
+
+class TestFacadeParity:
+    """The facade reproduces the historical helpers bit for bit."""
+
+    def test_sync_parity_with_legacy_helper(self):
+        with pytest.warns(DeprecationWarning):
+            from repro.core.experiment import run_sync_job
+
+            legacy = run_sync_job(DeviceKind.ULL, "randread", io_count=130)
+        facade = Testbed(
+            device="ull", device_seed=42, stack_seed=42
+        ).run_job(JobConfig(rw="randread", engine="psync", io_count=130, seed=42))
+        assert legacy.latency.mean_ns == facade.latency.mean_ns
+        assert legacy.latency.p99999_ns == facade.latency.p99999_ns
+        assert legacy.duration_ns == facade.duration_ns
+
+    def test_async_parity_with_legacy_helper(self):
+        with pytest.warns(DeprecationWarning):
+            from repro.core.experiment import run_async_job
+
+            legacy = run_async_job(
+                DeviceKind.NVME, "randread", iodepth=8, io_count=200
+            )
+        facade = Testbed(device="nvme", device_seed=42, stack_seed=11).run_job(
+            JobConfig(rw="randread", engine="libaio", iodepth=8,
+                      io_count=200, seed=42)
+        )
+        assert legacy.latency.mean_ns == facade.latency.mean_ns
+        assert legacy.duration_ns == facade.duration_ns
+
+    def test_spdk_parity_with_legacy_helper(self):
+        with pytest.warns(DeprecationWarning):
+            from repro.core.experiment import run_sync_job
+
+            legacy = run_sync_job(
+                DeviceKind.ULL, "read", io_count=130, stack=StackKind.SPDK
+            )
+        facade = Testbed(
+            device="ull", stack="spdk", device_seed=42, stack_seed=42
+        ).run_job(JobConfig(rw="read", engine="psync", io_count=130, seed=42))
+        assert legacy.latency.mean_ns == facade.latency.mean_ns

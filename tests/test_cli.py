@@ -101,3 +101,52 @@ class TestObservabilityFlags:
 
         assert _suffixed("t.json", "fig10", multi=False) == "t.json"
         assert _suffixed("t.json", "fig10", multi=True) == "t.fig10.json"
+
+
+class TestSubcommands:
+    def test_explicit_figures_subcommand(self, capsys):
+        assert main(["figures", "table1"]) == 0
+        assert "Z-NAND" in capsys.readouterr().out
+
+    def test_sweep_warms_without_rendering(self, capsys):
+        assert main(["sweep", "table1"]) == 0
+        captured = capsys.readouterr()
+        assert "Z-NAND" not in captured.out
+        assert "table1: points=" in captured.err
+
+    def test_trace_defaults_to_anatomy(self, capsys):
+        assert main(["trace", "fig14b", "--scale", "0.1"]) == 0
+        captured = capsys.readouterr()
+        assert "latency anatomy over" in captured.out
+
+    def test_trace_requires_exactly_one_figure(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["trace"])
+
+    def test_unknown_figure_in_subcommand(self, capsys):
+        assert main(["figures", "fig99"]) == 2
+
+
+class TestFaultFlags:
+    def test_fault_seed_threads_to_fault_figures(self):
+        assert _scaled_kwargs("fault-readtail", 1.0, fault_seed=9) == {
+            "fault_seed": 9
+        }
+
+    def test_fault_seed_skipped_elsewhere(self):
+        assert _scaled_kwargs("fig10", 1.0, fault_seed=9) == {}
+
+    def test_faults_flag_installs_a_plan_around_the_run(self, capsys):
+        # table1 runs no simulations, so this exercises parsing and the
+        # install/uninstall bracket without costing a measurement.
+        from repro.faults.plan import active_plan
+
+        assert active_plan() is None
+        assert main(
+            ["figures", "table1", "--faults", "nand.read_fail_prob=0.01"]
+        ) == 0
+        assert active_plan() is None
+
+    def test_bad_fault_spec_raises(self):
+        with pytest.raises(ValueError, match="unknown fault layer"):
+            main(["figures", "table1", "--faults", "bogus.x=1"])

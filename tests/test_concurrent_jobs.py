@@ -1,6 +1,5 @@
 """Tests for concurrent (numjobs-style) job execution on one device."""
 
-import pytest
 
 from repro.kstack import CompletionMethod, KernelStack
 from repro.sim import Simulator

@@ -1,20 +1,46 @@
-"""Tests for the experiment harness (build/run helpers)."""
+"""Tests for the experiment harness (build helpers + api facade)."""
 
 import pytest
 
+from repro.api import JobConfig, Testbed
 from repro.core.experiment import (
     DeviceKind,
     StackKind,
     build_device,
     build_stack,
     device_config,
-    run_async_job,
-    run_sync_job,
 )
 from repro.kstack.completion import CompletionMethod
 from repro.kstack.stack import KernelStack
 from repro.sim import Simulator
 from repro.spdk.stack import SpdkStack
+
+
+def sync_job(device, rw, *, io_count, block_size=4096, stack="kernel",
+             completion="interrupt", seed=42):
+    """A psync measurement with the historical one-seed convention."""
+    testbed = Testbed(
+        device=device, stack=stack, completion=completion,
+        device_seed=seed, stack_seed=seed,
+    )
+    return testbed.run_job(JobConfig(
+        rw=rw, engine="psync", block_size=block_size, io_count=io_count,
+        seed=seed,
+    ))
+
+
+def async_job(device, rw, *, iodepth=1, io_count, write_fraction=0.5,
+              seed=42, want_device=False):
+    """A libaio measurement with the historical seed split (device 42 /
+    stack 11)."""
+    testbed = Testbed(device=device, device_seed=seed, stack_seed=11)
+    return testbed.run_job(
+        JobConfig(
+            rw=rw, engine="libaio", iodepth=iodepth, io_count=io_count,
+            write_fraction=write_fraction, seed=seed,
+        ),
+        want_device=want_device,
+    )
 
 
 class TestBuilders:
@@ -47,27 +73,27 @@ class TestBuilders:
 
 class TestRunners:
     def test_sync_job_returns_metrics(self):
-        result = run_sync_job(DeviceKind.ULL, "randread", io_count=100)
+        result = sync_job(DeviceKind.ULL, "randread", io_count=100)
         assert result.latency.count == 100
         assert 8 < result.latency.mean_us < 30
         assert result.accounting is not None
 
     def test_sync_job_with_poll_is_faster(self):
-        interrupt = run_sync_job(DeviceKind.ULL, "read", io_count=150)
-        poll = run_sync_job(
+        interrupt = sync_job(DeviceKind.ULL, "read", io_count=150)
+        poll = sync_job(
             DeviceKind.ULL, "read", io_count=150,
             completion=CompletionMethod.POLL,
         )
         assert poll.latency.mean_ns < interrupt.latency.mean_ns
 
     def test_sync_job_spdk_stack(self):
-        result = run_sync_job(
+        result = sync_job(
             DeviceKind.ULL, "read", io_count=100, stack=StackKind.SPDK
         )
         assert result.latency.mean_us < 12
 
     def test_async_job_returns_device(self):
-        result, device = run_async_job(
+        result, device = async_job(
             DeviceKind.ULL, "randread", iodepth=4, io_count=200,
             want_device=True,
         )
@@ -75,13 +101,13 @@ class TestRunners:
         assert device.completed_reads == 200
 
     def test_async_bandwidth_grows_with_depth(self):
-        shallow = run_async_job(DeviceKind.ULL, "randread", iodepth=1, io_count=300)
-        deep = run_async_job(DeviceKind.ULL, "randread", iodepth=16, io_count=300)
+        shallow = async_job(DeviceKind.ULL, "randread", iodepth=1, io_count=300)
+        deep = async_job(DeviceKind.ULL, "randread", iodepth=16, io_count=300)
         assert deep.bandwidth_mbps > 4 * shallow.bandwidth_mbps
 
     def test_seed_reproducibility(self):
-        first = run_sync_job(DeviceKind.NVME, "randread", io_count=80, seed=5)
-        second = run_sync_job(DeviceKind.NVME, "randread", io_count=80, seed=5)
+        first = sync_job(DeviceKind.NVME, "randread", io_count=80, seed=5)
+        second = sync_job(DeviceKind.NVME, "randread", io_count=80, seed=5)
         assert first.latency.mean_ns == second.latency.mean_ns
         assert first.latency.p99999_ns == second.latency.p99999_ns
 
@@ -90,23 +116,52 @@ class TestHeadlineNumbers:
     """Coarse checks against the paper's Section IV numbers."""
 
     def test_ull_random_read_near_16us(self):
-        result = run_async_job(DeviceKind.ULL, "randread", iodepth=1, io_count=400)
+        result = async_job(DeviceKind.ULL, "randread", iodepth=1, io_count=400)
         assert 12 < result.latency.mean_us < 20  # paper: 15.9 us
 
     def test_nvme_random_read_near_83us(self):
-        result = run_async_job(DeviceKind.NVME, "randread", iodepth=1, io_count=400)
+        result = async_job(DeviceKind.NVME, "randread", iodepth=1, io_count=400)
         assert 70 < result.latency.mean_us < 95  # paper: 82.9 us
 
     def test_nvme_buffered_write_near_14us(self):
-        result = run_async_job(DeviceKind.NVME, "randwrite", iodepth=1, io_count=400)
+        result = async_job(DeviceKind.NVME, "randwrite", iodepth=1, io_count=400)
         assert 10 < result.latency.mean_us < 18  # paper: 14.1 us
 
     def test_ull_write_near_11us(self):
-        result = run_async_job(DeviceKind.ULL, "randwrite", iodepth=1, io_count=400)
+        result = async_job(DeviceKind.ULL, "randwrite", iodepth=1, io_count=400)
         assert 8 < result.latency.mean_us < 15  # paper: 11.3 us
 
     def test_nvme_random_read_5x_slower_than_ull(self):
-        nvme = run_async_job(DeviceKind.NVME, "randread", iodepth=1, io_count=300)
-        ull = run_async_job(DeviceKind.ULL, "randread", iodepth=1, io_count=300)
+        nvme = async_job(DeviceKind.NVME, "randread", iodepth=1, io_count=300)
+        ull = async_job(DeviceKind.ULL, "randread", iodepth=1, io_count=300)
         ratio = nvme.latency.mean_ns / ull.latency.mean_ns
         assert 3.5 < ratio < 7.0  # paper: 5.2x
+
+
+class TestDeprecatedShims:
+    """The legacy helpers still work, warn, and match the facade exactly."""
+
+    def test_run_sync_job_warns_and_matches_facade(self):
+        from repro.core.experiment import run_sync_job
+
+        with pytest.warns(DeprecationWarning, match="run_sync_job"):
+            legacy = run_sync_job(DeviceKind.ULL, "randread", io_count=120)
+        direct = sync_job(DeviceKind.ULL, "randread", io_count=120)
+        assert legacy.latency.mean_ns == direct.latency.mean_ns
+        assert legacy.latency.p99999_ns == direct.latency.p99999_ns
+        assert legacy.duration_ns == direct.duration_ns
+
+    def test_run_async_job_warns_and_matches_facade(self):
+        from repro.core.experiment import run_async_job
+
+        with pytest.warns(DeprecationWarning, match="run_async_job"):
+            legacy, legacy_dev = run_async_job(
+                DeviceKind.ULL, "randread", iodepth=4, io_count=150,
+                want_device=True,
+            )
+        direct, direct_dev = async_job(
+            DeviceKind.ULL, "randread", iodepth=4, io_count=150,
+            want_device=True,
+        )
+        assert legacy.latency.mean_ns == direct.latency.mean_ns
+        assert legacy_dev.completed_reads == direct_dev.completed_reads

@@ -64,8 +64,7 @@ class TestParseFioFile:
         assert parse_fio_file(text)[0].iodepth == 1
 
     def test_size_derives_io_count(self):
-        text = "[j]\nrw=read\nbs=4k\nsize=1m\nnumber_ios=\n"
-        # empty number_ios -> falls back to size
+        # no number_ios -> falls back to size
         jobs = parse_fio_file("[j]\nrw=read\nbs=4k\nsize=1m\n")
         assert jobs[0].io_count == 256
 

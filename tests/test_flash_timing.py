@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.flash import BICS_3D, PLANAR_MLC, TABLE_I, V_NAND, Z_NAND, FlashTiming
+from repro.flash import BICS_3D, TABLE_I, V_NAND, Z_NAND, FlashTiming
 
 
 class TestTableI:

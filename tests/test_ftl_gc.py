@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.ftl import FtlLayout, PageMappedFtl
-from repro.ftl.mapping import UNMAPPED
 
 
 def make_ftl(**kwargs) -> PageMappedFtl:

@@ -33,7 +33,7 @@ class TestDualStreams:
 
     def test_default_stream_is_host(self):
         allocator = make_allocator()
-        page = allocator.allocate_page(0)
+        allocator.allocate_page(0)
         assert allocator.active_block(0, WriteStream.HOST) is not None
         assert allocator.active_block(0, WriteStream.GC) is None
 

@@ -1,6 +1,5 @@
 """Cross-stack integration tests: end-to-end invariants on the presets."""
 
-import pytest
 
 from repro import (
     CompletionMethod,
@@ -17,32 +16,56 @@ from repro import (
     run_job,
     ull_ssd_config,
 )
-from repro.core.experiment import run_async_job, run_sync_job
+from repro.api import JobConfig, Testbed
+
+
+def sync_job(device, rw, *, io_count, block_size=4096, stack="kernel",
+             completion="interrupt", seed=42):
+    testbed = Testbed(
+        device=device, stack=stack, completion=completion,
+        device_seed=seed, stack_seed=seed,
+    )
+    return testbed.run_job(JobConfig(
+        rw=rw, engine="psync", block_size=block_size, io_count=io_count,
+        seed=seed,
+    ))
+
+
+def async_job(device, rw, *, iodepth=1, io_count, write_fraction=0.5,
+              seed=42, want_device=False):
+    testbed = Testbed(device=device, device_seed=seed, stack_seed=11)
+    return testbed.run_job(
+        JobConfig(
+            rw=rw, engine="libaio", iodepth=iodepth, io_count=io_count,
+            write_fraction=write_fraction, seed=seed,
+        ),
+        want_device=want_device,
+    )
 
 
 class TestLatencyOrdering:
     """SPDK < poll < interrupt must hold on the ULL SSD end to end."""
 
     def test_stack_ordering_on_ull(self):
-        interrupt = run_sync_job(DeviceKind.ULL, "read", io_count=400)
-        poll = run_sync_job(
+        interrupt = sync_job(DeviceKind.ULL, "read", io_count=400)
+        poll = sync_job(
             DeviceKind.ULL, "read", io_count=400, completion=CompletionMethod.POLL
         )
-        spdk = run_sync_job(
+        spdk = sync_job(
             DeviceKind.ULL, "read", io_count=400, stack=StackKind.SPDK
         )
         assert spdk.latency.mean_ns < poll.latency.mean_ns < interrupt.latency.mean_ns
 
     def test_device_ordering_random_reads(self):
-        ull = run_sync_job(DeviceKind.ULL, "randread", io_count=300)
-        nvme = run_sync_job(DeviceKind.NVME, "randread", io_count=300)
+        ull = sync_job(DeviceKind.ULL, "randread", io_count=300)
+        nvme = sync_job(DeviceKind.NVME, "randread", io_count=300)
         assert nvme.latency.mean_ns > 3 * ull.latency.mean_ns
 
     def test_block_size_monotonicity(self):
         """Bigger requests take longer on every stack."""
         previous = 0.0
         for block_size in (4096, 16384, 65536):
-            result = run_sync_job(
+            result = sync_job(
                 DeviceKind.ULL, "read", block_size=block_size, io_count=200
             )
             assert result.latency.mean_ns > previous
@@ -51,19 +74,19 @@ class TestLatencyOrdering:
 
 class TestThroughputSaturation:
     def test_ull_saturates_by_qd16(self):
-        at_8 = run_async_job(DeviceKind.ULL, "read", iodepth=8, io_count=1500)
-        at_32 = run_async_job(DeviceKind.ULL, "read", iodepth=32, io_count=1500)
+        at_8 = async_job(DeviceKind.ULL, "read", iodepth=8, io_count=1500)
+        at_32 = async_job(DeviceKind.ULL, "read", iodepth=32, io_count=1500)
         assert at_32.bandwidth_mbps < 1.2 * at_8.bandwidth_mbps
 
     def test_nvme_still_scaling_past_qd16(self):
-        at_8 = run_async_job(DeviceKind.NVME, "randread", iodepth=8, io_count=1500)
-        at_64 = run_async_job(DeviceKind.NVME, "randread", iodepth=64, io_count=1500)
+        at_8 = async_job(DeviceKind.NVME, "randread", iodepth=8, io_count=1500)
+        at_64 = async_job(DeviceKind.NVME, "randread", iodepth=64, io_count=1500)
         assert at_64.bandwidth_mbps > 2.5 * at_8.bandwidth_mbps
 
 
 class TestDeviceConsistencyUnderLoad:
     def test_mixed_workload_preserves_ftl_invariants(self):
-        result, device = run_async_job(
+        result, device = async_job(
             DeviceKind.ULL, "randrw", iodepth=16, io_count=4000,
             write_fraction=0.5, want_device=True,
         )
@@ -73,7 +96,7 @@ class TestDeviceConsistencyUnderLoad:
     def test_nvme_gc_storm_completes_all_ios(self):
         # The preset leaves ~4 erased blocks per die after precondition;
         # ~25k overwrites push every die past the GC watermark.
-        result, device = run_async_job(
+        result, device = async_job(
             DeviceKind.NVME, "randwrite", iodepth=8, io_count=30000,
             want_device=True,
         )
@@ -82,7 +105,7 @@ class TestDeviceConsistencyUnderLoad:
         device.ftl.mapping.check_invariants()
 
     def test_power_always_at_least_idle(self):
-        result, device = run_async_job(
+        result, device = async_job(
             DeviceKind.ULL, "randwrite", iodepth=8, io_count=2000,
             want_device=True,
         )
@@ -140,7 +163,7 @@ class TestPresetSanity:
 
     def test_bandwidth_scale_matches_devices(self):
         """ULL peaks near PCIe (~2.7 GB/s here); NVMe near 1.8 GB/s."""
-        ull = run_async_job(DeviceKind.ULL, "read", iodepth=32, io_count=3000)
-        nvme = run_async_job(DeviceKind.NVME, "randread", iodepth=256, io_count=8000)
+        ull = async_job(DeviceKind.ULL, "read", iodepth=32, io_count=3000)
+        nvme = async_job(DeviceKind.NVME, "randread", iodepth=256, io_count=8000)
         assert ull.bandwidth_mbps > 2300
         assert 1300 < nvme.bandwidth_mbps < 2100

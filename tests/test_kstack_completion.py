@@ -1,6 +1,5 @@
 """Tests for the three completion engines and the kernel stack facade."""
 
-import pytest
 
 from repro.host.accounting import ExecMode
 from repro.kstack import CompletionMethod, KernelStack, make_engine

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.sim import AnyOf, Event, Process, Simulator, Timeout
+from repro.sim import AnyOf, Simulator
 from repro.sim.process import Interrupted
 
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.sim import Simulator
 from repro.ssd import SsdConfig, SsdDevice
-from repro.ssd.device import IoOp
 from repro.flash.timing import FlashTiming
 
 #: Deterministic small device for exact-behavior tests.

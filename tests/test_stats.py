@@ -1,6 +1,5 @@
 """Tests for latency recording, time series, and power integration."""
 
-import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 

@@ -4,8 +4,6 @@ import pytest
 
 from repro.ftl import WearTracker
 from repro.nvme import NvmeController, Opcode
-from repro.sim import Simulator
-from repro.ssd import SsdDevice
 from repro.ssd.device import IoOp
 from tests.test_ssd_device import make_device, wait
 
