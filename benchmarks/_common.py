@@ -14,6 +14,7 @@ runs.
 
 from __future__ import annotations
 
+import atexit
 import json
 import os
 import pathlib
@@ -21,8 +22,10 @@ import pathlib
 from repro.core import sweep
 from repro.core.metrics import FigureResult
 from repro.core.report import render_figure
+from repro.perf import PerfSession, bench_filename, write_bench
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+REPO_ROOT = pathlib.Path(__file__).parent.parent
 
 if os.environ.get("REPRO_JOBS") or os.environ.get("REPRO_CACHE_DIR"):
     sweep.configure(
@@ -30,9 +33,27 @@ if os.environ.get("REPRO_JOBS") or os.environ.get("REPRO_CACHE_DIR"):
         cache_dir=os.environ.get("REPRO_CACHE_DIR") or None,
     )
 
+# Self-profiling: every window between emit() calls is booked to the
+# figure just emitted, and the aggregate lands in a top-level
+# BENCH_<date>.json when the benchmark process exits — the perf
+# trajectory rides along with the per-figure result files.
+_PERF = PerfSession()
+_PERF_MARK = _PERF.mark()
+
+
+@atexit.register
+def _write_bench_aggregate() -> None:
+    if not _PERF.records:
+        return
+    path = write_bench(_PERF.to_doc(source="benchmarks"),
+                       REPO_ROOT / bench_filename())
+    print(f"\nwrote benchmark timings to {path}")
+
 
 def emit(result: FigureResult) -> FigureResult:
     """Persist and print a figure reproduction; returns it unchanged."""
+    global _PERF_MARK
+    _PERF_MARK = _PERF.lap(result.figure_id, _PERF_MARK)
     RESULTS_DIR.mkdir(exist_ok=True)
     text = render_figure(result)
     (RESULTS_DIR / f"{result.figure_id}.txt").write_text(text + "\n")

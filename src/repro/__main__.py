@@ -1,6 +1,6 @@
 """Command-line entry point: ``python -m repro <subcommand> [...]``.
 
-Three subcommands share one flag vocabulary:
+Four subcommands share one flag vocabulary:
 
 * ``figures`` — run figure reproductions and print their tables.  The
   historical flat form (``python -m repro fig10 --scale 0.2``) still
@@ -12,6 +12,10 @@ Three subcommands share one flag vocabulary:
 * ``trace`` — run ONE figure under a fresh observability bundle and
   report what the spans say; defaults to the latency-anatomy breakdown
   when no other observability output is selected.
+* ``perf`` — time figures (wall seconds, sim-events/sec, cache state),
+  write a top-level ``BENCH_<date>.json``, and optionally gate against
+  a previous document with ``--compare OLD.json`` (``--threshold``
+  sets the slowdown gate, ``--warn-only`` reports without failing).
 
 Use ``--scale`` to grow or shrink I/O counts (0.1 = 10 % of the default
 samples, 2.0 = double), ``--list`` to enumerate figure ids.
@@ -41,7 +45,13 @@ Observability flags wrap each figure run in a fresh
   I/O's spans (load it in Perfetto or ``chrome://tracing``);
 * ``--metrics`` / ``--metrics-out FILE`` — dump the metrics registry as
   text / CSV;
-* ``--anatomy`` — print the span-level latency-anatomy breakdown.
+* ``--anatomy`` — print the span-level latency-anatomy breakdown;
+* ``--telemetry`` / ``--telemetry-out FILE`` — record time-series
+  telemetry (queue depths, busy fractions, GC/fault activity) and print
+  the digest summary / write samples to FILE (``.html`` gets the
+  self-contained timeline report, anything else long-format CSV);
+  ``--telemetry-period NS`` sets the sample period.  With telemetry on,
+  ``--trace-out`` traces also carry counter tracks.
 
 With several figures selected, file outputs get a per-figure suffix
 (``trace.json`` becomes ``trace.fig10.json``).
@@ -60,7 +70,7 @@ from repro.core import sweep as sweep_engine
 from repro.core.figures import FIGURES, run_figure
 from repro.core.report import render_figure
 
-SUBCOMMANDS = ("figures", "sweep", "trace")
+SUBCOMMANDS = ("figures", "sweep", "trace", "perf")
 
 
 def _scaled_kwargs(figure_id: str, scale: float, seed=None, fault_seed=None) -> dict:
@@ -103,12 +113,30 @@ def _suffixed(path: str, figure_id: str, multi: bool) -> str:
     return f"{root}.{figure_id}{ext}"
 
 
+def _wants_telemetry(args) -> bool:
+    return bool(
+        getattr(args, "telemetry", False)
+        or getattr(args, "telemetry_out", None)
+        or getattr(args, "telemetry_period", None)
+    )
+
+
+def _telemetry_config(args):
+    from repro.obs.telemetry import DEFAULT_PERIOD_NS, TelemetryConfig
+
+    return TelemetryConfig(
+        period_ns=args.telemetry_period or DEFAULT_PERIOD_NS
+    )
+
+
 def _emit_observability(obs, figure_id: str, args, multi: bool) -> None:
     from repro.obs.anatomy import AnatomyReport
     from repro.obs.export import (
         metrics_to_text,
+        telemetry_to_text,
         write_chrome_trace,
         write_metrics_csv,
+        write_telemetry_csv,
     )
 
     if args.anatomy:
@@ -117,14 +145,32 @@ def _emit_observability(obs, figure_id: str, args, multi: bool) -> None:
     if args.metrics:
         print(metrics_to_text(obs.registry))
         print()
+    if args.telemetry:
+        print(telemetry_to_text(obs.telemetry))
+        print()
     if args.trace_out:
         path = _suffixed(args.trace_out, figure_id, multi)
-        count = write_chrome_trace(obs.tracer, path)
+        count = write_chrome_trace(
+            obs.tracer, path,
+            telemetry=obs.telemetry if obs.telemetry.enabled else None,
+        )
         print(f"wrote {count} trace events to {path}", file=sys.stderr)
     if args.metrics_out:
         path = _suffixed(args.metrics_out, figure_id, multi)
         write_metrics_csv(obs.registry, path)
         print(f"wrote metrics to {path}", file=sys.stderr)
+    if args.telemetry_out:
+        path = _suffixed(args.telemetry_out, figure_id, multi)
+        if path.endswith((".html", ".htm")):
+            from repro.obs.html import write_telemetry_html
+
+            write_telemetry_html(
+                obs.telemetry, path,
+                title=f"Telemetry timeline — {figure_id}",
+            )
+        else:
+            write_telemetry_csv(obs.telemetry, path)
+        print(f"wrote telemetry to {path}", file=sys.stderr)
 
 
 def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
@@ -197,6 +243,27 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print the span-level latency-anatomy breakdown",
     )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="record time-series telemetry and print the digest summary",
+    )
+    parser.add_argument(
+        "--telemetry-out",
+        metavar="FILE",
+        default=None,
+        help=(
+            "write telemetry samples to FILE (.html -> self-contained "
+            "timeline report, anything else -> long-format CSV)"
+        ),
+    )
+    parser.add_argument(
+        "--telemetry-period",
+        type=int,
+        default=None,
+        metavar="NS",
+        help="telemetry sample period in sim nanoseconds (default 10000)",
+    )
 
 
 def _add_select_flags(parser: argparse.ArgumentParser) -> None:
@@ -242,6 +309,49 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="empty the persistent measurement cache before running",
     )
+
+    perf = sub.add_parser(
+        "perf",
+        help="time benchmark figures; write/compare BENCH_<date>.json",
+    )
+    perf.add_argument("figures", nargs="*", help="figure ids to time")
+    perf.add_argument("--all", action="store_true", help="time every figure")
+    perf.add_argument(
+        "--scale", type=float, default=1.0, help="I/O-count scale factor"
+    )
+    perf.add_argument(
+        "--seed", type=int, default=None, help="device-seed override"
+    )
+    perf.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="bench document path (default ./BENCH_<date>.json)",
+    )
+    perf.add_argument(
+        "--compare",
+        metavar="OLD.json",
+        default=None,
+        help="compare this run (or --against FILE) to a previous document",
+    )
+    perf.add_argument(
+        "--against",
+        metavar="NEW.json",
+        default=None,
+        help="with --compare: diff two existing documents, run nothing",
+    )
+    perf.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="slowdown gate as a fraction (default 0.30 = fail past +30%%)",
+    )
+    perf.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but exit zero (CI smoke mode)",
+    )
+    _add_exec_flags(perf)
 
     trace = sub.add_parser(
         "trace",
@@ -317,7 +427,11 @@ def _run_targets(targets, args, *, render: bool, observing: bool) -> int:
             if observing:
                 from repro.obs.core import Observability
 
-                obs = Observability()
+                obs = Observability(
+                    telemetry=_telemetry_config(args)
+                    if _wants_telemetry(args)
+                    else None
+                )
                 with obs:
                     result = run_figure(figure_id, **kwargs)
             else:
@@ -340,6 +454,69 @@ def _run_targets(targets, args, *, render: bool, observing: bool) -> int:
     return 0
 
 
+def _cmd_perf(parser, args) -> int:
+    from repro import perf as perf_harness
+
+    threshold = (
+        args.threshold
+        if args.threshold is not None
+        else perf_harness.DEFAULT_THRESHOLD
+    )
+    if args.against:
+        if not args.compare:
+            print("--against requires --compare OLD.json", file=sys.stderr)
+            return 2
+        comparison = perf_harness.compare_docs(
+            perf_harness.load_bench(args.compare),
+            perf_harness.load_bench(args.against),
+            threshold=threshold,
+        )
+        print(comparison.render())
+        return 0 if (comparison.ok or args.warn_only) else 1
+
+    targets = sorted(FIGURES) if args.all else args.figures
+    if not targets:
+        parser.print_usage()
+        print(
+            "perf: name figures to time (or --all), or give "
+            "--compare OLD --against NEW",
+            file=sys.stderr,
+        )
+        return 2
+    for figure_id in targets:
+        if figure_id not in FIGURES:
+            print(f"unknown figure {figure_id!r}; try --list", file=sys.stderr)
+            return 2
+    # Honest timing by default: skip the persistent cache unless the
+    # caller explicitly pointed at one (cache state is recorded either
+    # way, and comparisons refuse to gate across mismatched states).
+    if not args.cache_dir:
+        args.no_cache = True
+    engine = _configure_engine(args)
+    session = perf_harness.PerfSession(engine)
+    for figure_id in targets:
+        kwargs = _scaled_kwargs(figure_id, args.scale, seed=args.seed)
+        with session.measure(figure_id):
+            run_figure(figure_id, **kwargs)
+        record = session.records[figure_id]
+        print(
+            f"{figure_id}: {record.wall_s:.2f}s wall, "
+            f"{record.sim_events:,} sim events "
+            f"({record.events_per_s:,.0f}/s), cache={record.cache}",
+            file=sys.stderr,
+        )
+    doc = session.to_doc(scale=args.scale)
+    path = perf_harness.write_bench(doc, args.out)
+    print(f"wrote bench document to {path}", file=sys.stderr)
+    if args.compare:
+        comparison = perf_harness.compare_docs(
+            perf_harness.load_bench(args.compare), doc, threshold=threshold
+        )
+        print(comparison.render())
+        return 0 if (comparison.ok or args.warn_only) else 1
+    return 0
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # Back-compat flat form: `python -m repro fig10 --scale 0.2` (and
@@ -353,10 +530,19 @@ def main(argv=None) -> int:
         return 2
     args = parser.parse_args(argv)
 
+    if args.command == "perf":
+        return _cmd_perf(parser, args)
+
     if args.command == "trace":
         # Observability is the point: fall back to the anatomy report
         # when no output was chosen explicitly.
-        if not (args.trace_out or args.metrics or args.metrics_out or args.anatomy):
+        if not (
+            args.trace_out
+            or args.metrics
+            or args.metrics_out
+            or args.anatomy
+            or _wants_telemetry(args)
+        ):
             args.anatomy = True
         return _run_targets(args.figures, args, render=True, observing=True)
 
@@ -368,7 +554,11 @@ def main(argv=None) -> int:
     if args.command == "sweep":
         return _run_targets(targets, args, render=False, observing=False)
     observing = bool(
-        args.trace_out or args.metrics or args.metrics_out or args.anatomy
+        args.trace_out
+        or args.metrics
+        or args.metrics_out
+        or args.anatomy
+        or _wants_telemetry(args)
     )
     return _run_targets(targets, args, render=True, observing=observing)
 

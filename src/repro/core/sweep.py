@@ -215,6 +215,21 @@ def _ambient_fault_params():
     return plan.to_params() if plan is not None else None
 
 
+def _ambient_telemetry_params():
+    """The installed bundle's telemetry config as canonical params, or None.
+
+    Telemetry-enabled runs execute live (the engine steps aside under
+    any installed bundle), so this is belt-and-braces — but it keeps the
+    invariant airtight: a measurement produced with telemetry on can
+    never be served to a telemetry-off caller or vice versa, even if a
+    future path caches under an installed bundle.
+    """
+    telemetry = getattr(current_obs(), "telemetry", None)
+    if telemetry is None or not telemetry.enabled:
+        return None
+    return telemetry.config.to_params()
+
+
 def point_cache_key(point: Point, version: int = CACHE_SCHEMA) -> str:
     """Canonical hash identifying one measurement across runs."""
     items = [
@@ -230,6 +245,11 @@ def point_cache_key(point: Point, version: int = CACHE_SCHEMA) -> str:
         # Appended only when a plan is live, so fault-free runs keep
         # their historical keys (and their warm caches).
         items.append(ambient_faults)
+    ambient_telemetry = _ambient_telemetry_params()
+    if ambient_telemetry is not None:
+        # Same append-only discipline as faults: telemetry-off runs keep
+        # their historical keys.
+        items.append(("telemetry", ambient_telemetry))
     blob = repr(tuple(items))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
@@ -301,9 +321,15 @@ def _execute_point_traced(
     tracing: bool,
     metrics: bool,
     fault_params=None,
+    telemetry_params=None,
 ):
     """Run one point under a fresh worker-local bundle and ship both back."""
-    bundle = Observability(tracing=tracing, metrics=metrics)
+    telemetry = None
+    if telemetry_params is not None:
+        from repro.obs.telemetry import TelemetryConfig
+
+        telemetry = TelemetryConfig.from_params(telemetry_params)
+    bundle = Observability(tracing=tracing, metrics=metrics, telemetry=telemetry)
     with bundle:
         measurement = _execute_point(runner_name, params, fault_params)
     return measurement, bundle
@@ -420,13 +446,19 @@ class SweepEngine:
         tracing = bool(getattr(obs.tracer, "enabled", False))
         metrics = bool(getattr(obs.registry, "enabled", False))
         fault_params = _ambient_fault_params()
+        telemetry = getattr(obs, "telemetry", None)
+        telemetry_params = (
+            telemetry.config.to_params()
+            if telemetry is not None and telemetry.enabled
+            else None
+        )
         if self.jobs > 1 and len(points) > 1:
             workers = min(self.jobs, len(points))
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = [
                     pool.submit(
                         _execute_point_traced, point.runner, point.params,
-                        tracing, metrics, fault_params,
+                        tracing, metrics, fault_params, telemetry_params,
                     )
                     for point in points
                 ]
@@ -434,7 +466,8 @@ class SweepEngine:
         else:
             pairs = [
                 _execute_point_traced(
-                    point.runner, point.params, tracing, metrics, fault_params
+                    point.runner, point.params, tracing, metrics, fault_params,
+                    telemetry_params,
                 )
                 for point in points
             ]

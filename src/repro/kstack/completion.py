@@ -73,6 +73,9 @@ class _EngineBase:
             "kstack.context_switches", help="switch-away/switch-back pairs halved"
         )
         self._m_isr = registry.counter("kstack.isr_count", help="nvme_irq entries")
+        self._t_poll_burn = sim.obs.telemetry.series(
+            "kstack.poll.burn", "busy", unit="frac"
+        )
 
     # ------------------------------------------------------------------
     def _charge_and_wait(self, step, mode: ExecMode, module: str, function: str):
@@ -108,6 +111,7 @@ class _EngineBase:
         spun = self.sim.now - started
         self._charge_spin(spun)
         self._m_spin_ns.inc(spun)
+        self._t_poll_burn.add_interval(started, self.sim.now)
         over = spun - costs.poll_preempt_grace_ns
         if over > 0:
             penalty = int(over * costs.poll_preempt_rate)
@@ -270,6 +274,7 @@ class HybridPollEngine(_EngineBase):
             detect = costs.kernel_poll_iter_ns
             yield self.sim.timeout(detect)
             self._charge_spin(detect)
+            self._t_poll_burn.add_interval(self.sim.now - detect, self.sim.now)
         else:
             yield from self._spin_until_cqe(driver_request)
         self._update_mean(driver_request, wait_started)

@@ -35,6 +35,10 @@ class KernelNvmeDriver:
         self.qpair = qpair
         self._by_cookie: Dict[Cookie, DriverRequest] = {}
         self._by_cid: Dict[int, Cookie] = {}
+        index = getattr(qpair, "index", 0)
+        self._t_inflight = qpair.sim.obs.telemetry.series(
+            f"kstack.hwq{index}.inflight", "level", unit="reqs"
+        )
 
     @property
     def outstanding(self) -> int:
@@ -57,6 +61,7 @@ class KernelNvmeDriver:
         request = DriverRequest(blk_request=blk_request, pending=pending)
         self._by_cookie[blk_request.cookie] = request
         self._by_cid[pending.command.cid] = blk_request.cookie
+        self._t_inflight.record(self.qpair.sim.now, len(self._by_cookie))
         return request
 
     # ------------------------------------------------------------------
@@ -89,4 +94,5 @@ class KernelNvmeDriver:
         if self._by_cid.get(cid) == cookie:
             del self._by_cid[cid]
         self.blkmq.complete(cookie)
+        self._t_inflight.record(self.qpair.sim.now, len(self._by_cookie))
         return request

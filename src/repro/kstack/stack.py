@@ -70,6 +70,9 @@ class KernelStack:
                 unit="ns",
                 help="time spent in requeue backoff",
             )
+        self._t_fault_recovery = sim.obs.telemetry.series(
+            "faults.kstack.recovery", "busy", unit="frac"
+        )
         self.blkmq = BlkMq(cpus=1, hw_queues=1, tags_per_queue=queue_depth)
         self.driver = KernelNvmeDriver(self.blkmq, self.qpair)
         self.engine = make_engine(
@@ -179,6 +182,7 @@ class KernelStack:
             self._m_requeues.inc()
             self._m_backoff.inc(delay)
             start = self.sim.now
+            self._t_fault_recovery.add_interval(start, start + delay)
             if ctx is not None:
                 ctx.annotate(
                     "blkmq_requeue", start, start + delay, attempt=attempt

@@ -62,11 +62,13 @@ class NvmeQueuePair:
         timings: Optional[NvmeTimings] = None,
         interrupts_enabled: bool = True,
         fault_injector=None,
+        index: int = 0,
     ) -> None:
         self.sim = sim
         self.device = device
         self.timings = timings or NvmeTimings()
         self.interrupts_enabled = interrupts_enabled
+        self.index = index
         self.sq = SubmissionQueue(depth)
         self.cq = CompletionQueue(depth)
         self._pending: Dict[int, PendingCommand] = {}
@@ -83,6 +85,16 @@ class NvmeQueuePair:
         self._m_completed = registry.counter("nvme.cq.completed", help="CQEs posted")
         self._m_outstanding = registry.gauge(
             "nvme.qpair.outstanding", unit="cmds", help="commands in flight"
+        )
+        telemetry = sim.obs.telemetry
+        self._t_sq_depth = telemetry.series(
+            f"nvme.q{index}.sq_occupancy", "level", unit="sqes"
+        )
+        self._t_outstanding = telemetry.series(
+            f"nvme.q{index}.outstanding", "level", unit="cmds"
+        )
+        self._t_fault_recovery = telemetry.series(
+            "faults.nvme.recovery", "busy", unit="frac"
         )
         # Fault injection (repro.faults): lost completions recovered by
         # the host's command timer; see NvmeFaults.
@@ -126,6 +138,8 @@ class NvmeQueuePair:
         self.submitted += 1
         self._m_submitted.inc()
         self._m_outstanding.add(1, self.sim.now)
+        self._t_sq_depth.record(self.sim.now, self.sq.occupancy())
+        self._t_outstanding.record(self.sim.now, len(self._pending))
         if trace is not None:
             # Doorbell rung: the SQE sits in the ring until the fetch DMA.
             trace.phase("nvme_sq", self.sim.now)
@@ -145,7 +159,9 @@ class NvmeQueuePair:
     def _fetch_and_execute(self) -> None:
         if self.sq.is_empty:
             return  # already fetched by an earlier doorbell callback
-        self._execute(self.sq.fetch(), attempt=0)
+        command = self.sq.fetch()
+        self._t_sq_depth.record(self.sim.now, self.sq.occupancy())
+        self._execute(command, attempt=0)
 
     def _execute(self, command: NvmeCommand, attempt: int) -> None:
         """Hand one command to the device; ``attempt`` counts injected
@@ -188,6 +204,7 @@ class NvmeQueuePair:
         self.timeouts += 1
         self._m_timeouts.inc()
         now = self.sim.now
+        self._t_fault_recovery.add_interval(now - fi.spec.timeout_ns, now)
         if pending.trace is not None:
             pending.trace.annotate(
                 "nvme_timeout", now - fi.spec.timeout_ns, now, attempt=attempt
@@ -205,6 +222,7 @@ class NvmeQueuePair:
         if attempt >= fi.spec.reset_after:
             self.resets += 1
             self._m_resets.inc()
+            self._t_fault_recovery.add_interval(now, now + fi.spec.reset_ns)
             if tracer.enabled:
                 tracer.span(
                     "faults", "nvme_reset", now, now + fi.spec.reset_ns,
@@ -234,6 +252,7 @@ class NvmeQueuePair:
         self.completed += 1
         self._m_completed.inc()
         self._m_outstanding.add(-1, self.sim.now)
+        self._t_outstanding.record(self.sim.now, len(self._pending))
         pending.cqe_event.succeed(pending)
         if self.interrupts_enabled:
             self.sim.schedule(self.timings.msi_ns, self._raise_msi, pending)
@@ -280,6 +299,7 @@ class NvmeController:
             timings=self.timings,
             interrupts_enabled=interrupts_enabled,
             fault_injector=injector,
+            index=len(self.queue_pairs),
         )
         self.queue_pairs.append(pair)
         return pair

@@ -74,6 +74,9 @@ class LightQueuePair:
         self._m_outstanding = registry.gauge(
             "lightq.outstanding", unit="cmds", help="NCQ slots in use"
         )
+        self._t_outstanding = sim.obs.telemetry.series(
+            "lightq.outstanding", "level", unit="cmds"
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -103,6 +106,7 @@ class LightQueuePair:
         self.submitted += 1
         self._m_submitted.inc()
         self._m_outstanding.add(1, self.sim.now)
+        self._t_outstanding.record(self.sim.now, len(self._pending))
         if trace is not None:
             # MMIO burst in flight: the light-queue analog of the SQ ring.
             trace.phase("nvme_sq", self.sim.now)
@@ -132,6 +136,7 @@ class LightQueuePair:
         pending.cqe_ns = self.sim.now
         self.completed += 1
         self._m_outstanding.add(-1, self.sim.now)
+        self._t_outstanding.record(self.sim.now, len(self._pending))
         pending.cqe_event.succeed(pending)
         if self.interrupts_enabled:
             for handler in self._msi_handlers:

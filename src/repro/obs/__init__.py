@@ -1,6 +1,6 @@
 """repro.obs — cross-layer observability for the simulated I/O stack.
 
-Three pieces:
+Four pieces:
 
 * **Span tracing** (:mod:`repro.obs.tracer`): each I/O carries an
   :class:`IoTrace` context through kstack/nvme/ssd/spdk; top-level
@@ -8,9 +8,14 @@ Three pieces:
   concurrent detail, and background tracks record GC / flush activity.
 * **Metrics** (:mod:`repro.obs.registry`): counters, time-weighted
   gauges, and log-bucketed histograms layers register into.
+* **Telemetry** (:mod:`repro.obs.telemetry`): named time-series sampled
+  on the sim clock (queue depths, busy fractions, buffer occupancy, GC
+  and fault-recovery activity) with streaming tail digests.
 * **Exporters & reports** (:mod:`repro.obs.export`,
-  :mod:`repro.obs.anatomy`): Chrome ``trace_event`` JSON (open in
-  Perfetto), text/CSV metric dumps, and the latency-anatomy breakdown.
+  :mod:`repro.obs.html`, :mod:`repro.obs.anatomy`): Chrome
+  ``trace_event`` JSON (open in Perfetto), text/CSV metric and
+  telemetry dumps, a self-contained HTML timeline report, and the
+  latency-anatomy breakdown.
 
 Instrumentation is off by default (no-op tracer and registry); enable
 it for any code that builds its own simulators with::
@@ -26,13 +31,19 @@ See ``docs/observability.md`` for the span taxonomy and metric names.
 from repro.obs.anatomy import AnatomyReport, AnatomyRow, verify_conservation
 from repro.obs.core import NULL_OBS, Observability, current_obs, obs_aware_cache
 from repro.obs.export import (
+    atomic_write_text,
     chrome_trace_events,
     metrics_to_csv,
     metrics_to_text,
+    telemetry_counter_events,
+    telemetry_to_csv,
+    telemetry_to_text,
     to_chrome_trace,
     write_chrome_trace,
     write_metrics_csv,
+    write_telemetry_csv,
 )
+from repro.obs.html import telemetry_report_html, write_telemetry_html
 from repro.obs.registry import (
     NULL_REGISTRY,
     Counter,
@@ -40,6 +51,15 @@ from repro.obs.registry import (
     Histogram,
     MetricsRegistry,
     NullRegistry,
+)
+from repro.obs.telemetry import (
+    NULL_SERIES,
+    NULL_TELEMETRY,
+    NullTelemetry,
+    TailDigest,
+    Telemetry,
+    TelemetryConfig,
+    TimeSeries,
 )
 from repro.obs.tracer import (
     NULL_TRACER,
@@ -59,12 +79,19 @@ __all__ = [
     "current_obs",
     "obs_aware_cache",
     "NULL_OBS",
+    "atomic_write_text",
     "chrome_trace_events",
+    "telemetry_counter_events",
     "to_chrome_trace",
     "write_chrome_trace",
     "metrics_to_text",
     "metrics_to_csv",
     "write_metrics_csv",
+    "telemetry_to_csv",
+    "telemetry_to_text",
+    "write_telemetry_csv",
+    "telemetry_report_html",
+    "write_telemetry_html",
     "Counter",
     "Gauge",
     "Histogram",
@@ -78,4 +105,11 @@ __all__ = [
     "NULL_TRACER",
     "SPAN_ORDER",
     "sort_span_names",
+    "TailDigest",
+    "Telemetry",
+    "TelemetryConfig",
+    "TimeSeries",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "NULL_SERIES",
 ]

@@ -21,26 +21,49 @@ from typing import List
 
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, SpanTracer
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry, TelemetryConfig
 
 
 class Observability:
-    """A tracer plus a registry, installable as the process default."""
+    """A tracer plus a registry (plus, optionally, telemetry),
+    installable as the process default."""
 
-    def __init__(self, *, tracing: bool = True, metrics: bool = True) -> None:
+    def __init__(
+        self,
+        *,
+        tracing: bool = True,
+        metrics: bool = True,
+        telemetry=None,
+    ) -> None:
         self.tracer = SpanTracer() if tracing else NULL_TRACER
         self.registry = MetricsRegistry() if metrics else NULL_REGISTRY
+        # Telemetry is opt-in: pass True for defaults, or a
+        # TelemetryConfig to control period/capacity/series.
+        if telemetry is True:
+            self.telemetry = Telemetry()
+        elif isinstance(telemetry, TelemetryConfig):
+            self.telemetry = Telemetry(telemetry)
+        elif isinstance(telemetry, Telemetry):
+            self.telemetry = telemetry
+        else:
+            self.telemetry = NULL_TELEMETRY
 
     @property
     def enabled(self) -> bool:
-        return self.tracer.enabled or self.registry.enabled
+        return (
+            self.tracer.enabled
+            or self.registry.enabled
+            or self.telemetry.enabled
+        )
 
     # ------------------------------------------------------------------
     def attach(self, sim) -> None:
         """Called by each :class:`Simulator` binding itself to this bundle."""
         self.tracer.new_sim()
+        self.telemetry.new_sim()
 
     def absorb(self, other: "Observability") -> None:
-        """Merge a worker bundle (spans and metrics) into this one.
+        """Merge a worker bundle (spans, metrics, telemetry) into this one.
 
         The sweep engine ships per-point bundles back from worker
         processes and absorbs them in point order, so parallel traced
@@ -50,6 +73,8 @@ class Observability:
             self.tracer.absorb(other.tracer)
         if self.registry.enabled and getattr(other.registry, "enabled", False):
             self.registry.absorb(other.registry)
+        if self.telemetry.enabled and getattr(other.telemetry, "enabled", False):
+            self.telemetry.absorb(other.telemetry)
 
     # ------------------------------------------------------------------
     def install(self) -> "Observability":
@@ -72,6 +97,7 @@ class _NullObservability:
 
     tracer = NULL_TRACER
     registry = NULL_REGISTRY
+    telemetry = NULL_TELEMETRY
     enabled = False
 
     def attach(self, sim) -> None:

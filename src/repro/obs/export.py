@@ -19,10 +19,44 @@ from __future__ import annotations
 import csv
 import io
 import json
+import os
+import tempfile
+from pathlib import Path
 from typing import Dict, List, Tuple
 
 #: Thread-id base for background tracks, above any plausible lane count.
 _TRACK_TID_BASE = 1000
+
+
+def atomic_write_text(path, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically, creating parent dirs.
+
+    Every observability artifact goes through here: the temp file lands
+    in the destination directory (same filesystem, so ``os.replace`` is
+    atomic) and a crashed or interrupted run can never leave a partial
+    trace/metrics/telemetry file behind.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        # mkstemp files are 0600; restore the umask-governed default so
+        # the artifact is readable like any plainly-written file.
+        umask = os.umask(0)
+        os.umask(umask)
+        os.chmod(tmp_name, 0o666 & ~umask)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
 
 
 def _assign_lanes(traces) -> Dict[int, int]:
@@ -45,8 +79,38 @@ def _assign_lanes(traces) -> Dict[int, int]:
     return assignment
 
 
-def chrome_trace_events(tracer) -> List[dict]:
-    """The ``traceEvents`` list for ``tracer``'s finished spans."""
+def telemetry_counter_events(telemetry) -> List[dict]:
+    """Chrome counter ("C" phase) events for every telemetry sample.
+
+    Each series becomes one counter track per pid; Perfetto renders the
+    samples as a stepped area chart alongside the I/O spans, so queue
+    ramps and GC onset line up visually with the spans that caused them.
+    """
+    events: List[dict] = []
+    if telemetry is None or not getattr(telemetry, "enabled", False):
+        return events
+    for series in telemetry:
+        for t_ns, value in series.samples():
+            events.append(
+                {
+                    "name": series.name,
+                    "cat": "telemetry",
+                    "ph": "C",
+                    "ts": t_ns / 1000.0,
+                    "pid": series.pid,
+                    "tid": 0,
+                    "args": {"value": round(value, 6)},
+                }
+            )
+    return events
+
+
+def chrome_trace_events(tracer, telemetry=None) -> List[dict]:
+    """The ``traceEvents`` list for ``tracer``'s finished spans.
+
+    When a live ``telemetry`` recorder is passed, its samples are
+    appended as counter events so one trace file carries both views.
+    """
     events: List[dict] = []
     lanes = _assign_lanes(tracer.finished_ios)
     pids = set()
@@ -131,23 +195,22 @@ def chrome_trace_events(tracer) -> List[dict]:
                 "args": {"name": track},
             }
         )
-    return metadata + events
+    return metadata + events + telemetry_counter_events(telemetry)
 
 
-def to_chrome_trace(tracer) -> dict:
+def to_chrome_trace(tracer, telemetry=None) -> dict:
     """The full JSON-object-format document."""
     return {
-        "traceEvents": chrome_trace_events(tracer),
+        "traceEvents": chrome_trace_events(tracer, telemetry),
         "displayTimeUnit": "ns",
         "otherData": {"producer": "repro.obs"},
     }
 
 
-def write_chrome_trace(tracer, path: str) -> int:
+def write_chrome_trace(tracer, path: str, telemetry=None) -> int:
     """Serialize to ``path``; returns the number of events written."""
-    document = to_chrome_trace(tracer)
-    with open(path, "w") as handle:
-        json.dump(document, handle)
+    document = to_chrome_trace(tracer, telemetry)
+    atomic_write_text(path, json.dumps(document))
     return len(document["traceEvents"])
 
 
@@ -208,5 +271,73 @@ def metrics_to_csv(registry, now_ns=None) -> str:
 
 
 def write_metrics_csv(registry, path: str, now_ns=None) -> None:
-    with open(path, "w") as handle:
-        handle.write(metrics_to_csv(registry, now_ns))
+    atomic_write_text(path, metrics_to_csv(registry, now_ns))
+
+
+# ----------------------------------------------------------------------
+# Telemetry dumps
+# ----------------------------------------------------------------------
+_TELEMETRY_CSV_FIELDS = ("pid", "series", "kind", "unit", "t_ns", "value")
+
+
+def telemetry_to_csv(telemetry) -> str:
+    """Long-format dump: one row per retained sample, (pid, series)-ordered.
+
+    The row order and float formatting are deterministic, so serial and
+    ``--jobs N`` sweep runs produce byte-identical files — the property
+    the telemetry tests pin down.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(_TELEMETRY_CSV_FIELDS)
+    for series in telemetry:
+        for t_ns, value in series.samples():
+            writer.writerow(
+                (
+                    series.pid,
+                    series.name,
+                    series.kind,
+                    series.unit,
+                    t_ns,
+                    f"{value:.6g}",
+                )
+            )
+    return buffer.getvalue()
+
+
+def write_telemetry_csv(telemetry, path: str) -> None:
+    atomic_write_text(path, telemetry_to_csv(telemetry))
+
+
+def telemetry_to_text(telemetry) -> str:
+    """Aligned digest summary, one series per line (all samples ever
+    taken, including those evicted from the ring)."""
+    rows = []
+    for series in telemetry:
+        digest = series.digest()
+        onset = series.first_active_ns()
+        rows.append(
+            (
+                f"{series.pid}:{series.name}",
+                series.kind,
+                digest.count,
+                digest.mean,
+                digest.quantile(0.50),
+                digest.quantile(0.99),
+                digest.max if digest.max is not None else 0.0,
+                series.dropped,
+                "-" if onset is None else f"{onset / 1e6:.3f}ms",
+                series.unit,
+            )
+        )
+    if not rows:
+        return "(no telemetry series recorded)"
+    name_width = max(len(row[0]) for row in rows)
+    lines = []
+    for name, kind, count, mean, p50, p99, peak, dropped, onset, unit in rows:
+        lines.append(
+            f"{name.ljust(name_width)}  {kind:<5} n={count:<8} "
+            f"mean={mean:<10.4g} p50={p50:<10.4g} p99={p99:<10.4g} "
+            f"max={peak:<10.4g} dropped={dropped:<6} onset={onset:<10} {unit}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""repro.perf — wall-clock self-profiling and perf-regression gating.
+
+Times benchmark figures (wall seconds, simulated events per second,
+sweep-cache state), aggregates them into top-level ``BENCH_<date>.json``
+documents, and compares documents across revisions with a configurable
+slowdown threshold::
+
+    python -m repro perf fig04a fig05a          # run + write BENCH json
+    python -m repro perf --compare BENCH_old.json --against BENCH_new.json
+
+See ``docs/observability.md`` for the record schema and the CI
+``perf-smoke`` wiring.
+"""
+
+from repro.perf.harness import (
+    DEFAULT_THRESHOLD,
+    SCHEMA,
+    BenchRecord,
+    Comparison,
+    CompareRow,
+    PerfSession,
+    bench_filename,
+    compare_docs,
+    load_bench,
+    write_bench,
+)
+
+__all__ = [
+    "BenchRecord",
+    "CompareRow",
+    "Comparison",
+    "PerfSession",
+    "bench_filename",
+    "compare_docs",
+    "load_bench",
+    "write_bench",
+    "DEFAULT_THRESHOLD",
+    "SCHEMA",
+]

@@ -14,6 +14,12 @@ from repro.obs.core import current_obs
 from repro.sim.events import AnyOf, Event, Timeout
 from repro.sim.process import Process
 
+#: Process-wide count of executed callbacks, across every simulator ever
+#: run in this process.  The perf harness reads deltas of this to report
+#: sim-events/second per benchmark figure (meaningful under serial
+#: execution; worker processes keep their own counts).
+events_executed_total = 0
+
 
 class Simulator:
     """Discrete-event simulator with a nanosecond integer clock.
@@ -75,10 +81,12 @@ class Simulator:
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Run the next scheduled callback.  Returns False if none remain."""
+        global events_executed_total
         if not self._queue:
             return False
         when, _seq, callback, args = heapq.heappop(self._queue)
         self.now = when
+        events_executed_total += 1
         callback(*args)
         return True
 

@@ -63,6 +63,9 @@ class SpdkStack:
         self._m_spin_ns = registry.counter(
             "spdk.poll.spin_ns", unit="ns", help="time spent in the user-space spin"
         )
+        self._t_poll_burn = sim.obs.telemetry.series(
+            "spdk.poll.burn", "busy", unit="frac"
+        )
         #: When set to a list, sync_io appends per-I/O stage timestamps
         #: ``(start, submitted, cqe, done)`` — the latency-anatomy probe.
         self.stage_log = None
@@ -142,6 +145,7 @@ class SpdkStack:
         detect = costs.spdk_iter_ns
         yield self.sim.timeout(detect)
         self._charge_spin(self.sim.now - started)
+        self._t_poll_burn.add_interval(started, self.sim.now)
 
     def _charge_spin(self, spun_ns: int) -> None:
         """Attribute spin time/instructions to the three SPDK functions."""

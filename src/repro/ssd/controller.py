@@ -88,12 +88,34 @@ class SsdController:
         self.power = PowerMeter(
             sim, config.power, dies_per_op=config.physical_dies_per_die
         )
+        # Telemetry taps ride on the same booking observers the power
+        # meter uses; chain them only when a recorder is live so the
+        # default path stays a single attribute call.
+        telemetry = sim.obs.telemetry
+        die_observer = self.power.observe_op
+        channel_observer = self.power.observe_transfer
+        if telemetry.enabled:
+            t_die_busy = telemetry.series(
+                "ssd.dies.busy", "busy", unit="frac", scale=config.dies
+            )
+            t_chan_busy = telemetry.series(
+                "ssd.channels.busy", "busy", unit="frac", scale=config.channels
+            )
+
+            def die_observer(kind, start, end, _power=self.power.observe_op):
+                _power(kind, start, end)
+                t_die_busy.add_interval(start, end)
+
+            def channel_observer(start, end, _power=self.power.observe_transfer):
+                _power(start, end)
+                t_chan_busy.add_interval(start, end)
+
         self.dies: List[FlashDie] = [
             FlashDie(
                 sim,
                 config.timing,
                 allow_suspend=config.suspend_resume,
-                observer=self.power.observe_op,
+                observer=die_observer,
                 seed=seed * 131 + die_index,
             )
             for die_index in range(config.dies)
@@ -102,7 +124,7 @@ class SsdController:
             sim,
             config.channels,
             config.channel_mbps,
-            observer=self.power.observe_transfer,
+            observer=channel_observer,
         )
         self.pcie = TimelineResource(sim)
         self.write_buffer = WriteBuffer(sim, config.write_buffer_units)
@@ -144,6 +166,16 @@ class SsdController:
         )
         self._m_gc_duration = registry.histogram(
             "ftl.gc.duration_ns", unit="ns", help="per-reclamation GC duration"
+        )
+        self._t_buffer_occ = telemetry.series(
+            "ssd.write_buffer.occupancy", "level", unit="units"
+        )
+        self._t_gc_active = telemetry.series("ftl.gc.active", "level", unit="cycles")
+        self._t_gc_moved = telemetry.series(
+            "ftl.gc.moved_pages", "rate", unit="pages"
+        )
+        self._t_fault_recovery = telemetry.series(
+            "faults.nand.recovery", "busy", unit="frac"
         )
         # Fault injection (repro.faults): a dedicated RNG stream, so the
         # zero-fault path draws nothing and existing streams are never
@@ -249,6 +281,7 @@ class SsdController:
             if retries:
                 self.stats.read_retries += retries
                 self._m_read_retries.inc(retries)
+                self._t_fault_recovery.add_interval(retry_start, array_done)
                 if trace is not None:
                     trace.annotate(
                         "ecc_retry", retry_start, array_done, retries=retries
@@ -319,7 +352,9 @@ class SsdController:
                     die=die_index,
                     retired_block=-1 if retired is None else retired,
                 )
+            reprogram_from = programmed
             _, programmed = die.program(not_before=programmed)
+            self._t_fault_recovery.add_interval(reprogram_from, programmed)
         return prog_start, programmed
 
     def roll_write_stall(self) -> int:
@@ -360,6 +395,7 @@ class SsdController:
             trace.phase("write_buffer", self.sim.now)
         self.write_buffer.insert(lpn)
         self._m_buffer_occ.set(self.write_buffer.occupancy, self.sim.now)
+        self._t_buffer_occ.record(self.sim.now, self.write_buffer.occupancy)
 
     # ------------------------------------------------------------------
     # Background flush workers (one per die)
@@ -474,6 +510,7 @@ class SsdController:
             for lpn in placed:
                 buffer.flushed(lpn)
             self._m_buffer_occ.set(buffer.occupancy, self.sim.now)
+            self._t_buffer_occ.record(self.sim.now, buffer.occupancy)
 
     def _collect_one_block(self, die_index: int):
         """Process: one GC cycle on ``die_index``.  Returns True if a
@@ -487,6 +524,7 @@ class SsdController:
         config = self.config
         pending: List[int] = []
         self.gc_active += 1
+        self._t_gc_active.record(gc_start, self.gc_active)
         try:
             for lpn in plan.victim_lpns:
                 # The host may have overwritten the page since planning.
@@ -509,7 +547,13 @@ class SsdController:
             if erased > self.sim.now:
                 yield self.sim.timeout(erased - self.sim.now)
         finally:
+            # NOTE: nothing here may touch observability state.  Cycles
+            # abandoned when the run ends are closed later by the
+            # interpreter's garbage collector, and a recorder update at
+            # that point would land at a nondeterministic time.
             self.gc_active -= 1
+        self._t_gc_active.record(self.sim.now, self.gc_active)
+        self._t_gc_moved.add(self.sim.now, migrated)
         self.ftl.finish_gc(plan)
         self.stats.gc_events.append(
             GcEvent(
