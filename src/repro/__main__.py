@@ -1,5 +1,15 @@
 """Command-line entry point: ``python -m repro <subcommand> [...]``.
 
+Two quality-gate subcommands stand alone (see ``docs/lint.md``):
+
+* ``lint`` — run simlint, the determinism & invariant static analyzer
+  (``SIM001``-``SIM008``), over the given paths (default ``src tests``);
+  ``--format json`` for machine-readable output, non-zero exit on
+  findings.
+* ``check`` — aggregate gate: simlint plus ``ruff`` and strict ``mypy``
+  when installed (skipped with a notice otherwise; ``--strict-tools``
+  turns a skip into a failure).
+
 Four subcommands share one flag vocabulary:
 
 * ``figures`` — run figure reproductions and print their tables.  The
@@ -70,7 +80,7 @@ from repro.core import sweep as sweep_engine
 from repro.core.figures import FIGURES, run_figure
 from repro.core.report import render_figure
 
-SUBCOMMANDS = ("figures", "sweep", "trace", "perf")
+SUBCOMMANDS = ("figures", "sweep", "trace", "perf", "lint", "check")
 
 
 def _scaled_kwargs(figure_id: str, scale: float, seed=None, fault_seed=None) -> dict:
@@ -353,6 +363,20 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_exec_flags(perf)
 
+    # `lint` and `check` are dispatched before this parser runs (their
+    # argument vocabulary is their own); the stubs exist so the top-level
+    # --help lists them.
+    sub.add_parser(
+        "lint",
+        help="run simlint, the determinism static analyzer (docs/lint.md)",
+        add_help=False,
+    )
+    sub.add_parser(
+        "check",
+        help="aggregate gate: simlint + ruff + strict mypy",
+        add_help=False,
+    )
+
     trace = sub.add_parser(
         "trace",
         help="run ONE figure under observability (defaults to --anatomy)",
@@ -519,6 +543,17 @@ def _cmd_perf(parser, args) -> int:
 
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    # `lint`/`check` own their argument vocabulary (paths, --format, ...)
+    # and share nothing with the figure runners: dispatch before the
+    # figure-oriented parser gets a say.
+    if argv and argv[0] == "lint":
+        from repro.lint.cli import run_lint
+
+        return run_lint(argv[1:])
+    if argv and argv[0] == "check":
+        from repro.lint.cli import run_check
+
+        return run_check(argv[1:])
     # Back-compat flat form: `python -m repro fig10 --scale 0.2` (and
     # bare option forms like `--list`) are `figures ...`.  Top-level
     # help still reaches the subcommand overview.

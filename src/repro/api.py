@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+from typing import Any, Optional, Tuple, Union
 
 from repro.core.experiment import DeviceKind, device_config
 from repro.core.sweep import DeviceSnapshot, Measurement
@@ -55,7 +55,7 @@ __all__ = [
 ]
 
 
-def _name_of(value) -> str:
+def _name_of(value: object) -> str:
     """Accept ``"kernel"`` or ``StackKind.KERNEL`` alike."""
     if isinstance(value, enum.Enum):
         return str(value.value)
@@ -163,7 +163,7 @@ class Testbed:
             device.precondition(self.precondition)
         return device
 
-    def build(self, sim: Simulator):
+    def build(self, sim: Simulator) -> Tuple[SsdDevice, Any]:
         """Construct the full path on ``sim``; returns (device, host).
 
         The construction order matches the historical helpers exactly,
@@ -253,13 +253,15 @@ class Testbed:
 # ----------------------------------------------------------------------
 # Module-level conveniences
 # ----------------------------------------------------------------------
-def open_device(sim: Simulator, device: Union[str, DeviceKind] = "ull", **kwargs) -> SsdDevice:
+def open_device(
+    sim: Simulator, device: Union[str, DeviceKind] = "ull", **kwargs: Any
+) -> SsdDevice:
     """A fresh device on ``sim`` (keywords as on :class:`Testbed`)."""
     return Testbed(device=device, **kwargs).open_device(sim)
 
 
 def run_job(
-    config: JobConfig, testbed: Optional[Testbed] = None, **kwargs
+    config: JobConfig, testbed: Optional[Testbed] = None, **kwargs: Any
 ) -> JobResult:
     """Run one job on ``testbed`` (default: preconditioned ULL over the
     interrupt-driven kernel stack)."""

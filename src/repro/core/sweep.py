@@ -31,6 +31,7 @@ a fork/spawn.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import enum
 import hashlib
@@ -290,10 +291,8 @@ class SweepCache:
                 pickle.dump(measurement, fh, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
         except OSError:
-            try:
+            with contextlib.suppress(OSError):
                 os.unlink(tmp)
-            except OSError:
-                pass
 
 
 # ----------------------------------------------------------------------

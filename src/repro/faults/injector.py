@@ -12,6 +12,8 @@ disabled layer (injector ``None``) draws nothing at all.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 
@@ -20,8 +22,10 @@ class FaultInjector:
 
     __slots__ = ("spec", "rng")
 
-    def __init__(self, spec, seed: int) -> None:
-        self.spec = spec
+    def __init__(self, spec: Any, seed: int) -> None:
+        #: The layer's spec dataclass (NandFaults, NvmeFaults, ...);
+        #: typed loosely because each layer reads its own fields.
+        self.spec: Any = spec
         self.rng = np.random.default_rng(seed)
 
     def roll(self, prob: float) -> bool:

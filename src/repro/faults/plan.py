@@ -29,9 +29,9 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
-from contextlib import contextmanager
+from contextlib import contextmanager, suppress
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.faults.injector import FaultInjector
 
@@ -233,13 +233,11 @@ class FaultPlan:
         if _ACTIVE and _ACTIVE[-1] is self:
             _ACTIVE.pop()
             return
-        try:
+        with suppress(ValueError):
             _ACTIVE.remove(self)
-        except ValueError:
-            pass
 
     @contextmanager
-    def installed(self):
+    def installed(self) -> Iterator["FaultPlan"]:
         self.install()
         try:
             yield self
@@ -271,7 +269,7 @@ def uninstall(plan: FaultPlan) -> None:
 # ----------------------------------------------------------------------
 # CLI spec parsing
 # ----------------------------------------------------------------------
-def parse_fault_spec(items, *, seed: int = 0) -> FaultPlan:
+def parse_fault_spec(items: Iterable[object], *, seed: int = 0) -> FaultPlan:
     """Build a plan from ``layer.field=value`` strings.
 
     Accepts an iterable of specs, each optionally comma-separated, e.g.

@@ -12,14 +12,16 @@ fio-style summary line.
 from __future__ import annotations
 
 import argparse
+from typing import Any, List, Optional, Sequence
 
 from repro.core.experiment import DeviceKind, StackKind, build_device, build_stack
 from repro.host.accounting import ExecMode
 from repro.kstack.completion import CompletionMethod
 from repro.sim.engine import Simulator
+from repro.ssd.device import SsdDevice
 from repro.workloads.fiofile import load_fio_file
-from repro.workloads.job import IoEngineKind
-from repro.workloads.runner import run_job, run_jobs
+from repro.workloads.job import FioJob, IoEngineKind
+from repro.workloads.runner import JobResult, run_job, run_jobs
 
 
 def run_jobfile(
@@ -29,7 +31,7 @@ def run_jobfile(
     completion: CompletionMethod = CompletionMethod.INTERRUPT,
     precondition: float = 1.0,
     concurrent: bool = False,
-):
+) -> List[JobResult]:
     """Run every job in ``path``; returns the list of JobResults.
 
     ``concurrent=True`` gives fio's default semantics — all jobs hammer
@@ -45,7 +47,9 @@ def run_jobfile(
             "the kernel driver"
         )
 
-    def make_stack(sim, dev, job, seed):
+    def make_stack(
+        sim: Simulator, dev: SsdDevice, job: FioJob, seed: int
+    ) -> Any:
         stack_kind = (
             StackKind.SPDK if job.engine is IoEngineKind.SPDK else StackKind.KERNEL
         )
@@ -61,7 +65,7 @@ def run_jobfile(
             for index, job in enumerate(jobs)
         ]
         return run_jobs(sim, pairs)
-    results = []
+    results: List[JobResult] = []
     for job in jobs:
         sim = Simulator()
         dev = build_device(sim, device, precondition=precondition)
@@ -69,7 +73,7 @@ def run_jobfile(
     return results
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.fio",
         description="Run a fio job file against a simulated SSD",

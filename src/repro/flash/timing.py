@@ -55,7 +55,7 @@ class FlashTiming:
         # MB/s == bytes/us; convert to ns.
         return int(round(nbytes * 1_000 / self.bus_mbps))
 
-    def with_overrides(self, **kwargs) -> "FlashTiming":
+    def with_overrides(self, **kwargs: object) -> "FlashTiming":
         """A copy with selected fields replaced."""
         return replace(self, **kwargs)
 

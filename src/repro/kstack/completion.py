@@ -24,14 +24,15 @@ to the functions the paper's profiler attributes them to.
 from __future__ import annotations
 
 import enum
-from typing import Optional
+from typing import Any, Generator, Optional
 
 import numpy as np
 
 from repro.host.accounting import CpuAccounting, ExecMode
-from repro.host.costs import SoftwareCosts
+from repro.host.costs import SoftwareCosts, StepCost
 from repro.kstack.driver import DriverRequest, KernelNvmeDriver
 from repro.sim.engine import Simulator
+from repro.sim.events import Event, Timeout
 
 
 class CompletionMethod(enum.Enum):
@@ -78,14 +79,18 @@ class _EngineBase:
         )
 
     # ------------------------------------------------------------------
-    def _charge_and_wait(self, step, mode: ExecMode, module: str, function: str):
+    def _charge_and_wait(
+        self, step: StepCost, mode: ExecMode, module: str, function: str
+    ) -> Timeout:
         """Charge one step and advance the clock by its duration."""
         self.accounting.charge(
             step.ns, mode, module, function, loads=step.loads, stores=step.stores
         )
         return self.sim.timeout(step.ns)
 
-    def _spin_until_cqe(self, driver_request: DriverRequest):
+    def _spin_until_cqe(
+        self, driver_request: DriverRequest
+    ) -> Generator[Event, Any, int]:
         """Generator: spin on the CQ until the CQE lands.
 
         Returns the nanoseconds spent spinning.  Wall time advances to
@@ -156,7 +161,9 @@ class _EngineBase:
             stores=iters * costs.nvme_poll_iter.stores,
         )
 
-    def _finish(self, driver: KernelNvmeDriver, driver_request: DriverRequest):
+    def _finish(
+        self, driver: KernelNvmeDriver, driver_request: DriverRequest
+    ) -> Generator[Event, Any, None]:
         """Complete the request through blk-mq (poll flavors)."""
         completed = driver.nvme_poll(driver_request.blk_request.cookie)
         assert completed is not None, "poll finished before CQE?"
@@ -173,7 +180,9 @@ class InterruptEngine(_EngineBase):
 
     method = CompletionMethod.INTERRUPT
 
-    def complete(self, driver: KernelNvmeDriver, driver_request: DriverRequest):
+    def complete(
+        self, driver: KernelNvmeDriver, driver_request: DriverRequest
+    ) -> Generator[Event, Any, None]:
         costs = self.costs
         pending = driver_request.pending
         # Switch away; the core is free for other work while the device runs.
@@ -207,7 +216,9 @@ class PollEngine(_EngineBase):
 
     method = CompletionMethod.POLL
 
-    def complete(self, driver: KernelNvmeDriver, driver_request: DriverRequest):
+    def complete(
+        self, driver: KernelNvmeDriver, driver_request: DriverRequest
+    ) -> Generator[Event, Any, None]:
         yield from self._spin_until_cqe(driver_request)
         yield from self._finish(driver, driver_request)
 
@@ -225,7 +236,7 @@ class HybridPollEngine(_EngineBase):
     #: EMA weight for the wait estimate.
     EMA_WEIGHT = 0.125
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         self._mean_wait_ns: Optional[float] = None
         #: Fraction of the estimated wait to sleep (the kernel uses 1/2;
@@ -236,7 +247,9 @@ class HybridPollEngine(_EngineBase):
     def mean_wait_ns(self) -> Optional[float]:
         return self._mean_wait_ns
 
-    def complete(self, driver: KernelNvmeDriver, driver_request: DriverRequest):
+    def complete(
+        self, driver: KernelNvmeDriver, driver_request: DriverRequest
+    ) -> Generator[Event, Any, None]:
         costs = self.costs
         wait_started = self.sim.now
         cqe_event = driver_request.pending.cqe_event

@@ -12,11 +12,14 @@ these functions; the driver itself is the functional substrate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.kstack.blkmq import BlkMq, BlkRequest, Cookie
 from repro.nvme.controller import NvmeQueuePair, PendingCommand
 from repro.ssd.device import IoOp
+
+if TYPE_CHECKING:
+    from repro.obs.tracer import IoTrace
 
 
 @dataclass
@@ -46,7 +49,8 @@ class KernelNvmeDriver:
 
     # ------------------------------------------------------------------
     def submit(self, cpu: int, op: IoOp, offset: int, nbytes: int, *,
-               hipri: bool = False, now_ns: int = 0, trace=None) -> DriverRequest:
+               hipri: bool = False, now_ns: int = 0,
+               trace: "Optional[IoTrace]" = None) -> DriverRequest:
         """Stage a bio through blk-mq and issue the NVMe command."""
         from repro.kstack.blkmq import Bio, BioDirection
 

@@ -16,13 +16,14 @@ metadata reads, metadata writeback, and journal commits.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Any, Callable, Generator
 
 import numpy as np
 
 from repro.host.accounting import CpuAccounting, ExecMode
 from repro.host.costs import StepCost
 from repro.sim.engine import Simulator
+from repro.sim.events import Event, Timeout
 from repro.ssd.device import IoOp
 
 
@@ -93,7 +94,7 @@ class Ext4Model:
         """First byte usable for file data."""
         return self._meta_blocks * self.costs.metadata_block_bytes
 
-    def _charge_and_wait(self, step: StepCost, function: str):
+    def _charge_and_wait(self, step: StepCost, function: str) -> Timeout:
         self.accounting.charge(
             step.ns,
             ExecMode.KERNEL,
@@ -109,7 +110,7 @@ class Ext4Model:
         return block * self.costs.metadata_block_bytes
 
     # ------------------------------------------------------------------
-    def read(self, offset: int, nbytes: int):
+    def read(self, offset: int, nbytes: int) -> Generator[Event, Any, int]:
         """Process: file read.  Returns application latency (ns)."""
         costs = self.costs
         started = self.sim.now
@@ -123,7 +124,7 @@ class Ext4Model:
         yield self._charge_and_wait(costs.atime_update, "ext4_update_atime")
         return self.sim.now - started
 
-    def write(self, offset: int, nbytes: int):
+    def write(self, offset: int, nbytes: int) -> Generator[Event, Any, int]:
         """Process: file write with journaling.  Returns latency (ns)."""
         costs = self.costs
         started = self.sim.now

@@ -9,16 +9,21 @@ pvsync2 path the paper uses for completion-method studies; the async
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Any, Generator, List, Optional, Tuple
 
 from repro.host.accounting import CpuAccounting, ExecMode
-from repro.host.costs import DEFAULT_COSTS, SoftwareCosts
+from repro.host.costs import DEFAULT_COSTS, SoftwareCosts, StepCost
 from repro.kstack.blkmq import BlkMq
 from repro.kstack.completion import CompletionMethod, make_engine
 from repro.kstack.driver import DriverRequest, KernelNvmeDriver
-from repro.nvme.controller import NvmeController, NvmeTimings
+from repro.nvme.controller import NvmeController, NvmeQueuePair, NvmeTimings
 from repro.sim.engine import Simulator
+from repro.sim.events import Event, Timeout
 from repro.ssd.device import IoOp, SsdDevice
+
+if TYPE_CHECKING:
+    from repro.faults.plan import FaultPlan
+    from repro.obs.tracer import IoTrace
 
 
 class KernelStack:
@@ -34,10 +39,10 @@ class KernelStack:
         accounting: Optional[CpuAccounting] = None,
         queue_depth: int = 1024,
         nvme_timings: Optional[NvmeTimings] = None,
-        qpair=None,
+        qpair: Optional[NvmeQueuePair] = None,
         thin_submit: bool = False,
         seed: int = 11,
-        faults=None,
+        faults: "Optional[FaultPlan]" = None,
     ) -> None:
         self.sim = sim
         self.device = device
@@ -80,7 +85,7 @@ class KernelStack:
         )
         #: When set to a list, sync_io appends per-I/O stage timestamps
         #: ``(start, submitted, cqe, done)`` — the latency-anatomy probe.
-        self.stage_log = None
+        self.stage_log: Optional[List[Tuple[int, int, int, int]]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -88,14 +93,18 @@ class KernelStack:
         """Polled submissions carry the high-priority flag."""
         return self.completion_method is not CompletionMethod.INTERRUPT
 
-    def _charge_and_wait(self, step, mode, module, function):
+    def _charge_and_wait(
+        self, step: StepCost, mode: ExecMode, module: str, function: str
+    ) -> Timeout:
         self.accounting.charge(
             step.ns, mode, module, function, loads=step.loads, stores=step.stores
         )
         return self.sim.timeout(step.ns)
 
     # ------------------------------------------------------------------
-    def sync_io(self, op: IoOp, offset: int, nbytes: int):
+    def sync_io(
+        self, op: IoOp, offset: int, nbytes: int
+    ) -> Generator[Event, Any, int]:
         """Process: one synchronous (pvsync2-style) I/O.
 
         Returns the application-observed latency in nanoseconds.
@@ -128,7 +137,13 @@ class KernelStack:
             ctx.finish(self.sim.now)
         return self.sim.now - started
 
-    def _submit_path(self, op: IoOp, offset: int, nbytes: int, ctx=None):
+    def _submit_path(
+        self,
+        op: IoOp,
+        offset: int,
+        nbytes: int,
+        ctx: "Optional[IoTrace]" = None,
+    ) -> Generator[Event, Any, None]:
         costs = self.costs
         yield self._charge_and_wait(
             costs.syscall_entry, ExecMode.KERNEL, "vfs", "syscall"
@@ -161,7 +176,9 @@ class KernelStack:
             costs.doorbell_write, ExecMode.KERNEL, "nvme-driver", "doorbell_write"
         )
 
-    def _maybe_requeue(self, ctx=None):
+    def _maybe_requeue(
+        self, ctx: "Optional[IoTrace]" = None
+    ) -> Generator[Event, Any, None]:
         """Process: injected ``BLK_STS_RESOURCE`` dispatch failures.
 
         Each failed dispatch requeues the request with exponential
@@ -204,7 +221,9 @@ class KernelStack:
             yield self.sim.timeout(delay)
 
     # ------------------------------------------------------------------
-    def submit_async(self, op: IoOp, offset: int, nbytes: int):
+    def submit_async(
+        self, op: IoOp, offset: int, nbytes: int
+    ) -> Generator[Event, Any, DriverRequest]:
         """Process: queue one libaio I/O (batched io_submit, amortized).
 
         Returns the :class:`DriverRequest`; the caller observes

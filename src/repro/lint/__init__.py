@@ -1,0 +1,39 @@
+"""``repro.lint`` — simlint, the determinism & invariant static analyzer.
+
+The simulated testbed's headline guarantee is that every rerun is
+bit-identical: serial equals parallel, cached equals executed, faults are
+seeded streams.  PRs 1-4 verified those properties by hand; this package
+turns them into machine-checked rules (``SIM001``-``SIM006``) enforced by
+``python -m repro lint`` in CI, plus engine-level hygiene codes for the
+suppression comments themselves (``SIM007``/``SIM008``).
+
+See ``docs/lint.md`` for the rule catalogue, suppression policy, and how
+to add a rule.
+"""
+
+from repro.lint.diagnostics import Diagnostic, Suppression
+from repro.lint.engine import (
+    LintResult,
+    SIM_LAYER_DIRS,
+    find_suppressions,
+    is_sim_layer_path,
+    lint_paths,
+    lint_source,
+)
+from repro.lint.rules import ENGINE_CODES, RULES, Rule, all_codes, rules_table
+
+__all__ = [
+    "Diagnostic",
+    "Suppression",
+    "LintResult",
+    "SIM_LAYER_DIRS",
+    "ENGINE_CODES",
+    "RULES",
+    "Rule",
+    "all_codes",
+    "find_suppressions",
+    "is_sim_layer_path",
+    "lint_paths",
+    "lint_source",
+    "rules_table",
+]

@@ -1,0 +1,161 @@
+"""CLI entry points: ``python -m repro lint`` and ``python -m repro check``.
+
+``lint`` runs the simlint rule pack and exits non-zero on findings, so it
+can gate CI.  ``check`` is the aggregate quality gate: simlint always, plus
+``ruff`` and ``mypy`` when they are installed (skipped with a notice
+otherwise, or a failure under ``--strict-tools`` — the CI jobs install
+both, so the gate is only soft on bare development machines).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import subprocess
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+from repro.lint.engine import lint_paths, validate_select
+from repro.lint.rules import rules_table
+
+DEFAULT_PATHS = ("src", "tests")
+
+#: Exit codes: 0 clean, 1 findings, 2 usage / missing paths.
+EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE = 0, 1, 2
+
+
+def _lint_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description=(
+            "simlint: determinism & invariant static analysis for the "
+            "simulated testbed (rules SIM000-SIM008; see docs/lint.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list every rule code with its summary and exit",
+    )
+    return parser
+
+
+def run_lint(argv: Optional[Sequence[str]] = None) -> int:
+    args = _lint_parser().parse_args(list(argv) if argv is not None else None)
+
+    if args.list_rules:
+        for code, summary in rules_table():
+            print(f"{code}  {summary}")
+        return EXIT_CLEAN
+
+    select = None
+    if args.select:
+        try:
+            select = validate_select(args.select.split(","))
+        except ValueError as exc:
+            print(f"lint: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+
+    try:
+        result = lint_paths(args.paths, select=select)
+    except FileNotFoundError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    if args.format == "json":
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        for diag in result.diagnostics:
+            print(diag.format())
+        summary = (
+            f"{len(result.diagnostics)} finding"
+            f"{'' if len(result.diagnostics) == 1 else 's'} "
+            f"({result.files_scanned} files, {result.suppressed} suppressed)"
+        )
+        print(("" if result.ok else "\n") + f"simlint: {summary}")
+    return EXIT_CLEAN if result.ok else EXIT_FINDINGS
+
+
+# ----------------------------------------------------------------------
+# `python -m repro check` — the aggregate gate.
+# ----------------------------------------------------------------------
+
+
+def _check_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro check",
+        description=(
+            "aggregate quality gate: simlint + ruff + strict mypy "
+            "(external tools skip with a notice when not installed)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help="paths for simlint/ruff (default: src tests)",
+    )
+    parser.add_argument(
+        "--strict-tools",
+        action="store_true",
+        help="fail (instead of skip) when ruff or mypy is not installed",
+    )
+    return parser
+
+
+def _run_external(name: str, cmd: List[str]) -> Tuple[str, int]:
+    """Run an external tool; returns (status, returncode)."""
+    if shutil.which(cmd[0]) is None:
+        return ("missing", -1)
+    proc = subprocess.run(cmd)
+    return ("ok" if proc.returncode == 0 else "fail", proc.returncode)
+
+
+def run_check(argv: Optional[Sequence[str]] = None) -> int:
+    args = _check_parser().parse_args(list(argv) if argv is not None else None)
+    failures = 0
+    skipped: List[str] = []
+
+    print("== simlint ==", flush=True)
+    lint_rc = run_lint(list(args.paths))
+    if lint_rc != EXIT_CLEAN:
+        failures += 1
+
+    steps = [
+        ("ruff", ["ruff", "check", *args.paths]),
+        ("mypy", ["mypy", "--config-file", "pyproject.toml"]),
+    ]
+    for name, cmd in steps:
+        print(f"== {name} ==", flush=True)
+        status, _rc = _run_external(name, cmd)
+        if status == "missing":
+            print(f"{name}: not installed — skipped (CI runs it)")
+            skipped.append(name)
+            if args.strict_tools:
+                failures += 1
+        elif status == "fail":
+            failures += 1
+
+    verdict = "FAIL" if failures else "ok"
+    note = f" (skipped: {', '.join(skipped)})" if skipped else ""
+    print(f"\ncheck: {verdict}{note}")
+    return EXIT_FINDINGS if failures else EXIT_CLEAN

@@ -1,0 +1,63 @@
+"""Diagnostics: what simlint reports.
+
+A :class:`Diagnostic` is one finding — a rule code, a location, and a
+message.  Diagnostics sort by (path, line, col, code) so output order is
+stable across runs regardless of rule-execution order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One simlint finding at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    @property
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)
+
+    def format(self) -> str:
+        """Render as ``path:line:col: CODE message`` (editor-clickable)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Suppression:
+    """One ``# simlint: disable=...`` comment found in a file.
+
+    ``codes`` is ``None`` for ``disable=all``; ``target_line`` is the line
+    the suppression applies to (the comment's own line for same-line
+    ``disable``, the following line for ``disable-next-line``).  The engine
+    marks a suppression ``used`` when it absorbs at least one diagnostic;
+    unused suppressions are themselves findings (``SIM008``), as are
+    suppressions with no reason string (``SIM007``).
+    """
+
+    line: int
+    target_line: int
+    codes: Any  # Optional[FrozenSet[str]]; None means "all codes"
+    reason: str
+    used: bool = False
+
+    def matches(self, diag: Diagnostic) -> bool:
+        if diag.line != self.target_line:
+            return False
+        return self.codes is None or diag.code in self.codes

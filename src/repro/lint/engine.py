@@ -1,0 +1,244 @@
+"""The simlint engine: collect files, parse, run rules, apply suppressions.
+
+Suppression grammar (one comment per line)::
+
+    x = list(a_set)  # simlint: disable=SIM003 -- membership only, order unused
+    # simlint: disable-next-line=SIM001,SIM002 -- fixture exercises the rule
+    t = time.time()
+    # simlint: disable-next-line=all -- generated code
+
+``disable`` applies to its own line, ``disable-next-line`` to the line
+below.  A reason after ``--`` is mandatory (``SIM007`` otherwise) and a
+suppression must actually absorb a finding (``SIM008`` otherwise), so stale
+suppressions cannot accumulate.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
+
+from repro.lint.diagnostics import Diagnostic, Suppression
+from repro.lint.rules import RULES, all_codes
+from repro.lint.rules import ModuleContext
+
+#: Directory components that mark a module as *simulation code* for the
+#: sim-only rules (SIM001): the layers the paper's testbed is built from.
+SIM_LAYER_DIRS = frozenset(
+    {"sim", "ssd", "ftl", "nvme", "kstack", "spdk", "net", "flash", "host"}
+)
+
+#: Directories never descended into.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "venv", "build", "dist"})
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*simlint:\s*(?P<kind>disable(?:-next-line)?)\s*=\s*"
+    r"(?P<codes>all|SIM\d{3}(?:\s*,\s*SIM\d{3})*)"
+    r"(?:\s+--\s*(?P<reason>\S.*?))?\s*$"
+)
+
+
+@dataclass
+class LintResult:
+    """Outcome of linting a set of files."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    files_scanned: int = 0
+    suppressed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics
+
+    def extend(self, other: "LintResult") -> None:
+        self.diagnostics.extend(other.diagnostics)
+        self.files_scanned += other.files_scanned
+        self.suppressed += other.suppressed
+
+    def sorted(self) -> "LintResult":
+        self.diagnostics.sort(key=lambda d: d.sort_key)
+        return self
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "version": 1,
+            "tool": "simlint",
+            "files_scanned": self.files_scanned,
+            "suppressed": self.suppressed,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+
+def is_sim_layer_path(display: str) -> bool:
+    """True when any *directory* component names a simulation layer."""
+    parts = Path(display).parts
+    return any(part in SIM_LAYER_DIRS for part in parts[:-1])
+
+
+def find_suppressions(source: str) -> List[Suppression]:
+    """Extract ``# simlint:`` comments, tolerant of unparsable files."""
+    suppressions: List[Suppression] = []
+
+    def consume(comment: str, line: int) -> None:
+        match = _SUPPRESS_RE.search(comment)
+        if match is None:
+            return
+        codes = match.group("codes")
+        suppressions.append(
+            Suppression(
+                line=line,
+                target_line=line + 1
+                if match.group("kind") == "disable-next-line"
+                else line,
+                codes=None
+                if codes == "all"
+                else frozenset(c.strip() for c in codes.split(",")),
+                reason=(match.group("reason") or "").strip(),
+            )
+        )
+
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                consume(token.string, token.start[0])
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Fall back to a line scan so suppressions still parse in files
+        # the tokenizer rejects (the file itself gets a SIM000).
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            if "#" in text and "simlint:" in text:
+                consume(text[text.index("#"):], lineno)
+    return suppressions
+
+
+def lint_source(
+    source: str,
+    display: str = "<string>",
+    *,
+    is_sim_layer: Optional[bool] = None,
+    select: Optional[Iterable[str]] = None,
+) -> LintResult:
+    """Lint one module's source text (the unit tests' entry point)."""
+    result = LintResult(files_scanned=1)
+    suppressions = find_suppressions(source)
+    selected = set(select) if select is not None else None
+
+    try:
+        tree = ast.parse(source, filename=display)
+    except SyntaxError as exc:
+        result.diagnostics.append(
+            Diagnostic(
+                path=display,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) or 1,
+                code="SIM000",
+                message=f"file does not parse: {exc.msg}",
+            )
+        )
+        return result.sorted()
+
+    if is_sim_layer is None:
+        is_sim_layer = is_sim_layer_path(display)
+    ctx = ModuleContext(display=display, tree=tree, is_sim_layer=is_sim_layer)
+
+    raw: List[Diagnostic] = []
+    for code, rule in sorted(RULES.items()):
+        if selected is not None and code not in selected:
+            continue
+        raw.extend(rule.check(ctx))
+
+    for diag in raw:
+        absorbed = False
+        for suppression in suppressions:
+            if suppression.matches(diag):
+                suppression.used = True
+                absorbed = True
+        if absorbed:
+            result.suppressed += 1
+        else:
+            result.diagnostics.append(diag)
+
+    for suppression in suppressions:
+        if not suppression.reason and (selected is None or "SIM007" in selected):
+            result.diagnostics.append(
+                Diagnostic(
+                    path=display,
+                    line=suppression.line,
+                    col=1,
+                    code="SIM007",
+                    message=(
+                        "suppression has no reason: append "
+                        "'-- <why this is a justified false positive>'"
+                    ),
+                )
+            )
+        if not suppression.used and (selected is None or "SIM008" in selected):
+            result.diagnostics.append(
+                Diagnostic(
+                    path=display,
+                    line=suppression.line,
+                    col=1,
+                    code="SIM008",
+                    message=(
+                        "suppression matches no finding on its target "
+                        "line: remove it (stale suppressions hide real "
+                        "regressions)"
+                    ),
+                )
+            )
+    return result.sorted()
+
+
+def iter_python_files(paths: Sequence[Union[str, Path]]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths`` (files pass through)."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+            continue
+        if not path.is_dir():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        for candidate in sorted(path.rglob("*.py")):
+            if any(part in _SKIP_DIRS for part in candidate.parts):
+                continue
+            yield candidate
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]],
+    *,
+    root: Optional[Union[str, Path]] = None,
+    select: Optional[Iterable[str]] = None,
+) -> LintResult:
+    """Lint every python file under ``paths``; display paths are
+    root-relative (default: relative to the current directory)."""
+    base = Path(root) if root is not None else Path.cwd()
+    result = LintResult()
+    for path in iter_python_files(paths):
+        try:
+            display = path.resolve().relative_to(base.resolve()).as_posix()
+        except ValueError:
+            display = path.as_posix()
+        source = path.read_text(encoding="utf-8")
+        result.extend(lint_source(source, display, select=select))
+    return result.sorted()
+
+
+def validate_select(select: Iterable[str]) -> List[str]:
+    """Normalize a ``--select`` list, raising on unknown codes."""
+    known = set(all_codes())
+    chosen = []
+    for code in select:
+        code = code.strip().upper()
+        if code not in known:
+            raise ValueError(
+                f"unknown rule code {code!r} (known: {', '.join(sorted(known))})"
+            )
+        chosen.append(code)
+    return chosen

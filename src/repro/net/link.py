@@ -9,10 +9,13 @@ DPDK paths.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import TYPE_CHECKING, Optional, Set, Tuple
 
 from repro.sim.engine import Simulator
 from repro.sim.resources import TimelineResource
+
+if TYPE_CHECKING:
+    from repro.faults.plan import FaultPlan
 
 
 class NetworkLink:
@@ -24,7 +27,7 @@ class NetworkLink:
         *,
         mbps: int = 1_100,  # 10 GbE payload rate after framing
         propagation_ns: int = 2_500,  # wire + switch + NIC DMA
-        faults=None,
+        faults: "Optional[FaultPlan]" = None,
     ) -> None:
         if mbps <= 0 or propagation_ns < 0:
             raise ValueError("link parameters must be positive")
@@ -39,7 +42,7 @@ class NetworkLink:
         self._faults = faults.injector("net") if faults is not None else None
         self.reconnects = 0
         self.drops = 0
-        self._outages_hit: set = set()
+        self._outages_hit: Set[int] = set()
         if self._faults is not None:
             registry = sim.obs.registry
             self._m_reconnects = registry.counter(

@@ -26,12 +26,17 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.host.accounting import CpuAccounting, ExecMode
 from repro.host.costs import DEFAULT_COSTS, SoftwareCosts, StepCost
 from repro.net.link import NetworkLink
 from repro.sim.engine import Simulator
+from repro.sim.events import Event, Timeout
 from repro.ssd.device import IoOp, SsdDevice
+
+if TYPE_CHECKING:
+    from repro.faults.plan import FaultPlan
 
 #: NBD protocol request/response header size.
 NBD_HEADER_BYTES = 28
@@ -87,11 +92,11 @@ class NbdSystem:
         device: SsdDevice,
         *,
         server: NbdServerKind,
-        link: NetworkLink = None,
-        client_costs: SoftwareCosts = None,
-        server_costs: NbdServerCosts = None,
-        accounting: CpuAccounting = None,
-        faults=None,
+        link: Optional[NetworkLink] = None,
+        client_costs: Optional[SoftwareCosts] = None,
+        server_costs: Optional[NbdServerCosts] = None,
+        accounting: Optional[CpuAccounting] = None,
+        faults: "Optional[FaultPlan]" = None,
     ) -> None:
         self.sim = sim
         self.device = device
@@ -103,14 +108,18 @@ class NbdSystem:
         self.requests = 0
 
     # ------------------------------------------------------------------
-    def _charge_and_wait(self, step: StepCost, mode, module, function):
+    def _charge_and_wait(
+        self, step: StepCost, mode: ExecMode, module: str, function: str
+    ) -> Timeout:
         self.accounting.charge(
             step.ns, mode, module, function, loads=step.loads, stores=step.stores
         )
         return self.sim.timeout(step.ns)
 
     # ------------------------------------------------------------------
-    def sync_io(self, op: IoOp, offset: int, nbytes: int):
+    def sync_io(
+        self, op: IoOp, offset: int, nbytes: int
+    ) -> Generator[Event, Any, int]:
         """Process: one block I/O across the network.  Returns latency."""
         costs = self.costs
         started = self.sim.now
@@ -150,13 +159,17 @@ class NbdSystem:
         return self.sim.now - started
 
     # ------------------------------------------------------------------
-    def _server_side(self, op: IoOp, offset: int, nbytes: int):
+    def _server_side(
+        self, op: IoOp, offset: int, nbytes: int
+    ) -> Generator[Event, Any, None]:
         if self.server is NbdServerKind.KERNEL:
             yield from self._kernel_server(op, offset, nbytes)
         else:
             yield from self._spdk_server(op, offset, nbytes)
 
-    def _kernel_server(self, op: IoOp, offset: int, nbytes: int):
+    def _kernel_server(
+        self, op: IoOp, offset: int, nbytes: int
+    ) -> Generator[Event, Any, None]:
         sc = self.server_costs
         if op is IoOp.READ:
             yield self._charge_and_wait(
@@ -185,7 +198,9 @@ class NbdSystem:
                 sc.kernel_write_reply, ExecMode.KERNEL, "nbd-server", "tcp_send"
             )
 
-    def _spdk_server(self, op: IoOp, offset: int, nbytes: int):
+    def _spdk_server(
+        self, op: IoOp, offset: int, nbytes: int
+    ) -> Generator[Event, Any, None]:
         sc = self.server_costs
         yield self._charge_and_wait(
             sc.spdk_poll_dispatch, ExecMode.USER, "spdk-nbd", "reactor_poll"

@@ -14,13 +14,18 @@ them on top of the ``cqe_event`` each submission exposes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.nvme.command import NvmeCommand, Opcode, StatusCode
 from repro.nvme.queue import CompletionQueue, QueueFull, SubmissionQueue
 from repro.sim.engine import Simulator
 from repro.sim.events import Event
 from repro.ssd.device import IoOp, SsdDevice
+
+if TYPE_CHECKING:
+    from repro.faults.injector import FaultInjector
+    from repro.faults.plan import FaultPlan
+    from repro.obs.tracer import IoTrace
 
 _OPCODE_OF = {IoOp.READ: Opcode.READ, IoOp.WRITE: Opcode.WRITE, IoOp.TRIM: Opcode.DSM}
 _OP_OF = {opcode: op for op, opcode in _OPCODE_OF.items()}
@@ -61,7 +66,7 @@ class NvmeQueuePair:
         depth: int = 1024,
         timings: Optional[NvmeTimings] = None,
         interrupts_enabled: bool = True,
-        fault_injector=None,
+        fault_injector: "Optional[FaultInjector]" = None,
         index: int = 0,
     ) -> None:
         self.sim = sim
@@ -119,7 +124,8 @@ class NvmeQueuePair:
 
     # ------------------------------------------------------------------
     def submit(
-        self, op: IoOp, offset: int, nbytes: int, *, trace=None
+        self, op: IoOp, offset: int, nbytes: int, *,
+        trace: "Optional[IoTrace]" = None,
     ) -> PendingCommand:
         """Build an SQE, ring the doorbell, return the pending command."""
         if self.sq.is_full:
@@ -276,12 +282,12 @@ class NvmeController:
         device: SsdDevice,
         *,
         timings: Optional[NvmeTimings] = None,
-        faults=None,
+        faults: "Optional[FaultPlan]" = None,
     ) -> None:
         self.sim = sim
         self.device = device
         self.timings = timings or NvmeTimings()
-        self.faults = faults  # repro.faults.FaultPlan or None
+        self.faults = faults
         self.queue_pairs: List[NvmeQueuePair] = []
 
     def create_queue_pair(

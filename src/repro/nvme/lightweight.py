@@ -20,7 +20,7 @@ on it unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.nvme.command import NvmeCommand, Opcode
 from repro.nvme.controller import PendingCommand
@@ -28,6 +28,9 @@ from repro.nvme.queue import QueueFull
 from repro.sim.engine import Simulator
 from repro.sim.events import Event
 from repro.ssd.device import IoOp, SsdDevice
+
+if TYPE_CHECKING:
+    from repro.obs.tracer import IoTrace
 
 
 @dataclass(frozen=True)
@@ -64,7 +67,7 @@ class LightQueuePair:
         self.interrupts_enabled = interrupts_enabled
         self._pending: Dict[int, PendingCommand] = {}
         self._free_slots: List[int] = list(range(self.DEPTH))
-        self._msi_handlers = []
+        self._msi_handlers: List[Callable[[PendingCommand], None]] = []
         self.submitted = 0
         self.completed = 0
         registry = sim.obs.registry
@@ -83,12 +86,13 @@ class LightQueuePair:
     def outstanding(self) -> int:
         return len(self._pending)
 
-    def on_msi(self, handler) -> None:
+    def on_msi(self, handler: Callable[[PendingCommand], None]) -> None:
         self._msi_handlers.append(handler)
 
     # ------------------------------------------------------------------
     def submit(
-        self, op: IoOp, offset: int, nbytes: int, *, trace=None
+        self, op: IoOp, offset: int, nbytes: int, *,
+        trace: "Optional[IoTrace]" = None,
     ) -> PendingCommand:
         """Latch a command into a free register slot."""
         if not self._free_slots:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional
 
-from repro.nvme.command import CompletionEntry, NvmeCommand
+from repro.nvme.command import CompletionEntry, NvmeCommand, StatusCode
 
 
 class QueueFull(Exception):
@@ -90,7 +90,7 @@ class CompletionQueue:
         self._host_phase = 1
         self.head_doorbell = Doorbell()
 
-    def post(self, cid: int, sq_head: int, status) -> CompletionEntry:
+    def post(self, cid: int, sq_head: int, status: StatusCode) -> CompletionEntry:
         """Device: append a completion entry with the current phase."""
         entry = CompletionEntry(
             cid=cid, sq_head=sq_head, status=status, phase=self._device_phase

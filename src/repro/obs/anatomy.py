@@ -12,9 +12,12 @@ so the per-name totals sum to the total end-to-end latency exactly
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Set, Tuple
 
 from repro.obs.tracer import sort_span_names
+
+if TYPE_CHECKING:
+    from repro.obs.tracer import SpanTracer
 
 
 @dataclass(frozen=True)
@@ -40,7 +43,9 @@ class AnatomyReport:
 
     # ------------------------------------------------------------------
     @classmethod
-    def from_tracer(cls, tracer, op: Optional[str] = None) -> "AnatomyReport":
+    def from_tracer(
+        cls, tracer: "SpanTracer", op: Optional[str] = None
+    ) -> "AnatomyReport":
         """Aggregate ``tracer``'s finished I/Os (optionally one direction).
 
         ``op`` filters on the I/O's operation string (``"read"``,
@@ -55,7 +60,7 @@ class AnatomyReport:
                 continue
             io_count += 1
             total_latency += trace.latency_ns
-            seen = set()
+            seen: Set[str] = set()
             for span in trace.phases():
                 totals[span.name] = totals.get(span.name, 0) + span.duration_ns
                 if span.name not in seen:
@@ -127,7 +132,7 @@ class AnatomyReport:
         return "\n".join(lines)
 
 
-def verify_conservation(tracer) -> int:
+def verify_conservation(tracer: "SpanTracer") -> int:
     """Check every finished I/O individually; returns the I/O count.
 
     Stricter than :meth:`AnatomyReport.check_conservation` (which only

@@ -17,11 +17,14 @@ uninstrumented runs pay nothing and stay bit-identical.
 from __future__ import annotations
 
 import functools
-from typing import List
+from typing import TYPE_CHECKING, Any, Callable, List, Union
 
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, SpanTracer
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry, TelemetryConfig
+
+if TYPE_CHECKING:
+    from repro.sim.engine import Simulator
 
 
 class Observability:
@@ -33,7 +36,7 @@ class Observability:
         *,
         tracing: bool = True,
         metrics: bool = True,
-        telemetry=None,
+        telemetry: Union[bool, Telemetry, TelemetryConfig, None] = None,
     ) -> None:
         self.tracer = SpanTracer() if tracing else NULL_TRACER
         self.registry = MetricsRegistry() if metrics else NULL_REGISTRY
@@ -57,7 +60,7 @@ class Observability:
         )
 
     # ------------------------------------------------------------------
-    def attach(self, sim) -> None:
+    def attach(self, sim: "Simulator") -> None:
         """Called by each :class:`Simulator` binding itself to this bundle."""
         self.tracer.new_sim()
         self.telemetry.new_sim()
@@ -88,7 +91,7 @@ class Observability:
     def __enter__(self) -> "Observability":
         return self.install()
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.uninstall()
 
 
@@ -100,7 +103,7 @@ class _NullObservability:
     telemetry = NULL_TELEMETRY
     enabled = False
 
-    def attach(self, sim) -> None:
+    def attach(self, sim: "Simulator") -> None:
         pass
 
 
@@ -109,12 +112,12 @@ NULL_OBS = _NullObservability()
 _INSTALLED: List[Observability] = []
 
 
-def current_obs():
+def current_obs() -> Union[Observability, _NullObservability]:
     """The innermost installed bundle, or the no-op default."""
     return _INSTALLED[-1] if _INSTALLED else NULL_OBS
 
 
-def obs_aware_cache(fn):
+def obs_aware_cache(fn: Callable[..., Any]) -> Callable[..., Any]:
     """``lru_cache(maxsize=None)`` that steps aside while observability
     is installed.
 
@@ -127,7 +130,7 @@ def obs_aware_cache(fn):
     cached = functools.lru_cache(maxsize=None)(fn)
 
     @functools.wraps(fn)
-    def wrapper(*args, **kwargs):
+    def wrapper(*args: Any, **kwargs: Any) -> Any:
         if current_obs().enabled:
             return fn(*args, **kwargs)
         return cached(*args, **kwargs)

@@ -16,19 +16,29 @@ tracks (per-die GC, flush programs) get their own named threads.
 
 from __future__ import annotations
 
+import contextlib
 import csv
 import io
 import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple, Union
+
+if TYPE_CHECKING:
+    from repro.obs.registry import MetricsRegistry, NullRegistry
+    from repro.obs.telemetry import NullTelemetry, Telemetry
+    from repro.obs.tracer import IoTrace, NullTracer, SpanTracer
+
+    AnyTracer = Union[SpanTracer, NullTracer]
+    AnyTelemetry = Union[Telemetry, NullTelemetry]
+    AnyRegistry = Union[MetricsRegistry, NullRegistry]
 
 #: Thread-id base for background tracks, above any plausible lane count.
 _TRACK_TID_BASE = 1000
 
 
-def atomic_write_text(path, text: str) -> Path:
+def atomic_write_text(path: Union[str, Path], text: str) -> Path:
     """Write ``text`` to ``path`` atomically, creating parent dirs.
 
     Every observability artifact goes through here: the temp file lands
@@ -51,15 +61,13 @@ def atomic_write_text(path, text: str) -> Path:
         os.chmod(tmp_name, 0o666 & ~umask)
         os.replace(tmp_name, path)
     except BaseException:
-        try:
+        with contextlib.suppress(OSError):
             os.unlink(tmp_name)
-        except OSError:
-            pass
         raise
     return path
 
 
-def _assign_lanes(traces) -> Dict[int, int]:
+def _assign_lanes(traces: "Iterable[IoTrace]") -> Dict[int, int]:
     """Pack I/O traces onto lanes; returns ``{io_id: lane}``.
 
     Greedy interval partitioning over ``(start, end)`` — deterministic
@@ -79,7 +87,7 @@ def _assign_lanes(traces) -> Dict[int, int]:
     return assignment
 
 
-def telemetry_counter_events(telemetry) -> List[dict]:
+def telemetry_counter_events(telemetry: "Optional[AnyTelemetry]") -> List[dict]:
     """Chrome counter ("C" phase) events for every telemetry sample.
 
     Each series becomes one counter track per pid; Perfetto renders the
@@ -105,7 +113,9 @@ def telemetry_counter_events(telemetry) -> List[dict]:
     return events
 
 
-def chrome_trace_events(tracer, telemetry=None) -> List[dict]:
+def chrome_trace_events(
+    tracer: "AnyTracer", telemetry: "Optional[AnyTelemetry]" = None
+) -> List[dict]:
     """The ``traceEvents`` list for ``tracer``'s finished spans.
 
     When a live ``telemetry`` recorder is passed, its samples are
@@ -198,7 +208,9 @@ def chrome_trace_events(tracer, telemetry=None) -> List[dict]:
     return metadata + events + telemetry_counter_events(telemetry)
 
 
-def to_chrome_trace(tracer, telemetry=None) -> dict:
+def to_chrome_trace(
+    tracer: "AnyTracer", telemetry: "Optional[AnyTelemetry]" = None
+) -> dict:
     """The full JSON-object-format document."""
     return {
         "traceEvents": chrome_trace_events(tracer, telemetry),
@@ -207,7 +219,9 @@ def to_chrome_trace(tracer, telemetry=None) -> dict:
     }
 
 
-def write_chrome_trace(tracer, path: str, telemetry=None) -> int:
+def write_chrome_trace(
+    tracer: "AnyTracer", path: str, telemetry: "Optional[AnyTelemetry]" = None
+) -> int:
     """Serialize to ``path``; returns the number of events written."""
     document = to_chrome_trace(tracer, telemetry)
     atomic_write_text(path, json.dumps(document))
@@ -217,12 +231,12 @@ def write_chrome_trace(tracer, path: str, telemetry=None) -> int:
 # ----------------------------------------------------------------------
 # Metrics dumps
 # ----------------------------------------------------------------------
-def metrics_to_text(registry, now_ns=None) -> str:
+def metrics_to_text(registry: "AnyRegistry", now_ns: Optional[int] = None) -> str:
     """Aligned human-readable table, one instrument per line."""
     rows = registry.snapshot(now_ns)
     if not rows:
         return "(no metrics registered)"
-    lines = []
+    lines: List[str] = []
     name_width = max(len(row["name"]) for row in rows)
     for row in rows:
         if row["kind"] == "counter":
@@ -260,7 +274,7 @@ _CSV_FIELDS = (
 )
 
 
-def metrics_to_csv(registry, now_ns=None) -> str:
+def metrics_to_csv(registry: "AnyRegistry", now_ns: Optional[int] = None) -> str:
     """Machine-readable dump: one row per instrument, fixed columns."""
     buffer = io.StringIO()
     writer = csv.DictWriter(buffer, fieldnames=_CSV_FIELDS, restval="")
@@ -270,7 +284,9 @@ def metrics_to_csv(registry, now_ns=None) -> str:
     return buffer.getvalue()
 
 
-def write_metrics_csv(registry, path: str, now_ns=None) -> None:
+def write_metrics_csv(
+    registry: "AnyRegistry", path: str, now_ns: Optional[int] = None
+) -> None:
     atomic_write_text(path, metrics_to_csv(registry, now_ns))
 
 
@@ -280,7 +296,7 @@ def write_metrics_csv(registry, path: str, now_ns=None) -> None:
 _TELEMETRY_CSV_FIELDS = ("pid", "series", "kind", "unit", "t_ns", "value")
 
 
-def telemetry_to_csv(telemetry) -> str:
+def telemetry_to_csv(telemetry: "AnyTelemetry") -> str:
     """Long-format dump: one row per retained sample, (pid, series)-ordered.
 
     The row order and float formatting are deterministic, so serial and
@@ -305,14 +321,14 @@ def telemetry_to_csv(telemetry) -> str:
     return buffer.getvalue()
 
 
-def write_telemetry_csv(telemetry, path: str) -> None:
+def write_telemetry_csv(telemetry: "AnyTelemetry", path: str) -> None:
     atomic_write_text(path, telemetry_to_csv(telemetry))
 
 
-def telemetry_to_text(telemetry) -> str:
+def telemetry_to_text(telemetry: "AnyTelemetry") -> str:
     """Aligned digest summary, one series per line (all samples ever
     taken, including those evicted from the ring)."""
-    rows = []
+    rows: List[tuple] = []
     for series in telemetry:
         digest = series.digest()
         onset = series.first_active_ns()

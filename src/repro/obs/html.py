@@ -14,9 +14,15 @@ from __future__ import annotations
 import html as _html
 import json
 import math
-from typing import List, Tuple
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, List, Tuple, Union
 
 from repro.obs.export import atomic_write_text
+
+if TYPE_CHECKING:
+    from repro.obs.telemetry import NullTelemetry, Telemetry, TimeSeries
+
+    AnyTelemetry = Union[Telemetry, NullTelemetry]
 
 # Chart geometry (px).
 _WIDTH = 680
@@ -225,8 +231,8 @@ def _fmt_tick(value: float) -> str:
 def _step_paths(
     samples: List[Tuple[float, float]],
     period_ms: float,
-    xpx,
-    ypx,
+    xpx: Callable[[float], float],
+    ypx: Callable[[float], float],
 ) -> List[str]:
     """Step-after subpaths, broken at unobserved gaps between buckets."""
     paths: List[str] = []
@@ -249,7 +255,7 @@ def _step_paths(
     return paths
 
 
-def _chart_card(series) -> str:
+def _chart_card(series: "TimeSeries") -> str:
     samples = [
         (t_ns / 1e6, value) for t_ns, value in series.samples()
     ]
@@ -348,7 +354,9 @@ def _chart_card(series) -> str:
 </div>"""
 
 
-def telemetry_report_html(telemetry, title: str = "Telemetry timeline") -> str:
+def telemetry_report_html(
+    telemetry: "AnyTelemetry", title: str = "Telemetry timeline"
+) -> str:
     """Render the full report document as a string."""
     cards = [_chart_card(series) for series in telemetry]
     if cards:
@@ -379,6 +387,10 @@ def telemetry_report_html(telemetry, title: str = "Telemetry timeline") -> str:
 """
 
 
-def write_telemetry_html(telemetry, path, title: str = "Telemetry timeline"):
+def write_telemetry_html(
+    telemetry: "AnyTelemetry",
+    path: Union[str, Path],
+    title: str = "Telemetry timeline",
+) -> Path:
     """Write the report atomically; returns the path."""
     return atomic_write_text(path, telemetry_report_html(telemetry, title))

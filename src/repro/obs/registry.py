@@ -14,7 +14,7 @@ carried in the instrument's ``unit`` field (``ns``, ``us``, ``units``,
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 
 class Counter:
@@ -124,13 +124,16 @@ class Histogram:
                 return (low + high) / 2.0
         return float(self.max or 0.0)
 
-    def buckets(self) -> List:
+    def buckets(self) -> List[Tuple[float, int]]:
         """``(upper_bound, count)`` pairs, ascending."""
         return [
             (2.0 ** exponent, self._buckets[exponent])
             for exponent in sorted(self._buckets)
         ]
 
+
+#: Any concrete instrument (the registry is heterogeneous by design).
+Metric = Union[Counter, Gauge, Histogram]
 
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
 
@@ -141,10 +144,10 @@ class MetricsRegistry:
     enabled = True
 
     def __init__(self) -> None:
-        self._metrics: "Dict[str, object]" = {}
+        self._metrics: Dict[str, Metric] = {}
 
     # ------------------------------------------------------------------
-    def _get_or_create(self, kind: str, name: str, unit: str, help: str):
+    def _get_or_create(self, kind: str, name: str, unit: str, help: str) -> Metric:
         existing = self._metrics.get(name)
         if existing is not None:
             if existing.kind != kind:
@@ -157,21 +160,27 @@ class MetricsRegistry:
         return metric
 
     def counter(self, name: str, unit: str = "", help: str = "") -> Counter:
-        return self._get_or_create("counter", name, unit, help)
+        metric = self._get_or_create("counter", name, unit, help)
+        assert isinstance(metric, Counter)
+        return metric
 
     def gauge(self, name: str, unit: str = "", help: str = "") -> Gauge:
-        return self._get_or_create("gauge", name, unit, help)
+        metric = self._get_or_create("gauge", name, unit, help)
+        assert isinstance(metric, Gauge)
+        return metric
 
     def histogram(self, name: str, unit: str = "", help: str = "") -> Histogram:
-        return self._get_or_create("histogram", name, unit, help)
+        metric = self._get_or_create("histogram", name, unit, help)
+        assert isinstance(metric, Histogram)
+        return metric
 
-    def get(self, name: str):
+    def get(self, name: str) -> Metric:
         return self._metrics[name]
 
     def __contains__(self, name: str) -> bool:
         return name in self._metrics
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Metric]:
         return iter(self._metrics.values())
 
     def __len__(self) -> int:
@@ -195,14 +204,17 @@ class MetricsRegistry:
             mine = self._get_or_create(
                 metric.kind, metric.name, metric.unit, metric.help
             )
-            if metric.kind == "counter":
+            if isinstance(metric, Counter):
+                assert isinstance(mine, Counter)
                 mine.value += metric.value
-            elif metric.kind == "gauge":
+            elif isinstance(metric, Gauge):
+                assert isinstance(mine, Gauge)
                 mine._area += metric._area
                 mine._last_ns += metric._last_ns
                 mine.max_value = max(mine.max_value, metric.max_value)
                 mine.value = metric.value
             else:
+                assert isinstance(mine, Histogram)
                 mine.count += metric.count
                 mine.total += metric.total
                 if metric.min is not None:
@@ -221,12 +233,12 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     def snapshot(self, now_ns: Optional[int] = None) -> List[dict]:
         """One dict per instrument (the exporters' common substrate)."""
-        rows = []
+        rows: List[dict] = []
         for metric in self._metrics.values():
-            row = {"name": metric.name, "kind": metric.kind, "unit": metric.unit}
-            if metric.kind == "counter":
+            row: dict = {"name": metric.name, "kind": metric.kind, "unit": metric.unit}
+            if isinstance(metric, Counter):
                 row["value"] = metric.value
-            elif metric.kind == "gauge":
+            elif isinstance(metric, Gauge):
                 row["value"] = metric.value
                 row["max"] = metric.max_value
                 row["time_mean"] = metric.time_mean(now_ns)
@@ -295,7 +307,7 @@ class NullRegistry:
     def snapshot(self, now_ns: Optional[int] = None) -> List[dict]:
         return []
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Metric]:
         return iter(())
 
     def __len__(self) -> int:

@@ -40,7 +40,7 @@ clock at zero) never alias on the time axis.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 #: Default sampling period: 10 us resolves queue ramps and GC cycles on
 #: runs whose interesting dynamics play out over milliseconds.
@@ -470,7 +470,7 @@ class Telemetry:
     # ------------------------------------------------------------------
     def series(
         self, name: str, kind: str = "level", unit: str = "", *, scale: int = 1
-    ):
+    ) -> Union[TimeSeries, "_NullSeries"]:
         """Get-or-create the series ``name`` for the current sim."""
         if not self.config.wants(name):
             return NULL_SERIES
@@ -507,7 +507,7 @@ class Telemetry:
         """Distinct series names, sorted."""
         return sorted({name for _pid, name in self._series})
 
-    def __iter__(self) -> Iterable[TimeSeries]:
+    def __iter__(self) -> Iterator[TimeSeries]:
         """All series, ordered by (pid, name) — the export order."""
         return iter(
             series for _key, series in sorted(self._series.items())
@@ -591,7 +591,7 @@ class NullTelemetry:
     """The zero-cost default recorder."""
 
     enabled = False
-    config = None
+    config: Optional[TelemetryConfig] = None
 
     def new_sim(self) -> None:
         pass
@@ -604,7 +604,7 @@ class NullTelemetry:
     def names(self) -> List[str]:
         return []
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[TimeSeries]:
         return iter(())
 
     def __len__(self) -> int:

@@ -24,7 +24,7 @@ tracer (see :mod:`repro.obs.core`) and every layer reaches it through
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 #: Canonical ordering of span names for reports (unknown names follow,
 #: alphabetically).  Mirrors a request's journey down and back up.
@@ -86,7 +86,7 @@ class IoTrace:
         self,
         tracer: "SpanTracer",
         io_id: int,
-        op,
+        op: object,
         offset: int,
         nbytes: int,
         start_ns: int,
@@ -125,7 +125,7 @@ class IoTrace:
         at, _old = self._marks[-1]
         self._marks[-1] = (at, name)
 
-    def annotate(self, name: str, start_ns: int, end_ns: int, **args) -> None:
+    def annotate(self, name: str, start_ns: int, end_ns: int, **args: object) -> None:
         """Record a nested detail span (may overlap phases freely)."""
         self._nested.append(
             Span(
@@ -217,7 +217,7 @@ class SpanTracer:
         return max(1, self._pid)
 
     # ------------------------------------------------------------------
-    def begin_io(self, op, offset: int, nbytes: int, at: int) -> IoTrace:
+    def begin_io(self, op: object, offset: int, nbytes: int, at: int) -> IoTrace:
         """Open a trace context for one I/O starting at ``at``."""
         trace = IoTrace(
             self,
@@ -231,7 +231,9 @@ class SpanTracer:
         self._next_io_id += 1
         return trace
 
-    def span(self, track: str, name: str, start_ns: int, end_ns: int, **args) -> None:
+    def span(
+        self, track: str, name: str, start_ns: int, end_ns: int, **args: object
+    ) -> None:
         """Record a background span on a named device track (GC, flush)."""
         self.track_spans.append(
             Span(
@@ -299,7 +301,7 @@ class SpanTracer:
     def __len__(self) -> int:
         return len(self.finished_ios)
 
-    def __iter__(self) -> Iterable[IoTrace]:
+    def __iter__(self) -> Iterator[IoTrace]:
         return iter(self.finished_ios)
 
     def totals_by_name(self) -> Dict[str, int]:
@@ -324,21 +326,25 @@ class NullTracer:
     def new_sim(self) -> None:
         pass
 
-    def begin_io(self, op, offset, nbytes, at):
+    def begin_io(
+        self, op: object, offset: int, nbytes: int, at: int
+    ) -> Optional[IoTrace]:
         return None
 
-    def span(self, track, name, start_ns, end_ns, **args) -> None:
+    def span(
+        self, track: str, name: str, start_ns: int, end_ns: int, **args: object
+    ) -> None:
         pass
 
     def __len__(self) -> int:
         return 0
 
     @property
-    def finished_ios(self):
+    def finished_ios(self) -> Tuple[IoTrace, ...]:
         return ()
 
     @property
-    def track_spans(self):
+    def track_spans(self) -> Tuple[Span, ...]:
         return ()
 
 

@@ -21,7 +21,7 @@ import platform
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Any, ContextManager, Dict, List, Optional, Tuple, Union
 
 from repro.obs.export import atomic_write_text
 
@@ -100,7 +100,7 @@ class PerfSession:
     the same figure accumulate.
     """
 
-    def __init__(self, engine=None) -> None:
+    def __init__(self, engine: Any = None) -> None:
         if engine is None:
             from repro.core import sweep
 
@@ -118,7 +118,9 @@ class PerfSession:
             self.engine.stats.snapshot(),
         )
 
-    def lap(self, figure_id: str, mark: Tuple[float, int, dict]):
+    def lap(
+        self, figure_id: str, mark: Tuple[float, int, dict]
+    ) -> Tuple[float, int, dict]:
         """Close the window opened by ``mark`` and book it to ``figure_id``;
         returns a fresh mark for the next window."""
         now = self.mark()
@@ -146,23 +148,23 @@ class PerfSession:
         return now
 
     # -- context-manager form -------------------------------------------
-    def measure(self, figure_id: str):
+    def measure(self, figure_id: str) -> "ContextManager[PerfSession]":
         session = self
 
         class _Measure:
-            def __enter__(self):
+            def __enter__(self) -> "PerfSession":
                 self._mark = session.mark()
                 return session
 
-            def __exit__(self, exc_type, exc, tb):
-                if exc_type is None:
+            def __exit__(self, *exc: object) -> bool:
+                if exc[0] is None:
                     session.lap(figure_id, self._mark)
                 return False
 
         return _Measure()
 
     # -- aggregation ----------------------------------------------------
-    def to_doc(self, date: Optional[str] = None, **meta) -> dict:
+    def to_doc(self, date: Optional[str] = None, **meta: Any) -> dict:
         return {
             "schema": SCHEMA,
             "date": date or time.strftime("%Y-%m-%d"),
@@ -181,7 +183,7 @@ def bench_filename(date: Optional[str] = None) -> str:
     return f"BENCH_{date or time.strftime('%Y%m%d')}.json"
 
 
-def write_bench(doc: dict, path=None) -> Path:
+def write_bench(doc: dict, path: Union[str, Path, None] = None) -> Path:
     """Write a bench document atomically; defaults to ``BENCH_<date>.json``
     in the current directory.  Returns the path written."""
     target = Path(path) if path is not None else Path(bench_filename())
@@ -189,7 +191,7 @@ def write_bench(doc: dict, path=None) -> Path:
     return target
 
 
-def load_bench(path) -> dict:
+def load_bench(path: Union[str, Path]) -> dict:
     with open(path) as handle:
         doc = json.load(handle)
     if doc.get("schema") != SCHEMA:

@@ -8,11 +8,15 @@ breaks ties), which makes simulations deterministic.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Iterator, Optional
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Optional
 
 from repro.obs.core import current_obs
+from repro.sim import sanitize
 from repro.sim.events import AnyOf, Event, Timeout
 from repro.sim.process import Process
+
+if TYPE_CHECKING:
+    from repro.obs.core import Observability
 
 #: Process-wide count of executed callbacks, across every simulator ever
 #: run in this process.  The perf harness reads deltas of this to report
@@ -31,10 +35,13 @@ class Simulator:
     CLI's ``--trace-out`` installed a recording one.
     """
 
-    def __init__(self, obs=None) -> None:
+    def __init__(self, obs: "Optional[Observability]" = None) -> None:
         self.now: int = 0
         self._queue: list = []
         self._seq: int = 0
+        #: Sampled at construction so one test can run sanitized next to
+        #: an unsanitized neighbour (see :mod:`repro.sim.sanitize`).
+        self.sanitize: bool = sanitize.enabled()
         self.obs = obs if obs is not None else current_obs()
         self.obs.attach(self)
 
@@ -63,7 +70,7 @@ class Simulator:
         """Create an event that fires ``delay`` ns from now."""
         return Timeout(self, int(delay), value)
 
-    def any_of(self, events) -> AnyOf:
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
         """Create an event that fires when the first of ``events`` fires."""
         return AnyOf(self, events)
 
@@ -85,6 +92,8 @@ class Simulator:
         if not self._queue:
             return False
         when, _seq, callback, args = heapq.heappop(self._queue)
+        if self.sanitize:
+            sanitize.check_clock(self.now, when)
         self.now = when
         events_executed_total += 1
         callback(*args)

@@ -8,7 +8,9 @@ yields an event is resumed through such a callback.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Iterable, List, Optional
+
+from repro.sim import sanitize
 
 
 class Event:
@@ -115,11 +117,14 @@ class AnyOf(Event):
 
     __slots__ = ()
 
-    def __init__(self, sim: "Simulator", events) -> None:  # noqa: F821
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:  # noqa: F821
         super().__init__(sim)
         events = list(events)
         if not events:
             raise ValueError("AnyOf requires at least one event")
+        if getattr(sim, "sanitize", False):
+            for event in events:
+                sanitize.check_owner(sim, event, "race (AnyOf)")
         for event in events:
             event.add_callback(self._on_child)
 

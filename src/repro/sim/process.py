@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Iterator
 
+from repro.sim import sanitize
 from repro.sim.events import Event
 
 
@@ -87,6 +88,8 @@ class Process(Event):
                 TypeError(f"process yielded a non-event: {target!r}")
             )
             return
+        if getattr(self.sim, "sanitize", False):
+            sanitize.check_owner(self.sim, target, "wait (process yield)")
         self._waiting_on = target
         if target.triggered:
             # Flatten recursion: a ready event resumes us on the next

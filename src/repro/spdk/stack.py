@@ -14,15 +14,20 @@ order of magnitude more loads/stores than the kernel's poll (Fig. 21).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Any, Generator, List, Optional, Tuple
 
 from repro.host.accounting import CpuAccounting, ExecMode
-from repro.host.costs import DEFAULT_COSTS, SoftwareCosts
+from repro.host.costs import DEFAULT_COSTS, SoftwareCosts, StepCost
 from repro.nvme.controller import NvmeController, NvmeTimings, PendingCommand
 from repro.sim.engine import Simulator
+from repro.sim.events import Event, Timeout
 from repro.spdk.hugepage import HugePageAllocator
 from repro.spdk.uio import UioBinding
 from repro.ssd.device import IoOp, SsdDevice
+
+if TYPE_CHECKING:
+    from repro.faults.plan import FaultPlan
+    from repro.obs.tracer import IoTrace
 
 
 class SpdkStack:
@@ -38,7 +43,7 @@ class SpdkStack:
         queue_depth: int = 1024,
         nvme_timings: Optional[NvmeTimings] = None,
         hugepages: int = 512,
-        faults=None,
+        faults: "Optional[FaultPlan]" = None,
     ) -> None:
         self.sim = sim
         self.device = device
@@ -68,10 +73,10 @@ class SpdkStack:
         )
         #: When set to a list, sync_io appends per-I/O stage timestamps
         #: ``(start, submitted, cqe, done)`` — the latency-anatomy probe.
-        self.stage_log = None
+        self.stage_log: Optional[List[Tuple[int, int, Optional[int], int]]] = None
 
     # ------------------------------------------------------------------
-    def _charge_and_wait(self, step, function: str):
+    def _charge_and_wait(self, step: StepCost, function: str) -> Timeout:
         self.accounting.charge(
             step.ns,
             ExecMode.USER,
@@ -83,7 +88,9 @@ class SpdkStack:
         return self.sim.timeout(step.ns)
 
     # ------------------------------------------------------------------
-    def sync_io(self, op: IoOp, offset: int, nbytes: int):
+    def sync_io(
+        self, op: IoOp, offset: int, nbytes: int
+    ) -> Generator[Event, Any, int]:
         """Process: one QD-1 I/O through the SPDK fast path.
 
         Returns the application-observed latency in nanoseconds.
@@ -116,7 +123,7 @@ class SpdkStack:
         return self.sim.now - started
 
     def submit_async(
-        self, op: IoOp, offset: int, nbytes: int, *, trace=None
+        self, op: IoOp, offset: int, nbytes: int, *, trace: "Optional[IoTrace]" = None
     ) -> PendingCommand:
         """Queue an I/O without waiting (SPDK is natively asynchronous)."""
         costs = self.costs
@@ -131,7 +138,9 @@ class SpdkStack:
         return self.qpair.submit(op, offset, nbytes, trace=trace)
 
     # ------------------------------------------------------------------
-    def _process_completions(self, pending: PendingCommand):
+    def _process_completions(
+        self, pending: PendingCommand
+    ) -> Generator[Event, Any, None]:
         """Spin in the user-space completion loop until the CQE lands."""
         costs = self.costs
         started = self.sim.now

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, Any, Generator, List, Optional, Tuple
 
 import numpy as np
 
@@ -36,6 +36,11 @@ from repro.ssd.cache import ReadCache, WriteBuffer
 from repro.ssd.channels import ChannelArray
 from repro.ssd.config import UNIT_SIZE, SsdConfig
 from repro.ssd.power import PowerMeter
+
+if TYPE_CHECKING:
+    from repro.faults.plan import FaultPlan
+    from repro.obs.tracer import IoTrace
+    from repro.sim.events import Event
 
 
 @dataclass
@@ -74,7 +79,12 @@ class SsdController:
     """Wires FTL, flash array, caches, channels, and power together."""
 
     def __init__(
-        self, sim: Simulator, config: SsdConfig, *, seed: int = 42, faults=None
+        self,
+        sim: Simulator,
+        config: SsdConfig,
+        *,
+        seed: int = 42,
+        faults: "Optional[FaultPlan]" = None,
     ) -> None:
         self.sim = sim
         self.config = config
@@ -102,11 +112,17 @@ class SsdController:
                 "ssd.channels.busy", "busy", unit="frac", scale=config.channels
             )
 
-            def die_observer(kind, start, end, _power=self.power.observe_op):
+            def die_observer(
+                kind: str, start: int, end: int,
+                _power: Any = self.power.observe_op,
+            ) -> None:
                 _power(kind, start, end)
                 t_die_busy.add_interval(start, end)
 
-            def channel_observer(start, end, _power=self.power.observe_transfer):
+            def channel_observer(
+                start: int, end: int,
+                _power: Any = self.power.observe_transfer,
+            ) -> None:
                 _power(start, end)
                 t_chan_busy.add_interval(start, end)
 
@@ -203,7 +219,7 @@ class SsdController:
     # Read datapath (analytic: books timeline reservations, returns the
     # unit's device-internal completion time)
     # ------------------------------------------------------------------
-    def read_unit(self, lpn: int, *, trace=None) -> int:
+    def read_unit(self, lpn: int, *, trace: "Optional[IoTrace]" = None) -> int:
         """Serve one mapping unit; returns its device-done timestamp."""
         config = self.config
         map_delay = self._map_lookup_delay(lpn)
@@ -231,7 +247,9 @@ class SsdController:
         self._m_map_misses.inc()
         return config.map_fetch_ns
 
-    def _serve_read(self, lpn: int, start: int, trace=None) -> int:
+    def _serve_read(
+        self, lpn: int, start: int, trace: "Optional[IoTrace]" = None
+    ) -> int:
         config = self.config
         if self.write_buffer.contains(lpn):
             self.stats.buffer_read_hits += 1
@@ -255,7 +273,9 @@ class SsdController:
             return start + config.dram_hit_ns
         return self._flash_read(lpn, ppa, start, trace)
 
-    def _flash_read(self, lpn: int, ppa: int, start: int, trace=None) -> int:
+    def _flash_read(
+        self, lpn: int, ppa: int, start: int, trace: "Optional[IoTrace]" = None
+    ) -> int:
         die_index = self.layout.die_of_page(ppa)
         die = self.dies[die_index]
         suspends_before = die.suspends
@@ -324,7 +344,7 @@ class SsdController:
     def _roll(self, prob: float) -> bool:
         return prob > 0.0 and self._rng.random() < prob
 
-    def _program_page(self, die_index: int, not_before: int):
+    def _program_page(self, die_index: int, not_before: int) -> Tuple[int, int]:
         """Book one program op, injecting program failures when live.
 
         A failed program burns its full tPROG before the fail status is
@@ -383,7 +403,9 @@ class SsdController:
     # ------------------------------------------------------------------
     # Write datapath (process: may stall on a full buffer)
     # ------------------------------------------------------------------
-    def write_unit(self, lpn: int, trace=None):
+    def write_unit(
+        self, lpn: int, trace: "Optional[IoTrace]" = None
+    ) -> "Generator[Event, Any, None]":
         """Process: admit one unit into the write buffer."""
         wait_from = self.sim.now
         yield self.write_buffer.reserve()
@@ -400,7 +422,7 @@ class SsdController:
     # ------------------------------------------------------------------
     # Background flush workers (one per die)
     # ------------------------------------------------------------------
-    def _batcher(self):
+    def _batcher(self) -> "Generator[Event, Any, None]":
         """Process: gather buffered units into program-sized batches.
 
         One shared stage between the buffer and the die workers, so
@@ -434,7 +456,7 @@ class SsdController:
                     batch.append(ready.value)
             self._batches.put(batch)
 
-    def _flush_worker(self, die_index: int):
+    def _flush_worker(self, die_index: int) -> "Generator[Event, Any, None]":
         config = self.config
         buffer = self.write_buffer
         while True:
@@ -512,7 +534,9 @@ class SsdController:
             self._m_buffer_occ.set(buffer.occupancy, self.sim.now)
             self._t_buffer_occ.record(self.sim.now, buffer.occupancy)
 
-    def _collect_one_block(self, die_index: int):
+    def _collect_one_block(
+        self, die_index: int
+    ) -> "Generator[Event, Any, bool]":
         """Process: one GC cycle on ``die_index``.  Returns True if a
         block was reclaimed."""
         plan: Optional[GcPlan] = self.ftl.plan_gc(die_index)
@@ -578,7 +602,9 @@ class SsdController:
             )
         return True
 
-    def _program_migration(self, die_index: int, lpns: List[int], victim_block: int):
+    def _program_migration(
+        self, die_index: int, lpns: List[int], victim_block: int
+    ) -> "Generator[Event, Any, int]":
         """Process: one copyback program for a chunk of migrating pages.
 
         Pages the host overwrote between the GC read and this program are

@@ -12,12 +12,19 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, Any, Generator, List, Optional
 
 from repro.sim.engine import Simulator
 from repro.sim.events import Event
 from repro.ssd.config import UNIT_SIZE, SsdConfig
 from repro.ssd.controller import SsdController
+
+if TYPE_CHECKING:
+    from repro.faults.plan import FaultPlan
+    from repro.ftl.core import PageMappedFtl
+    from repro.obs.tracer import IoTrace
+    from repro.ssd.controller import ControllerStats
+    from repro.ssd.power import PowerMeter
 
 
 class IoOp(enum.Enum):
@@ -51,7 +58,12 @@ class SsdDevice:
     """A simulated SSD serving byte-addressed block requests."""
 
     def __init__(
-        self, sim: Simulator, config: SsdConfig, *, seed: int = 42, faults=None
+        self,
+        sim: Simulator,
+        config: SsdConfig,
+        *,
+        seed: int = 42,
+        faults: "Optional[FaultPlan]" = None,
     ) -> None:
         self.sim = sim
         self.config = config
@@ -70,20 +82,20 @@ class SsdDevice:
         return self.controller.ftl.logical_pages
 
     @property
-    def stats(self):
+    def stats(self) -> "ControllerStats":
         return self.controller.stats
 
     @property
-    def power(self):
+    def power(self) -> "PowerMeter":
         return self.controller.power
 
     @property
-    def ftl(self):
+    def ftl(self) -> "PageMappedFtl":
         return self.controller.ftl
 
     # ------------------------------------------------------------------
     def submit(
-        self, op: IoOp, offset: int, nbytes: int, *, trace=None
+        self, op: IoOp, offset: int, nbytes: int, *, trace: "Optional[IoTrace]" = None
     ) -> DeviceRequest:
         """Issue a request; ``request.done`` fires at device completion."""
         lpns = self._lpns_of(offset, nbytes)
@@ -160,7 +172,9 @@ class SsdDevice:
         )
         self.sim.schedule_at(done_at, self._complete, request, done_at)
 
-    def _submit_read(self, request: DeviceRequest, trace=None) -> None:
+    def _submit_read(
+        self, request: DeviceRequest, trace: "Optional[IoTrace]" = None
+    ) -> None:
         controller = self.controller
         internal_done = max(
             controller.read_unit(lpn, trace=trace) for lpn in request.lpns
@@ -176,7 +190,9 @@ class SsdDevice:
             trace.phase("ctrl", dma_done)
         self.sim.schedule_at(done_at, self._complete, request, done_at)
 
-    def _write_flow(self, request: DeviceRequest, trace=None):
+    def _write_flow(
+        self, request: DeviceRequest, trace: "Optional[IoTrace]" = None
+    ) -> Generator[Event, Any, None]:
         config = self.config
         controller = self.controller
         yield self.sim.timeout(config.write_fw_ns)

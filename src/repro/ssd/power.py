@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 from repro.flash.chip import OpKind
 from repro.sim.engine import Simulator
-from repro.stats.timeseries import PowerIntegrator
+from repro.stats.timeseries import PowerIntegrator, TimeSeries
 
 
 @dataclass(frozen=True)
@@ -83,7 +83,7 @@ class PowerMeter:
         return self.integrator.average_watts(until_ns)
 
     @property
-    def series(self):
+    def series(self) -> TimeSeries:
         """Raw power-transition time series (for Fig. 8)."""
         return self.integrator.series
 

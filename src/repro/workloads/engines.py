@@ -10,7 +10,7 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.obs.registry import NULL_REGISTRY
 from repro.sim.engine import Simulator
@@ -21,6 +21,10 @@ from repro.stats.timeseries import TimeSeries
 from repro.workloads.job import FioJob
 from repro.workloads.patterns import AccessPattern
 from repro.workloads.trace import TraceRecorder
+
+if TYPE_CHECKING:
+    from repro.kstack.driver import DriverRequest
+    from repro.obs.core import Observability
 
 
 class MetricsCollector:
@@ -37,7 +41,7 @@ class MetricsCollector:
         *,
         capture_timeseries: bool = False,
         capture_trace: bool = False,
-        obs=None,
+        obs: "Optional[Observability]" = None,
     ) -> None:
         self.all = LatencyRecorder("all")
         self.reads = LatencyRecorder("reads")
@@ -91,7 +95,7 @@ class SyncJobEngine:
     def __init__(
         self,
         sim: Simulator,
-        stack,
+        stack: Any,
         job: FioJob,
         pattern: AccessPattern,
         metrics: MetricsCollector,
@@ -102,7 +106,7 @@ class SyncJobEngine:
         self.pattern = pattern
         self.metrics = metrics
 
-    def run(self):
+    def run(self) -> Generator[Event, Any, None]:
         """Process: issue every I/O back-to-back."""
         block_size = self.job.block_size
         for op, offset in self.pattern.take(self.job.io_count):
@@ -116,7 +120,7 @@ class AsyncJobEngine:
     def __init__(
         self,
         sim: Simulator,
-        stack,
+        stack: Any,
         job: FioJob,
         pattern: AccessPattern,
         metrics: MetricsCollector,
@@ -131,7 +135,7 @@ class AsyncJobEngine:
         self._slot_waiter: Optional[Event] = None
         self._drained: Optional[Event] = None
 
-    def run(self):
+    def run(self) -> Generator[Event, Any, None]:
         """Process: keep ``iodepth`` I/Os outstanding until done."""
         job = self.job
         for _ in range(job.io_count):
@@ -152,14 +156,18 @@ class AsyncJobEngine:
             yield self._drained
 
     # ------------------------------------------------------------------
-    def _on_cqe(self, request, issued_at: int, op: IoOp, offset: int) -> None:
+    def _on_cqe(
+        self, request: "DriverRequest", issued_at: int, op: IoOp, offset: int
+    ) -> None:
         trace = getattr(request.pending, "trace", None)
         if trace is not None:
             trace.phase("completion_isr", self.sim.now)
         delay = self.stack.async_completion_ns()
         self.sim.schedule(delay, self._finish, request, issued_at, op, offset)
 
-    def _finish(self, request, issued_at: int, op: IoOp, offset: int) -> None:
+    def _finish(
+        self, request: "DriverRequest", issued_at: int, op: IoOp, offset: int
+    ) -> None:
         self.stack.complete_async(request)
         trace = getattr(request.pending, "trace", None)
         if trace is not None:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Any, Iterable, List, Optional, Tuple
 
 from repro.host.accounting import CpuAccounting, ExecMode
 from repro.sim.engine import Simulator
@@ -13,6 +13,9 @@ from repro.workloads.trace import TraceRecorder
 from repro.workloads.engines import AsyncJobEngine, MetricsCollector, SyncJobEngine
 from repro.workloads.job import FioJob, IoEngineKind
 from repro.workloads.patterns import make_pattern
+
+if TYPE_CHECKING:
+    from repro.obs.anatomy import AnatomyReport
 
 
 @dataclass(frozen=True)
@@ -46,12 +49,12 @@ class JobResult:
             return 0.0
         return self.latency.count * 1e9 / self.duration_ns
 
-    def cpu_utilization(self, mode: ExecMode = None) -> float:
+    def cpu_utilization(self, mode: Optional[ExecMode] = None) -> float:
         if self.accounting is None:
             return 0.0
         return self.accounting.utilization(self.duration_ns, mode)
 
-    def anatomy(self, op: Optional[str] = None):
+    def anatomy(self, op: Optional[str] = None) -> "Optional[AnatomyReport]":
         """Latency-anatomy breakdown of the traced I/Os, or ``None``.
 
         Requires the job to have run with tracing enabled (an installed
@@ -65,7 +68,12 @@ class JobResult:
         return AnatomyReport.from_tracer(self.obs.tracer, op=op)
 
 
-def run_jobs(sim: Simulator, pairs, *, region_offset: int = 0):
+def run_jobs(
+    sim: Simulator,
+    pairs: Iterable[Tuple[Any, FioJob]],
+    *,
+    region_offset: int = 0,
+) -> List[JobResult]:
     """Run several (stack, job) pairs *concurrently* on one simulator.
 
     This is fio's ``numjobs`` semantics: every job hammers the same
@@ -73,7 +81,7 @@ def run_jobs(sim: Simulator, pairs, *, region_offset: int = 0):
     queue pair).  Returns one :class:`JobResult` per pair, in order.
     """
     obs = sim.obs if getattr(sim.obs, "enabled", False) else None
-    prepared = []
+    prepared: List[Tuple[Any, FioJob, MetricsCollector, Any]] = []
     for stack, job in pairs:
         device = stack.device
         region = job.region_bytes or (device.capacity_bytes - region_offset)
@@ -101,7 +109,7 @@ def run_jobs(sim: Simulator, pairs, *, region_offset: int = 0):
         sim.run_until_event(process)
         if not process.triggered:
             raise RuntimeError("concurrent job did not finish (deadlock?)")
-    results = []
+    results: List[JobResult] = []
     for stack, job, metrics, _engine in prepared:
         device = stack.device
         power = getattr(device, "power", None)
@@ -127,7 +135,7 @@ def run_jobs(sim: Simulator, pairs, *, region_offset: int = 0):
 
 def run_job(
     sim: Simulator,
-    stack,
+    stack: Any,
     job: FioJob,
     *,
     region_offset: int = 0,

@@ -9,9 +9,16 @@ left alone — figure tests share measurements through it, exactly as a
 single CLI invocation would.
 """
 
+from pathlib import Path
+
 import pytest
 
 from repro.core import sweep
+
+
+@pytest.fixture(scope="session")
+def repo_root() -> Path:
+    return Path(__file__).resolve().parent.parent
 
 
 @pytest.fixture(autouse=True)

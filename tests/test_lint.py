@@ -1,0 +1,433 @@
+"""simlint: per-rule fixtures, suppression semantics, output, exit codes.
+
+Every rule gets at least one firing fixture and one silent fixture, so a
+rule that stops matching (or starts over-matching) fails here before it
+ships.  Fixture code lives in string literals — the linter never sees
+this file's own AST tripping the rules it tests.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint.cli import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    run_check,
+    run_lint,
+)
+from repro.lint.engine import (
+    find_suppressions,
+    is_sim_layer_path,
+    lint_paths,
+    lint_source,
+    validate_select,
+)
+from repro.lint.rules import ENGINE_CODES, RULES, all_codes, rules_table
+
+
+def codes_of(result):
+    return [d.code for d in result.diagnostics]
+
+
+def lint_sim(source, **kwargs):
+    """Lint a fixture as if it lived in a simulation layer."""
+    return lint_source(source, "src/repro/ssd/fixture.py", **kwargs)
+
+
+def lint_plain(source, **kwargs):
+    """Lint a fixture as if it lived outside the sim layers."""
+    return lint_source(source, "src/repro/core/fixture.py", **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Registry / engine basics
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_rule_pack_is_complete(self):
+        assert sorted(RULES) == [f"SIM00{i}" for i in range(1, 7)]
+        assert sorted(ENGINE_CODES) == ["SIM000", "SIM007", "SIM008"]
+        assert all_codes() == [f"SIM00{i}" for i in range(9)]
+
+    def test_rules_table_covers_every_code(self):
+        table = dict(rules_table())
+        assert sorted(table) == all_codes()
+        assert all(table.values())
+
+    def test_validate_select_normalizes_and_rejects(self):
+        assert validate_select(["sim001", " SIM003 "]) == ["SIM001", "SIM003"]
+        with pytest.raises(ValueError, match="SIM999"):
+            validate_select(["SIM999"])
+
+    def test_syntax_error_is_sim000(self):
+        result = lint_plain("def broken(:\n")
+        assert codes_of(result) == ["SIM000"]
+        assert result.files_scanned == 1
+
+    def test_sim_layer_path_is_directory_based(self):
+        assert is_sim_layer_path("src/repro/ssd/controller.py")
+        assert is_sim_layer_path("src/repro/kstack/driver.py")
+        # A *file* named like a layer is not a layer.
+        assert not is_sim_layer_path("src/repro/core/ssd.py")
+        assert not is_sim_layer_path("tests/test_lint.py")
+
+    def test_diagnostics_sorted_by_location(self):
+        source = (
+            "import time\n"
+            "def late():\n"
+            "    return time.time()\n"
+            "def early(x=[]):\n"
+            "    return x\n"
+        )
+        result = lint_sim(source)
+        keys = [d.sort_key for d in result.diagnostics]
+        assert keys == sorted(keys)
+
+
+# ----------------------------------------------------------------------
+# SIM001 — wall-clock reads inside simulation layers
+# ----------------------------------------------------------------------
+class TestWallClock:
+    def test_fires_in_sim_layer(self):
+        result = lint_sim("import time\nnow = time.time()\n")
+        assert codes_of(result) == ["SIM001"]
+        assert "Simulator.now" in result.diagnostics[0].message
+
+    def test_fires_through_alias(self):
+        result = lint_sim("import time as t\nnow = t.perf_counter()\n")
+        assert codes_of(result) == ["SIM001"]
+
+    def test_fires_for_from_import(self):
+        result = lint_sim("from time import sleep\nsleep(1)\n")
+        assert codes_of(result) == ["SIM001"]
+
+    def test_silent_outside_sim_layers(self):
+        result = lint_plain("import time\nnow = time.time()\n")
+        assert codes_of(result) == []
+
+    def test_silent_for_unrelated_attribute(self):
+        # A local object that happens to have a .time() method.
+        result = lint_sim("clock = make()\nnow = clock.time()\n")
+        assert codes_of(result) == []
+
+
+# ----------------------------------------------------------------------
+# SIM002 — global-state RNG
+# ----------------------------------------------------------------------
+class TestGlobalRng:
+    def test_fires_for_random_module(self):
+        result = lint_plain("import random\nx = random.random()\n")
+        assert codes_of(result) == ["SIM002"]
+
+    def test_fires_for_numpy_global_seed(self):
+        result = lint_plain("import numpy as np\nnp.random.seed(0)\n")
+        assert codes_of(result) == ["SIM002"]
+
+    def test_silent_for_seeded_instances(self):
+        source = (
+            "import random\n"
+            "import numpy as np\n"
+            "rng = random.Random(7)\n"
+            "gen = np.random.default_rng(7)\n"
+            "x = rng.random()\n"
+            "y = gen.random()\n"
+        )
+        assert codes_of(lint_plain(source)) == []
+
+    def test_silent_for_shadowing_local(self):
+        # No import of `random`: the name is a local, not the module.
+        result = lint_plain("random = make_rng()\nx = random.random()\n")
+        assert codes_of(result) == []
+
+
+# ----------------------------------------------------------------------
+# SIM003 — iteration order taken from a set
+# ----------------------------------------------------------------------
+class TestUnorderedIteration:
+    def test_fires_for_for_loop_over_set_literal(self):
+        result = lint_plain("for x in {1, 2, 3}:\n    print(x)\n")
+        assert codes_of(result) == ["SIM003"]
+
+    def test_fires_for_list_of_inferred_set_name(self):
+        result = lint_plain("s = set()\nitems = list(s)\n")
+        assert codes_of(result) == ["SIM003"]
+
+    def test_fires_for_comprehension_over_self_attr_set(self):
+        source = (
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.pending = set()\n"
+            "    def order(self):\n"
+            "        return [x for x in self.pending]\n"
+        )
+        assert codes_of(lint_plain(source)) == ["SIM003"]
+
+    def test_fires_for_join_over_set(self):
+        result = lint_plain('s = {"a", "b"}\nout = ",".join(s)\n')
+        assert codes_of(result) == ["SIM003"]
+
+    def test_silent_when_sorted(self):
+        result = lint_plain("s = {3, 1}\nitems = list(sorted(s))\n")
+        assert codes_of(result) == []
+
+    def test_silent_for_order_insensitive_consumer(self):
+        result = lint_plain("s = {3, 1}\nok = any(x > 2 for x in s)\n")
+        assert codes_of(result) == []
+
+    def test_silent_for_list_iteration(self):
+        result = lint_plain("for x in [1, 2, 3]:\n    print(x)\n")
+        assert codes_of(result) == []
+
+
+# ----------------------------------------------------------------------
+# SIM004 — float accumulation over unordered containers
+# ----------------------------------------------------------------------
+class TestFloatAccumulation:
+    def test_fires_for_sum_over_set(self):
+        result = lint_plain("s = {0.1, 0.2}\ntotal = sum(s)\n")
+        assert codes_of(result) == ["SIM004"]
+
+    def test_fires_for_generator_over_set(self):
+        result = lint_plain("s = {0.1, 0.2}\ntotal = sum(x * 2 for x in s)\n")
+        # Both hazards are real: the order is materialized (SIM003) and
+        # the floats are accumulated in that order (SIM004).
+        assert sorted(codes_of(result)) == ["SIM003", "SIM004"]
+
+    def test_fires_for_fsum(self):
+        result = lint_plain("import math\ns = {0.1}\nt = math.fsum(s)\n")
+        assert codes_of(result) == ["SIM004"]
+
+    def test_silent_for_sum_over_sorted_set(self):
+        result = lint_plain("s = {0.1, 0.2}\ntotal = sum(sorted(s))\n")
+        assert codes_of(result) == []
+
+    def test_silent_for_sum_over_list(self):
+        result = lint_plain("total = sum([0.1, 0.2])\n")
+        assert codes_of(result) == []
+
+
+# ----------------------------------------------------------------------
+# SIM005 — mutable default arguments
+# ----------------------------------------------------------------------
+class TestMutableDefault:
+    def test_fires_for_list_literal(self):
+        result = lint_plain("def f(items=[]):\n    return items\n")
+        assert codes_of(result) == ["SIM005"]
+
+    def test_fires_for_dict_call_and_kwonly(self):
+        result = lint_plain("def f(*, cache=dict()):\n    return cache\n")
+        assert codes_of(result) == ["SIM005"]
+
+    def test_fires_for_collections_factory(self):
+        source = (
+            "import collections\n"
+            "def f(c=collections.Counter()):\n"
+            "    return c\n"
+        )
+        assert codes_of(lint_plain(source)) == ["SIM005"]
+
+    def test_silent_for_none_and_tuple(self):
+        result = lint_plain("def f(a=None, b=(), c=0):\n    return a, b, c\n")
+        assert codes_of(result) == []
+
+
+# ----------------------------------------------------------------------
+# SIM006 — bare except / swallowed exceptions
+# ----------------------------------------------------------------------
+class TestBareExcept:
+    def test_fires_for_bare_except(self):
+        source = "try:\n    go()\nexcept:\n    handle()\n"
+        assert codes_of(lint_plain(source)) == ["SIM006"]
+
+    def test_fires_for_swallowed_exception(self):
+        source = "try:\n    go()\nexcept ValueError:\n    pass\n"
+        assert codes_of(lint_plain(source)) == ["SIM006"]
+
+    def test_silent_for_handled_exception(self):
+        source = "try:\n    go()\nexcept ValueError:\n    recover()\n"
+        assert codes_of(lint_plain(source)) == []
+
+
+# ----------------------------------------------------------------------
+# Suppression semantics (incl. SIM007 / SIM008)
+# ----------------------------------------------------------------------
+class TestSuppressions:
+    def test_same_line_disable_absorbs(self):
+        source = (
+            "s = set()\n"
+            "x = list(s)  # simlint: disable=SIM003 -- membership only\n"
+        )
+        result = lint_plain(source)
+        assert codes_of(result) == []
+        assert result.suppressed == 1
+
+    def test_disable_next_line(self):
+        source = (
+            "import time\n"
+            "# simlint: disable-next-line=SIM001 -- fixture needs wall time\n"
+            "now = time.time()\n"
+        )
+        result = lint_sim(source)
+        assert codes_of(result) == []
+        assert result.suppressed == 1
+
+    def test_disable_all(self):
+        source = (
+            "import time\n"
+            "# simlint: disable-next-line=all -- generated code\n"
+            "now = time.time()\n"
+        )
+        result = lint_sim(source)
+        assert codes_of(result) == []
+
+    def test_wrong_code_does_not_absorb(self):
+        source = (
+            "s = set()\n"
+            "x = list(s)  # simlint: disable=SIM001 -- wrong code\n"
+        )
+        result = lint_plain(source)
+        # The finding survives AND the suppression is flagged unused.
+        assert sorted(codes_of(result)) == ["SIM003", "SIM008"]
+
+    def test_missing_reason_is_sim007(self):
+        source = (
+            "s = set()\n"
+            "x = list(s)  # simlint: disable=SIM003\n"
+        )
+        result = lint_plain(source)
+        assert codes_of(result) == ["SIM007"]
+        assert result.suppressed == 1  # it still absorbs
+
+    def test_unused_suppression_is_sim008(self):
+        source = "# simlint: disable=SIM003 -- nothing here\nx = 1\n"
+        result = lint_plain(source)
+        assert codes_of(result) == ["SIM008"]
+
+    def test_find_suppressions_parses_codes_and_reason(self):
+        source = (
+            "x = 1  # simlint: disable=SIM001,SIM002 -- multi-code\n"
+            "# simlint: disable-next-line=all\n"
+            "y = 2\n"
+        )
+        first, second = find_suppressions(source)
+        assert first.codes == frozenset({"SIM001", "SIM002"})
+        assert first.reason == "multi-code"
+        assert first.target_line == 1
+        assert second.codes is None
+        assert second.target_line == 3
+
+    def test_select_restricts_rules(self):
+        source = "import time\nnow = time.time()\ndef f(x=[]):\n    return x\n"
+        result = lint_sim(source, select=["SIM005"])
+        assert codes_of(result) == ["SIM005"]
+
+
+# ----------------------------------------------------------------------
+# Path walking + JSON document
+# ----------------------------------------------------------------------
+class TestPathsAndJson:
+    def test_lint_paths_walks_and_reports_relative(self, tmp_path):
+        sim_dir = tmp_path / "ssd"
+        sim_dir.mkdir()
+        (sim_dir / "clocky.py").write_text("import time\nt = time.time()\n")
+        (tmp_path / "clean.py").write_text("x = 1\n")
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "junk.py").write_text("import time\n")
+        result = lint_paths([tmp_path], root=tmp_path)
+        assert result.files_scanned == 2
+        assert codes_of(result) == ["SIM001"]
+        assert result.diagnostics[0].path == "ssd/clocky.py"
+
+    def test_lint_paths_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            lint_paths([tmp_path / "nope"])
+
+    def test_json_document_schema(self):
+        result = lint_sim("import time\nt = time.time()\n")
+        doc = result.to_dict()
+        assert doc["tool"] == "simlint"
+        assert doc["version"] == 1
+        assert doc["files_scanned"] == 1
+        assert doc["suppressed"] == 0
+        (diag,) = doc["diagnostics"]
+        assert set(diag) == {"path", "line", "col", "code", "message"}
+        assert diag["code"] == "SIM001"
+        assert diag["line"] == 2
+        json.dumps(doc)  # must be serializable as-is
+
+    def test_format_is_editor_clickable(self):
+        result = lint_sim("import time\nt = time.time()\n")
+        line = result.diagnostics[0].format()
+        assert line.startswith("src/repro/ssd/fixture.py:2:")
+        assert "SIM001" in line
+
+
+# ----------------------------------------------------------------------
+# CLI exit codes
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_exit_clean(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert run_lint([str(tmp_path)]) == EXIT_CLEAN
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_exit_findings(self, tmp_path, capsys):
+        target = tmp_path / "ssd"
+        target.mkdir()
+        (target / "bad.py").write_text("import time\nt = time.time()\n")
+        assert run_lint([str(tmp_path)]) == EXIT_FINDINGS
+        assert "SIM001" in capsys.readouterr().out
+
+    def test_exit_usage_on_missing_path(self, tmp_path, capsys):
+        assert run_lint([str(tmp_path / "missing")]) == EXIT_USAGE
+        assert "lint:" in capsys.readouterr().err
+
+    def test_exit_usage_on_bad_select(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        code = run_lint([str(tmp_path), "--select", "SIM999"])
+        assert code == EXIT_USAGE
+        assert "SIM999" in capsys.readouterr().err
+
+    def test_json_output(self, tmp_path, capsys):
+        target = tmp_path / "ssd"
+        target.mkdir()
+        (target / "bad.py").write_text("import time\nt = time.time()\n")
+        assert run_lint([str(tmp_path), "--format", "json"]) == EXIT_FINDINGS
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["tool"] == "simlint"
+        assert [d["code"] for d in doc["diagnostics"]] == ["SIM001"]
+
+    def test_list_rules(self, capsys):
+        assert run_lint(["--list-rules"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        for code in all_codes():
+            assert code in out
+
+    def test_check_aggregates_simlint(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert run_check([str(tmp_path)]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        assert "== simlint ==" in out
+        assert "check: ok" in out
+
+    def test_check_fails_on_findings(self, tmp_path, capsys):
+        target = tmp_path / "ssd"
+        target.mkdir()
+        (target / "bad.py").write_text("import time\nt = time.time()\n")
+        assert run_check([str(tmp_path)]) == EXIT_FINDINGS
+        assert "check: FAIL" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# The gate this PR ships under: the repo itself is clean.
+# ----------------------------------------------------------------------
+def test_repo_is_simlint_clean(repo_root):
+    result = lint_paths(
+        [repo_root / "src", repo_root / "tests"], root=repo_root
+    )
+    assert codes_of(result) == [], "\n".join(
+        d.format() for d in result.diagnostics
+    )
