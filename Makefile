@@ -9,7 +9,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint typecheck test test-sanitize perf help
+.PHONY: check lint typecheck test test-sanitize perf profile help
 
 help:
 	@echo "make check          - aggregate gate: simlint + ruff + mypy"
@@ -18,6 +18,7 @@ help:
 	@echo "make test           - tier-1 test suite"
 	@echo "make test-sanitize  - tier-1 suite with REPRO_SIM_SANITIZE=1"
 	@echo "make perf           - refresh benchmarks/perf_baseline.json"
+	@echo "make profile        - self-profile a small figure (hotspots + flamegraph)"
 
 check:
 	$(PYTHON) -m repro check src tests
@@ -37,3 +38,7 @@ test-sanitize:
 perf:
 	$(PYTHON) -m repro perf ext-anatomy ext-lightqueue --scale 0.1 \
 		--no-cache --out benchmarks/perf_baseline.json
+
+profile:
+	$(PYTHON) -m repro profile fig14b --scale 0.1 \
+		--profile-out profile.speedscope.json --collapsed profile.folded

@@ -10,7 +10,7 @@ Two quality-gate subcommands stand alone (see ``docs/lint.md``):
   when installed (skipped with a notice otherwise; ``--strict-tools``
   turns a skip into a failure).
 
-Four subcommands share one flag vocabulary:
+Five subcommands share one flag vocabulary:
 
 * ``figures`` — run figure reproductions and print their tables.  The
   historical flat form (``python -m repro fig10 --scale 0.2``) still
@@ -26,6 +26,13 @@ Four subcommands share one flag vocabulary:
   write a top-level ``BENCH_<date>.json``, and optionally gate against
   a previous document with ``--compare OLD.json`` (``--threshold``
   sets the slowdown gate, ``--warn-only`` reports without failing).
+  ``--profile`` runs each figure under the self-profiler and folds the
+  per-figure hotspot table into the bench document.
+* ``profile`` — run ONE figure under the self-profiler
+  (:mod:`repro.obs.prof`): print the hotspot-attribution table and
+  event-queue introspection, and optionally export flamegraphs
+  (``--profile-out`` speedscope JSON, ``--collapsed`` collapsed-stack
+  text) and the queue-depth timeline (``--timeline``, ``.html`` or CSV).
 
 Use ``--scale`` to grow or shrink I/O counts (0.1 = 10 % of the default
 samples, 2.0 = double), ``--list`` to enumerate figure ids.
@@ -80,7 +87,7 @@ from repro.core import sweep as sweep_engine
 from repro.core.figures import FIGURES, run_figure
 from repro.core.report import render_figure
 
-SUBCOMMANDS = ("figures", "sweep", "trace", "perf", "lint", "check")
+SUBCOMMANDS = ("figures", "sweep", "trace", "perf", "profile", "lint", "check")
 
 
 def _scaled_kwargs(figure_id: str, scale: float, seed=None, fault_seed=None) -> dict:
@@ -361,7 +368,72 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="report regressions but exit zero (CI smoke mode)",
     )
+    perf.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "run each figure under the self-profiler and record its "
+            "hotspot table in the bench document (adds overhead: "
+            "profiled wall times are not comparable to unprofiled ones)"
+        ),
+    )
     _add_exec_flags(perf)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run ONE figure under the self-profiler (repro.obs.prof)",
+    )
+    profile.add_argument(
+        "figures", nargs=1, metavar="figure", help="figure id"
+    )
+    profile.add_argument(
+        "--scale", type=float, default=1.0, help="I/O-count scale factor"
+    )
+    profile.add_argument(
+        "--seed", type=int, default=None, help="device-seed override"
+    )
+    profile.add_argument(
+        "--profile-out",
+        metavar="FILE",
+        default=None,
+        help="write a speedscope JSON flamegraph (open at speedscope.app)",
+    )
+    profile.add_argument(
+        "--collapsed",
+        metavar="FILE",
+        default=None,
+        help="write collapsed-stack text (FlameGraph tool input)",
+    )
+    profile.add_argument(
+        "--timeline",
+        metavar="FILE",
+        default=None,
+        help=(
+            "write the queue-introspection time series "
+            "(.html -> timeline report, anything else -> CSV)"
+        ),
+    )
+    profile.add_argument(
+        "--no-wall",
+        action="store_true",
+        help="skip perf_counter wall sampling (exact event counts only)",
+    )
+    profile.add_argument(
+        "--top",
+        type=int,
+        default=15,
+        metavar="N",
+        help="hotspot table size (default 15)",
+    )
+    profile.add_argument(
+        "--period",
+        type=int,
+        default=None,
+        metavar="NS",
+        help="queue-series sample period in sim nanoseconds (default 10000)",
+    )
+    _add_exec_flags(profile)
+    _add_fault_flags(profile)
 
     # `lint` and `check` are dispatched before this parser runs (their
     # argument vocabulary is their own); the stubs exist so the top-level
@@ -520,8 +592,25 @@ def _cmd_perf(parser, args) -> int:
     session = perf_harness.PerfSession(engine)
     for figure_id in targets:
         kwargs = _scaled_kwargs(figure_id, args.scale, seed=args.seed)
-        with session.measure(figure_id):
-            run_figure(figure_id, **kwargs)
+        if args.profile:
+            from repro.obs.core import Observability
+            from repro.obs.prof import ProfilerConfig, bench_hotspots
+
+            # Wall sampling off: the bench already times the whole run,
+            # and exact event counts keep the hotspot rows deterministic.
+            obs = Observability(
+                tracing=False,
+                metrics=False,
+                profile=ProfilerConfig(wall=False),
+            )
+            with session.measure(figure_id), obs:
+                run_figure(figure_id, **kwargs)
+            session.records[figure_id].hotspots = tuple(
+                bench_hotspots(obs.profiler)
+            )
+        else:
+            with session.measure(figure_id):
+                run_figure(figure_id, **kwargs)
         record = session.records[figure_id]
         print(
             f"{figure_id}: {record.wall_s:.2f}s wall, "
@@ -538,6 +627,68 @@ def _cmd_perf(parser, args) -> int:
         )
         print(comparison.render())
         return 0 if (comparison.ok or args.warn_only) else 1
+    return 0
+
+
+def _cmd_profile(parser, args) -> int:
+    from repro.obs.core import Observability
+    from repro.obs.prof import (
+        ProfilerConfig,
+        hotspot_table,
+        queue_report,
+        write_collapsed,
+        write_speedscope,
+    )
+    from repro.obs.telemetry import DEFAULT_PERIOD_NS
+
+    figure_id = args.figures[0]
+    if figure_id not in FIGURES:
+        print(f"unknown figure {figure_id!r}; try --list", file=sys.stderr)
+        return 2
+    _configure_engine(args)
+    config = ProfilerConfig(
+        wall=not args.no_wall,
+        period_ns=args.period or DEFAULT_PERIOD_NS,
+        top=args.top,
+    )
+    kwargs = _scaled_kwargs(
+        figure_id, args.scale, seed=args.seed, fault_seed=args.fault_seed
+    )
+    obs = Observability(tracing=False, metrics=False, profile=config)
+    started = time.time()
+    with _fault_context(args), obs:
+        run_figure(figure_id, **kwargs)
+    elapsed = time.time() - started
+    prof = obs.profiler
+    print(f"== hotspots: {figure_id} ({elapsed:.1f}s wall) ==")
+    print(hotspot_table(prof))
+    print()
+    print("== event queue ==")
+    print(queue_report(prof))
+    if args.profile_out:
+        write_speedscope(prof, args.profile_out, name=f"repro {figure_id}")
+        print(
+            f"wrote speedscope profile to {args.profile_out}", file=sys.stderr
+        )
+    if args.collapsed:
+        write_collapsed(prof, args.collapsed)
+        print(
+            f"wrote collapsed stacks to {args.collapsed}", file=sys.stderr
+        )
+    if args.timeline:
+        if args.timeline.endswith((".html", ".htm")):
+            from repro.obs.html import write_telemetry_html
+
+            write_telemetry_html(
+                prof.telemetry,
+                args.timeline,
+                title=f"Sim profiler timeline — {figure_id}",
+            )
+        else:
+            from repro.obs.export import write_telemetry_csv
+
+            write_telemetry_csv(prof.telemetry, args.timeline)
+        print(f"wrote queue timeline to {args.timeline}", file=sys.stderr)
     return 0
 
 
@@ -567,6 +718,9 @@ def main(argv=None) -> int:
 
     if args.command == "perf":
         return _cmd_perf(parser, args)
+
+    if args.command == "profile":
+        return _cmd_profile(parser, args)
 
     if args.command == "trace":
         # Observability is the point: fall back to the anatomy report

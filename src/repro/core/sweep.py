@@ -231,6 +231,14 @@ def _ambient_telemetry_params():
     return telemetry.config.to_params()
 
 
+# NOTE: the self-profiler (repro.obs.prof) is deliberately *excluded*
+# from cache keys.  Its configuration is attribution-only — it cannot
+# change a measurement (byte-identity is a tested guarantee), and
+# profiled runs always execute live because an enabled profiler makes
+# the installed bundle ``enabled``.  Keying on it would only fragment
+# warm caches.
+
+
 def point_cache_key(point: Point, version: int = CACHE_SCHEMA) -> str:
     """Canonical hash identifying one measurement across runs."""
     items = [
@@ -321,6 +329,7 @@ def _execute_point_traced(
     metrics: bool,
     fault_params=None,
     telemetry_params=None,
+    profile_params=None,
 ):
     """Run one point under a fresh worker-local bundle and ship both back."""
     telemetry = None
@@ -328,7 +337,14 @@ def _execute_point_traced(
         from repro.obs.telemetry import TelemetryConfig
 
         telemetry = TelemetryConfig.from_params(telemetry_params)
-    bundle = Observability(tracing=tracing, metrics=metrics, telemetry=telemetry)
+    profile = None
+    if profile_params is not None:
+        from repro.obs.prof import ProfilerConfig
+
+        profile = ProfilerConfig.from_params(profile_params)
+    bundle = Observability(
+        tracing=tracing, metrics=metrics, telemetry=telemetry, profile=profile
+    )
     with bundle:
         measurement = _execute_point(runner_name, params, fault_params)
     return measurement, bundle
@@ -451,6 +467,12 @@ class SweepEngine:
             if telemetry is not None and telemetry.enabled
             else None
         )
+        profiler = getattr(obs, "profiler", None)
+        profile_params = (
+            profiler.config.to_params()
+            if profiler is not None and profiler.enabled
+            else None
+        )
         if self.jobs > 1 and len(points) > 1:
             workers = min(self.jobs, len(points))
             with ProcessPoolExecutor(max_workers=workers) as pool:
@@ -458,6 +480,7 @@ class SweepEngine:
                     pool.submit(
                         _execute_point_traced, point.runner, point.params,
                         tracing, metrics, fault_params, telemetry_params,
+                        profile_params,
                     )
                     for point in points
                 ]
@@ -466,7 +489,7 @@ class SweepEngine:
             pairs = [
                 _execute_point_traced(
                     point.runner, point.params, tracing, metrics, fault_params,
-                    telemetry_params,
+                    telemetry_params, profile_params,
                 )
                 for point in points
             ]

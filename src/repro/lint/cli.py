@@ -30,7 +30,7 @@ def _lint_parser() -> argparse.ArgumentParser:
         prog="python -m repro lint",
         description=(
             "simlint: determinism & invariant static analysis for the "
-            "simulated testbed (rules SIM000-SIM008; see docs/lint.md)"
+            "simulated testbed (rules SIM000-SIM009; see docs/lint.md)"
         ),
     )
     parser.add_argument(

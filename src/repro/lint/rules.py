@@ -21,6 +21,12 @@ actually been (or could be) broken:
 * ``SIM006`` — bare ``except:`` and swallowed exceptions (``except X: pass``):
   an event handler that eats an error turns a loud failure into a silent
   divergence between runs.
+* ``SIM009`` — ad-hoc wall-time measurement: ``time.perf_counter`` /
+  ``time.monotonic`` (and their ``_ns`` forms) anywhere outside the two
+  sanctioned homes — the perf harness (:mod:`repro.perf`) and the
+  self-profiler (:mod:`repro.obs.prof`).  Scattered timing drifts out of
+  the regression gate; centralized timing stays comparable across runs.
+  (Inside sim layers every wall-clock read is already SIM001.)
 
 Engine-level codes (emitted by :mod:`repro.lint.engine`, not rules here):
 ``SIM000`` (file does not parse), ``SIM007`` (suppression comment without a
@@ -638,6 +644,55 @@ class BareExceptRule(Rule):
                     "silent failure here becomes a silent divergence "
                     "between runs — handle, log, or use "
                     "contextlib.suppress at the call site",
+                )
+
+
+# ----------------------------------------------------------------------
+# SIM009 — ad-hoc wall-time measurement outside its sanctioned homes.
+# ----------------------------------------------------------------------
+
+_MONOTONIC_CLOCKS = frozenset(
+    {
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+    }
+)
+
+
+def _is_timing_home(display: str) -> bool:
+    """True for the modules allowed to read monotonic clocks: anything
+    under a ``perf`` package directory, and ``obs/prof.py``."""
+    parts = display.replace("\\", "/").split("/")
+    if "perf" in parts[:-1]:
+        return True
+    return parts[-1] == "prof.py" and "obs" in parts[:-1]
+
+
+@register
+class AdHocTimingRule(Rule):
+    code = "SIM009"
+    name = "adhoc-wall-timing"
+    summary = "monotonic-clock read outside repro.perf / repro.obs.prof"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        if ctx.is_sim_layer:
+            return  # every wall-clock read there is already SIM001
+        if _is_timing_home(ctx.display):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.imports.resolve(node.func)
+            if resolved in _MONOTONIC_CLOCKS:
+                yield ctx.diag(
+                    node,
+                    self.code,
+                    f"{resolved}() outside repro.perf / repro.obs.prof: "
+                    "route wall-time measurement through the perf harness "
+                    "(PerfSession) or the self-profiler so timing stays "
+                    "in the regression gate",
                 )
 
 

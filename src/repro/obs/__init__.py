@@ -1,6 +1,6 @@
 """repro.obs — cross-layer observability for the simulated I/O stack.
 
-Four pieces:
+Five pieces:
 
 * **Span tracing** (:mod:`repro.obs.tracer`): each I/O carries an
   :class:`IoTrace` context through kstack/nvme/ssd/spdk; top-level
@@ -11,6 +11,10 @@ Four pieces:
 * **Telemetry** (:mod:`repro.obs.telemetry`): named time-series sampled
   on the sim clock (queue depths, busy fractions, buffer occupancy, GC
   and fault-recovery activity) with streaming tail digests.
+* **Self-profiling** (:mod:`repro.obs.prof`): where the *simulator
+  itself* spends its events and wall time — hotspot attribution by
+  layer/component/callsite, event-queue introspection, and
+  collapsed-stack / speedscope flamegraph export.
 * **Exporters & reports** (:mod:`repro.obs.export`,
   :mod:`repro.obs.html`, :mod:`repro.obs.anatomy`): Chrome
   ``trace_event`` JSON (open in Perfetto), text/CSV metric and
@@ -30,6 +34,20 @@ See ``docs/observability.md`` for the span taxonomy and metric names.
 
 from repro.obs.anatomy import AnatomyReport, AnatomyRow, verify_conservation
 from repro.obs.core import NULL_OBS, Observability, current_obs, obs_aware_cache
+from repro.obs.prof import (
+    NULL_PROFILER,
+    CallSite,
+    NullProfiler,
+    Profiler,
+    ProfilerConfig,
+    bench_hotspots,
+    hotspot_table,
+    queue_report,
+    to_collapsed,
+    to_speedscope,
+    write_collapsed,
+    write_speedscope,
+)
 from repro.obs.export import (
     atomic_write_text,
     chrome_trace_events,
@@ -112,4 +130,16 @@ __all__ = [
     "NullTelemetry",
     "NULL_TELEMETRY",
     "NULL_SERIES",
+    "CallSite",
+    "Profiler",
+    "ProfilerConfig",
+    "NullProfiler",
+    "NULL_PROFILER",
+    "hotspot_table",
+    "queue_report",
+    "bench_hotspots",
+    "to_collapsed",
+    "write_collapsed",
+    "to_speedscope",
+    "write_speedscope",
 ]

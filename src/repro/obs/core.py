@@ -19,6 +19,7 @@ from __future__ import annotations
 import functools
 from typing import TYPE_CHECKING, Any, Callable, List, Union
 
+from repro.obs.prof import NULL_PROFILER, Profiler, ProfilerConfig
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, SpanTracer
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry, TelemetryConfig
@@ -37,6 +38,7 @@ class Observability:
         tracing: bool = True,
         metrics: bool = True,
         telemetry: Union[bool, Telemetry, TelemetryConfig, None] = None,
+        profile: Union[bool, Profiler, ProfilerConfig, None] = None,
     ) -> None:
         self.tracer = SpanTracer() if tracing else NULL_TRACER
         self.registry = MetricsRegistry() if metrics else NULL_REGISTRY
@@ -50,6 +52,15 @@ class Observability:
             self.telemetry = telemetry
         else:
             self.telemetry = NULL_TELEMETRY
+        # The self-profiler (repro.obs.prof) is opt-in the same way.
+        if profile is True:
+            self.profiler = Profiler()
+        elif isinstance(profile, ProfilerConfig):
+            self.profiler = Profiler(profile)
+        elif isinstance(profile, Profiler):
+            self.profiler = profile
+        else:
+            self.profiler = NULL_PROFILER
 
     @property
     def enabled(self) -> bool:
@@ -57,6 +68,7 @@ class Observability:
             self.tracer.enabled
             or self.registry.enabled
             or self.telemetry.enabled
+            or self.profiler.enabled
         )
 
     # ------------------------------------------------------------------
@@ -64,6 +76,7 @@ class Observability:
         """Called by each :class:`Simulator` binding itself to this bundle."""
         self.tracer.new_sim()
         self.telemetry.new_sim()
+        self.profiler.new_sim()
 
     def absorb(self, other: "Observability") -> None:
         """Merge a worker bundle (spans, metrics, telemetry) into this one.
@@ -78,6 +91,9 @@ class Observability:
             self.registry.absorb(other.registry)
         if self.telemetry.enabled and getattr(other.telemetry, "enabled", False):
             self.telemetry.absorb(other.telemetry)
+        if self.profiler.enabled and getattr(other.profiler, "enabled", False):
+            assert isinstance(self.profiler, Profiler)
+            self.profiler.absorb(other.profiler)
 
     # ------------------------------------------------------------------
     def install(self) -> "Observability":
@@ -101,6 +117,7 @@ class _NullObservability:
     tracer = NULL_TRACER
     registry = NULL_REGISTRY
     telemetry = NULL_TELEMETRY
+    profiler = NULL_PROFILER
     enabled = False
 
     def attach(self, sim: "Simulator") -> None:

@@ -46,6 +46,9 @@ class BenchRecord:
     executed: int = 0
     memo_hits: int = 0
     disk_hits: int = 0
+    #: Optional per-figure hotspot rows from the self-profiler
+    #: (``repro.obs.prof.bench_hotspots``): ({"site", "events", "share"}, ...).
+    hotspots: Tuple[dict, ...] = ()
 
     @property
     def events_per_s(self) -> float:
@@ -63,7 +66,7 @@ class BenchRecord:
         return "mixed"
 
     def to_dict(self) -> dict:
-        return {
+        doc = {
             "figure_id": self.figure_id,
             "wall_s": round(self.wall_s, 4),
             "sim_events": self.sim_events,
@@ -74,6 +77,9 @@ class BenchRecord:
             "disk_hits": self.disk_hits,
             "cache": self.cache,
         }
+        if self.hotspots:
+            doc["hotspots"] = [dict(row) for row in self.hotspots]
+        return doc
 
     @classmethod
     def from_dict(cls, row: dict) -> "BenchRecord":
@@ -85,6 +91,7 @@ class BenchRecord:
             executed=int(row.get("executed", 0)),
             memo_hits=int(row.get("memo_hits", 0)),
             disk_hits=int(row.get("disk_hits", 0)),
+            hotspots=tuple(row.get("hotspots", ())),
         )
 
 
@@ -213,12 +220,22 @@ class CompareRow:
     old_events_per_s: Optional[float] = None
     new_events_per_s: Optional[float] = None
     note: str = ""
+    #: ``component:callsite (share)`` of the new document's heaviest
+    #: self-profiler site, when the bench was run with ``perf --profile``.
+    top_hotspot: str = ""
 
     @property
     def ratio(self) -> Optional[float]:
         if not self.old_wall_s or self.new_wall_s is None:
             return None
         return self.new_wall_s / self.old_wall_s
+
+    @property
+    def events_delta(self) -> Optional[float]:
+        """Fractional sim-events/s change (+0.10 = 10% more throughput)."""
+        if not self.old_events_per_s or self.new_events_per_s is None:
+            return None
+        return self.new_events_per_s / self.old_events_per_s - 1.0
 
 
 @dataclass
@@ -239,7 +256,7 @@ class Comparison:
             return "(no figures in common)"
         lines = [
             f"{'figure':<22} {'old wall':>9} {'new wall':>9} {'ratio':>7} "
-            f"{'old ev/s':>10} {'new ev/s':>10}  status"
+            f"{'old ev/s':>10} {'new ev/s':>10} {'ev/s %':>7}  status"
         ]
         for row in self.rows:
             old_w = f"{row.old_wall_s:.2f}s" if row.old_wall_s is not None else "-"
@@ -255,17 +272,33 @@ class Comparison:
                 if row.new_events_per_s is not None
                 else "-"
             )
+            delta = row.events_delta
+            delta_s = f"{delta:+.0%}" if delta is not None else "-"
             status = row.status + (f" ({row.note})" if row.note else "")
             lines.append(
                 f"{row.figure_id:<22} {old_w:>9} {new_w:>9} {ratio:>7} "
-                f"{old_e:>10} {new_e:>10}  {status}"
+                f"{old_e:>10} {new_e:>10} {delta_s:>7}  {status}"
             )
         slower = len(self.regressions)
         lines.append(
             f"-- {slower} regression(s) past the "
             f"{self.threshold:.0%} slowdown threshold"
         )
+        for row in self.rows:
+            if row.top_hotspot:
+                lines.append(
+                    f"-- {row.figure_id}: top hotspot {row.top_hotspot}"
+                )
         return "\n".join(lines)
+
+
+def _top_hotspot(row: Optional[dict]) -> str:
+    """Render the heaviest profiler site of a bench row, or ``""``."""
+    hotspots = (row or {}).get("hotspots") or ()
+    if not hotspots:
+        return ""
+    top = hotspots[0]
+    return f"{top.get('site', '?')} ({float(top.get('share', 0.0)):.0%} of events)"
 
 
 def compare_docs(
@@ -292,6 +325,7 @@ def compare_docs(
                     "added",
                     new_wall_s=record.wall_s,
                     new_events_per_s=record.events_per_s,
+                    top_hotspot=_top_hotspot(new_row),
                 )
             )
             continue
@@ -315,6 +349,7 @@ def compare_docs(
             new_wall_s=new_rec.wall_s,
             old_events_per_s=old_rec.events_per_s,
             new_events_per_s=new_rec.events_per_s,
+            top_hotspot=_top_hotspot(new_row),
         )
         if old_rec.cache != new_rec.cache:
             row.status = "incomparable"

@@ -17,6 +17,7 @@ from repro.sim.process import Process
 
 if TYPE_CHECKING:
     from repro.obs.core import Observability
+    from repro.obs.prof import Profiler
 
 #: Process-wide count of executed callbacks, across every simulator ever
 #: run in this process.  The perf harness reads deltas of this to report
@@ -44,6 +45,14 @@ class Simulator:
         self.sanitize: bool = sanitize.enabled()
         self.obs = obs if obs is not None else current_obs()
         self.obs.attach(self)
+        #: The self-profiler (``repro.obs.prof``), sampled at
+        #: construction like ``sanitize``: ``None`` unless the attached
+        #: bundle carries an enabled profiler, so the unprofiled hot
+        #: path pays exactly one ``is not None`` check per hook.
+        profiler = getattr(self.obs, "profiler", None)
+        self._prof: "Optional[Profiler]" = (
+            profiler if profiler is not None and profiler.enabled else None
+        )
 
     # ------------------------------------------------------------------
     # Scheduling primitives
@@ -58,6 +67,8 @@ class Simulator:
             raise ValueError(f"cannot schedule in the past: {when} < {self.now}")
         self._seq += 1
         heapq.heappush(self._queue, (when, self._seq, callback, args))
+        if self._prof is not None:
+            self._prof.note_insert(self.now, when, len(self._queue))
 
     # ------------------------------------------------------------------
     # Event/process factories
@@ -96,7 +107,11 @@ class Simulator:
             sanitize.check_clock(self.now, when)
         self.now = when
         events_executed_total += 1
-        callback(*args)
+        prof = self._prof
+        if prof is None:
+            callback(*args)
+        else:
+            prof.dispatch(when, callback, args, len(self._queue))
         return True
 
     def run(self, until: Optional[int] = None) -> None:

@@ -59,7 +59,12 @@ class Process(Event):
     # ------------------------------------------------------------------
     def _on_event(self, event: Event) -> None:
         if event is not self._waiting_on:
-            return  # stale wakeup after an interrupt
+            # Stale wakeup after an interrupt: pure dispatch overhead,
+            # which is exactly what the self-profiler wants to count.
+            prof = getattr(self.sim, "_prof", None)
+            if prof is not None:
+                prof.note_stale()
+            return
         self._waiting_on = None
         if event.ok:
             self._resume(event._value, None)  # noqa: SLF001

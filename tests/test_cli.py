@@ -150,3 +150,61 @@ class TestFaultFlags:
     def test_bad_fault_spec_raises(self):
         with pytest.raises(ValueError, match="unknown fault layer"):
             main(["figures", "table1", "--faults", "bogus.x=1"])
+
+
+class TestProfileSubcommand:
+    def test_profile_emits_table_and_exports(self, tmp_path, capsys):
+        import json
+
+        speedscope = tmp_path / "prof.speedscope.json"
+        collapsed = tmp_path / "prof.collapsed"
+        assert (
+            main(
+                [
+                    "profile",
+                    "fig14b",
+                    "--scale",
+                    "0.1",
+                    "--no-wall",
+                    "--profile-out",
+                    str(speedscope),
+                    "--collapsed",
+                    str(collapsed),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "hotspots: fig14b" in out
+        assert "attributed" in out
+        assert "trampoline hops" in out
+        doc = json.loads(speedscope.read_text())
+        assert doc["profiles"][0]["samples"]
+        assert collapsed.read_text().strip()
+
+    def test_profile_rejects_unknown_figure(self, capsys):
+        assert main(["profile", "fig99"]) == 2
+
+    def test_perf_profile_folds_hotspots_into_doc(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "bench.json"
+        assert (
+            main(
+                [
+                    "perf",
+                    "fig14b",
+                    "--scale",
+                    "0.1",
+                    "--profile",
+                    "--out",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        doc = json.loads(out_path.read_text())
+        rows = doc["figures"]["fig14b"]["hotspots"]
+        assert rows
+        assert rows[0]["events"] > 0
+        assert 0.0 < rows[0]["share"] <= 1.0

@@ -48,9 +48,9 @@ def lint_plain(source, **kwargs):
 # ----------------------------------------------------------------------
 class TestRegistry:
     def test_rule_pack_is_complete(self):
-        assert sorted(RULES) == [f"SIM00{i}" for i in range(1, 7)]
+        assert sorted(RULES) == [f"SIM00{i}" for i in range(1, 7)] + ["SIM009"]
         assert sorted(ENGINE_CODES) == ["SIM000", "SIM007", "SIM008"]
-        assert all_codes() == [f"SIM00{i}" for i in range(9)]
+        assert all_codes() == [f"SIM00{i}" for i in range(10)]
 
     def test_rules_table_covers_every_code(self):
         table = dict(rules_table())
@@ -111,6 +111,56 @@ class TestWallClock:
     def test_silent_for_unrelated_attribute(self):
         # A local object that happens to have a .time() method.
         result = lint_sim("clock = make()\nnow = clock.time()\n")
+        assert codes_of(result) == []
+
+
+# ----------------------------------------------------------------------
+# SIM009 — monotonic clocks outside repro.perf / repro.obs.prof
+# ----------------------------------------------------------------------
+class TestAdHocTiming:
+    def test_fires_outside_timing_homes(self):
+        result = lint_plain("import time\nt0 = time.perf_counter()\n")
+        assert codes_of(result) == ["SIM009"]
+        assert "repro.perf" in result.diagnostics[0].message
+
+    def test_fires_for_monotonic_through_alias(self):
+        result = lint_plain("import time as t\nt0 = t.monotonic_ns()\n")
+        assert codes_of(result) == ["SIM009"]
+
+    def test_fires_for_from_import(self):
+        result = lint_plain(
+            "from time import perf_counter_ns\nt0 = perf_counter_ns()\n"
+        )
+        assert codes_of(result) == ["SIM009"]
+
+    def test_silent_in_perf_package(self):
+        source = "import time\nt0 = time.perf_counter()\n"
+        result = lint_source(source, "src/repro/perf/harness.py")
+        assert codes_of(result) == []
+
+    def test_silent_in_profiler_module(self):
+        source = "import time\nt0 = time.perf_counter_ns()\n"
+        result = lint_source(source, "src/repro/obs/prof.py")
+        assert codes_of(result) == []
+
+    def test_sim_layers_stay_sim001(self):
+        # Inside a sim layer the stricter SIM001 owns the finding; SIM009
+        # must not double-report.
+        result = lint_sim("import time\nt0 = time.perf_counter()\n")
+        assert codes_of(result) == ["SIM001"]
+
+    def test_wall_clock_time_is_not_sim009(self):
+        # time.time() outside sim layers is legitimate (CLI timestamps).
+        result = lint_plain("import time\nt0 = time.time()\n")
+        assert codes_of(result) == []
+
+    def test_suppressible_with_reason(self):
+        source = (
+            "import time\n"
+            "t0 = time.perf_counter()  "
+            "# simlint: disable=SIM009 -- fixture exercises the rule\n"
+        )
+        result = lint_plain(source)
         assert codes_of(result) == []
 
 

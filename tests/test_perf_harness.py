@@ -59,6 +59,15 @@ class TestBenchRecord:
                              memo_hits=1, disk_hits=2)
         clone = BenchRecord.from_dict(record.to_dict())
         assert clone.to_dict() == record.to_dict()
+        assert "hotspots" not in record.to_dict()  # only when recorded
+
+    def test_hotspots_round_trip(self):
+        rows = ({"site": "ssd.device:_write_flow", "events": 9, "share": 0.6},)
+        record = BenchRecord("fig04a", 1.5, 3000, hotspots=rows)
+        doc = record.to_dict()
+        assert doc["hotspots"] == [dict(rows[0])]
+        clone = BenchRecord.from_dict(doc)
+        assert clone.hotspots == rows
 
 
 # ----------------------------------------------------------------------
@@ -161,6 +170,31 @@ class TestCompare:
         text = compare_docs(old, new).render()
         assert "figA" in text and "figB" in text
         assert "0 regression(s)" in text
+
+    def test_events_per_s_delta(self):
+        # Same wall, double the events: throughput doubled (+100%).
+        old = make_doc({"f": (10.0, 100, 1, 1)})
+        new = make_doc({"f": (10.0, 200, 1, 1)})
+        comparison = compare_docs(old, new)
+        (row,) = comparison.rows
+        assert row.events_delta == pytest.approx(1.0)
+        assert "+100%" in comparison.render()
+
+    def test_events_delta_missing_data(self):
+        old = make_doc({"f": (10.0, 0, 1, 1)})  # 0 ev/s old: no delta
+        new = make_doc({"f": (10.0, 100, 1, 1)})
+        (row,) = compare_docs(old, new).rows
+        assert row.events_delta is None
+
+    def test_hotspots_surface_in_render(self):
+        old = make_doc({"f": (10.0, 100, 1, 1)})
+        new = make_doc({"f": (10.0, 100, 1, 1)})
+        new["figures"]["f"]["hotspots"] = [
+            {"site": "ssd.device:_write_flow", "events": 60, "share": 0.6},
+            {"site": "nvme.controller:_post_cqe", "events": 40, "share": 0.4},
+        ]
+        text = compare_docs(old, new).render()
+        assert "top hotspot ssd.device:_write_flow (60% of events)" in text
 
 
 # ----------------------------------------------------------------------
