@@ -63,6 +63,13 @@ class FlashDie:
         self.allow_suspend = allow_suspend
         self.observer = observer
         self._rng = np.random.default_rng(seed)
+        # Slot-cached timing: the per-op-class table resolved once, plus
+        # the bound RNG method — booking an op reads flat locals instead
+        # of walking timing-attribute chains per call.  The RNG draw
+        # order is untouched (still exactly one uniform per jittered
+        # op), so booked intervals are bit-identical.
+        self._slots = timing.slots()
+        self._uniform = self._rng.uniform
         self.free_at: int = 0
         self.busy_ns: int = 0
         self._last_slow_op: Optional[_InFlightOp] = None
@@ -80,13 +87,14 @@ class FlashDie:
         """Per-op latency with word-line/page-type variation applied."""
         if jitter <= 0.0:
             return base_ns
-        factor = 1.0 + self._rng.uniform(-jitter, jitter)
+        factor = 1.0 + self._uniform(-jitter, jitter)
         return max(1, int(round(base_ns * factor)))
 
     def read(self, not_before: int = 0) -> Tuple[int, int]:
         """Book a page read; returns its ``(start, end)`` interval."""
         self.reads += 1
-        duration = self._jittered(self.timing.read_ns, self.timing.read_jitter)
+        slots = self._slots
+        duration = self._jittered(slots.read_ns, slots.read_jitter)
         arrival = max(self.sim.now, not_before)
         slow = self._suspendable_op(arrival)
         if slow is not None:
@@ -96,7 +104,8 @@ class FlashDie:
     def program(self, not_before: int = 0) -> Tuple[int, int]:
         """Book a page program; returns its ``(start, end)`` interval."""
         self.programs += 1
-        duration = self._jittered(self.timing.program_ns, self.timing.program_jitter)
+        slots = self._slots
+        duration = self._jittered(slots.program_ns, slots.program_jitter)
         interval = self._book(OpKind.PROGRAM, duration, not_before)
         self._last_slow_op = _InFlightOp(OpKind.PROGRAM, *interval)
         return interval
@@ -104,7 +113,7 @@ class FlashDie:
     def erase(self, not_before: int = 0) -> Tuple[int, int]:
         """Book a block erase; returns its ``(start, end)`` interval."""
         self.erases += 1
-        interval = self._book(OpKind.ERASE, self.timing.erase_ns, not_before)
+        interval = self._book(OpKind.ERASE, self._slots.erase_ns, not_before)
         self._last_slow_op = _InFlightOp(OpKind.ERASE, *interval)
         return interval
 
@@ -135,24 +144,24 @@ class FlashDie:
             return None  # other ops queued behind; plain FIFO
         if not slow.start <= arrival < slow.end:
             return None  # not actually in flight at arrival
-        if slow.suspends_used >= self.timing.max_suspends_per_op:
+        if slow.suspends_used >= self._slots.max_suspends_per_op:
             return None
         return slow
 
     def _suspend_and_read(
         self, slow: _InFlightOp, arrival: int, read_ns: int
     ) -> Tuple[int, int]:
-        timing = self.timing
-        read_start = max(arrival + timing.suspend_ns, self._read_front)
+        slots = self._slots
+        read_start = max(arrival + slots.suspend_ns, self._read_front)
         read_end = read_start + read_ns
         self._read_front = read_end
         # The slow op loses the window [arrival, read_end] and pays the
         # resume overhead on top.
-        stolen = (read_end - arrival) + timing.resume_ns
+        stolen = (read_end - arrival) + slots.resume_ns
         slow.end += stolen
         slow.suspends_used += 1
         self.free_at = slow.end
-        self.busy_ns += read_ns + timing.suspend_ns + timing.resume_ns
+        self.busy_ns += read_ns + slots.suspend_ns + slots.resume_ns
         self.suspends += 1
         if self.observer is not None:
             self.observer(OpKind.READ, read_start, read_end)

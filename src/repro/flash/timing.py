@@ -9,9 +9,28 @@ paper uses as its comparison device.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Dict, NamedTuple
 
 US = 1_000  # ns per microsecond
 MS = 1_000_000  # ns per millisecond
+
+
+class TimingSlots(NamedTuple):
+    """The per-op-class latency table a die resolves once at creation.
+
+    Booking an operation used to walk ``die.timing.<field>`` attribute
+    chains on every call; the slots tuple is the flat, resolved form the
+    hot path reads instead (see :meth:`FlashTiming.slots`).
+    """
+
+    read_ns: int
+    read_jitter: float
+    program_ns: int
+    program_jitter: float
+    erase_ns: int
+    suspend_ns: int
+    resume_ns: int
+    max_suspends_per_op: int
 
 
 @dataclass(frozen=True)
@@ -47,13 +66,37 @@ class FlashTiming:
             raise ValueError("operation latencies must be positive")
         if self.bus_mbps <= 0:
             raise ValueError("bus throughput must be positive")
+        # Transfer sizes are drawn from a handful of constants (unit and
+        # physical page sizes), so the ns conversion is memoized.  Not a
+        # dataclass field: caches carry no value of their own and stay
+        # out of eq/repr/replace.
+        object.__setattr__(self, "_transfer_cache", {})
 
     def transfer_ns(self, nbytes: int) -> int:
         """Time to move ``nbytes`` over the channel interface."""
+        cache: Dict[int, int] = self._transfer_cache  # type: ignore[attr-defined]
+        cached = cache.get(nbytes)
+        if cached is not None:
+            return cached
         if nbytes < 0:
             raise ValueError("negative transfer size")
         # MB/s == bytes/us; convert to ns.
-        return int(round(nbytes * 1_000 / self.bus_mbps))
+        result = int(round(nbytes * 1_000 / self.bus_mbps))
+        cache[nbytes] = result
+        return result
+
+    def slots(self) -> TimingSlots:
+        """The resolved per-op-class latency table for this timing."""
+        return TimingSlots(
+            read_ns=self.read_ns,
+            read_jitter=self.read_jitter,
+            program_ns=self.program_ns,
+            program_jitter=self.program_jitter,
+            erase_ns=self.erase_ns,
+            suspend_ns=self.suspend_ns,
+            resume_ns=self.resume_ns,
+            max_suspends_per_op=self.max_suspends_per_op,
+        )
 
     def with_overrides(self, **kwargs: object) -> "FlashTiming":
         """A copy with selected fields replaced."""

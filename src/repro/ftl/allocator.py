@@ -10,13 +10,19 @@ age-aware victim policies could never pay off.
 
 Host writes stripe round-robin across dies — the channel-level striping
 the paper credits for device parallelism.
+
+Internally the write points live in plain lists indexed by die, one pair
+of lists per stream — the ``(die, WriteStream)`` tuple keys this module
+used to hash on every allocation put enum ``__hash__`` squarely on the
+per-write hot path.  :class:`WriteStream` remains the public vocabulary;
+stream dispatch is a single identity check.
 """
 
 from __future__ import annotations
 
 import enum
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Set
 
 from repro.ftl.layout import FtlLayout
 
@@ -37,21 +43,25 @@ class BlockAllocator:
 
     def __init__(self, layout: FtlLayout) -> None:
         self.layout = layout
+        self._pages_per_block = layout.pages_per_block
         self._free: List[Deque[int]] = []
         for die in range(layout.dies):
             self._free.append(deque(layout.blocks_of_die(die)))
-        self._active: Dict[Tuple[int, WriteStream], Optional[int]] = {}
-        self._write_ptr: Dict[Tuple[int, WriteStream], int] = {}
-        for die in range(layout.dies):
-            for stream in WriteStream:
-                self._active[(die, stream)] = None
-                self._write_ptr[(die, stream)] = 0
-        self._closed: List[set] = [set() for _ in range(layout.dies)]
+        # Index 0 = HOST, index 1 = GC; each entry is a per-die list.
+        self._active: List[List[Optional[int]]] = [
+            [None] * layout.dies,
+            [None] * layout.dies,
+        ]
+        self._write_ptr: List[List[int]] = [
+            [0] * layout.dies,
+            [0] * layout.dies,
+        ]
+        self._closed: List[Set[int]] = [set() for _ in range(layout.dies)]
         self._next_die = 0
         # Monotonic allocation clock; closed blocks remember when they
         # filled, which age-aware GC policies (cost-benefit) consume.
         self.sequence = 0
-        self._closed_at: dict = {}
+        self._closed_at: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     def free_blocks(self, die: int) -> int:
@@ -65,13 +75,11 @@ class BlockAllocator:
     def active_block(
         self, die: int, stream: WriteStream = WriteStream.HOST
     ) -> Optional[int]:
-        return self._active[(die, stream)]
+        return self._active[0 if stream is WriteStream.HOST else 1][die]
 
     def is_active(self, block: int) -> bool:
         die = self.layout.die_of_block(block)
-        return any(
-            self._active[(die, stream)] == block for stream in WriteStream
-        )
+        return self._active[0][die] == block or self._active[1][die] == block
 
     # ------------------------------------------------------------------
     def next_die(self) -> int:
@@ -89,8 +97,8 @@ class BlockAllocator:
         up with valid data can never be reclaimed (pages cannot migrate
         across dies).
         """
-        if self.remaining_in_active(die, WriteStream.HOST) > 0:
-            return True
+        if self._active[0][die] is not None:
+            return True  # an open host block always has >=1 page left
         # Opening a host block must leave at least one erased block in
         # the pool: a GC migration may need a fresh block mid-cycle even
         # while its own write point is partially open.
@@ -106,24 +114,73 @@ class BlockAllocator:
         stream's active block is full — the caller (GC) must reclaim
         first.
         """
-        layout = self.layout
-        key = (die, stream)
-        block = self._active[key]
+        index = 0 if stream is WriteStream.HOST else 1
+        active = self._active[index]
+        write_ptr = self._write_ptr[index]
+        block = active[die]
         if block is None:
-            if not self._free[die]:
+            free = self._free[die]
+            if not free:
                 raise OutOfSpace(f"die {die} has no erased blocks")
-            block = self._free[die].popleft()
-            self._active[key] = block
-            self._write_ptr[key] = 0
-        ppa = layout.first_page_of_block(block) + self._write_ptr[key]
-        self._write_ptr[key] += 1
+            block = free.popleft()
+            active[die] = block
+            write_ptr[die] = 0
+        ptr = write_ptr[die]
+        ppa = block * self._pages_per_block + ptr
+        ptr += 1
+        write_ptr[die] = ptr
         self.sequence += 1
-        if self._write_ptr[key] >= layout.pages_per_block:
+        if ptr >= self._pages_per_block:
             # Close eagerly: a full block is immediately GC-eligible.
             self._closed[die].add(block)
             self._closed_at[block] = self.sequence
-            self._active[key] = None
+            active[die] = None
         return ppa
+
+    def is_pristine(self) -> bool:
+        """True if no page was ever allocated and no block retired:
+        every die's pool still holds all of its blocks in order."""
+        return self.sequence == 0 and all(
+            len(pool) == self.layout.blocks_per_die for pool in self._free
+        )
+
+    def fill_sequential_striped(self, count: int) -> None:
+        """Apply the allocator state ``count`` round-robin host
+        allocations leave behind on a pristine allocator.
+
+        Each die hands out its blocks in pool (= block-number) order;
+        the ``k``-th closed block of die ``d`` filled when its last page
+        — the ``((k+1) * pages_per_block - 1)``-th page of the die, i.e.
+        global allocation ``((k+1) * ppb - 1) * dies + d`` — was taken,
+        so its age anchor is that allocation's sequence number.  Guarded
+        by the caller (see
+        :meth:`repro.ftl.core.PageMappedFtl.fill_sequential`).
+        """
+        layout = self.layout
+        dies = layout.dies
+        ppb = self._pages_per_block
+        blocks_per_die = layout.blocks_per_die
+        active_host = self._active[0]
+        ptr_host = self._write_ptr[0]
+        closed_at = self._closed_at
+        for die in range(dies):
+            pages = (count - die + dies - 1) // dies
+            if pages <= 0:
+                continue
+            full, rem = divmod(pages, ppb)
+            base = die * blocks_per_die
+            consumed = full + (1 if rem else 0)
+            self._free[die] = deque(range(base + consumed, base + blocks_per_die))
+            if rem:
+                active_host[die] = base + full
+                ptr_host[die] = rem
+            closed = self._closed[die]
+            for k in range(full):
+                block = base + k
+                closed.add(block)
+                closed_at[block] = ((k + 1) * ppb - 1) * dies + die + 1
+        self.sequence = count
+        self._next_die = count % dies
 
     def closed_blocks(self, die: int) -> frozenset:
         """Fully-programmed blocks on ``die`` — the GC candidate set."""
@@ -164,7 +221,7 @@ class BlockAllocator:
         self, die: int, stream: WriteStream = WriteStream.HOST
     ) -> int:
         """Unwritten pages left in the stream's active block."""
-        key = (die, stream)
-        if self._active[key] is None:
+        index = 0 if stream is WriteStream.HOST else 1
+        if self._active[index][die] is None:
             return 0
-        return self.layout.pages_per_block - self._write_ptr[key]
+        return self._pages_per_block - self._write_ptr[index][die]

@@ -135,6 +135,51 @@ class PageMappedFtl:
         self.host_writes += 1
         return WritePlacement(lpn=lpn, ppa=ppa, die=die, previous_ppa=previous)
 
+    def fill_sequential(self, count: int) -> int:
+        """Apply the exact state ``count`` sequential host writes
+        (LPNs ``0..count-1``) leave behind, in bulk.
+
+        Preconditioning writes the drive once before measuring; done
+        through :meth:`write` it dominates simulation wall time (it is
+        pure metadata churn, no simulated time passes).  On a pristine
+        FTL the outcome has a closed form: with every die accepting,
+        striping is perfectly round-robin (die = lpn % dies) and each
+        die's FIFO pool hands out its blocks in order, so LPN ``lpn``
+        lands at ``(lpn % dies) * pages_per_die + lpn // dies``.  The
+        form holds while no die is ever deflected by
+        :meth:`~repro.ftl.allocator.BlockAllocator.can_host_write`,
+        i.e. while the busiest die opens at most ``blocks_per_die - 1``
+        blocks; otherwise (or on a non-pristine FTL) this falls back to
+        the write loop.  Equivalence is pinned by
+        ``tests/test_ftl_fill.py``, which diffs the full FTL state
+        against the loop across geometries.
+        """
+        if count < 0:
+            raise ValueError(f"negative fill count: {count}")
+        if count > self.logical_pages:
+            raise ValueError(
+                f"cannot fill {count} pages into {self.logical_pages} "
+                "logical pages"
+            )
+        layout = self.layout
+        dies = layout.dies
+        # Pages landing on the busiest die (die 0 collects the ceiling).
+        busiest = (count + dies - 1) // dies
+        opened = (busiest + layout.pages_per_block - 1) // layout.pages_per_block
+        if (
+            count == 0
+            or opened > layout.blocks_per_die - 1
+            or not self.mapping.is_pristine()
+            or not self.allocator.is_pristine()
+        ):
+            for lpn in range(count):
+                self.write(lpn)
+            return count
+        self.mapping.fill_sequential_striped(count)
+        self.allocator.fill_sequential_striped(count)
+        self.host_writes += count
+        return count
+
     def still_in_block(self, lpn: int, block: int) -> bool:
         """True if ``lpn``'s current data still lives inside ``block``."""
         ppa = self.mapping.lookup(lpn)

@@ -8,34 +8,40 @@ operations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 
 @dataclass(frozen=True)
 class FtlLayout:
-    """Flat description of the space the FTL manages."""
+    """Flat description of the space the FTL manages.
+
+    The derived sizes (``total_blocks``, ``total_pages``,
+    ``capacity_bytes``) are precomputed once at construction — they sit
+    on the mapping/allocator hot paths, where recomputing them per call
+    measurably costs (see docs/sim-engine.md on the slot-cache layer).
+    """
 
     dies: int
     blocks_per_die: int
     pages_per_block: int  # mapping units per block
     unit_size: int = 4096  # bytes per mapping unit
 
+    # Derived, filled in by __post_init__; excluded from init/eq/repr
+    # so the dataclass surface is unchanged from when these were
+    # recomputed-per-call properties.
+    total_blocks: int = field(init=False, repr=False, compare=False, default=0)
+    total_pages: int = field(init=False, repr=False, compare=False, default=0)
+    capacity_bytes: int = field(init=False, repr=False, compare=False, default=0)
+
     def __post_init__(self) -> None:
         for field in ("dies", "blocks_per_die", "pages_per_block", "unit_size"):
             if getattr(self, field) < 1:
                 raise ValueError(f"{field} must be >= 1")
-
-    @property
-    def total_blocks(self) -> int:
-        return self.dies * self.blocks_per_die
-
-    @property
-    def total_pages(self) -> int:
-        return self.total_blocks * self.pages_per_block
-
-    @property
-    def capacity_bytes(self) -> int:
-        return self.total_pages * self.unit_size
+        total_blocks = self.dies * self.blocks_per_die
+        total_pages = total_blocks * self.pages_per_block
+        object.__setattr__(self, "total_blocks", total_blocks)
+        object.__setattr__(self, "total_pages", total_pages)
+        object.__setattr__(self, "capacity_bytes", total_pages * self.unit_size)
 
     def die_of_block(self, block: int) -> int:
         if not 0 <= block < self.total_blocks:

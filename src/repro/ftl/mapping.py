@@ -9,13 +9,20 @@ Invariants (exercised by the property tests):
 * ``l2p[lpn] == ppa`` implies ``p2l[ppa] == lpn`` and ``state[ppa] == VALID``;
 * a block's valid count equals the number of its pages in state VALID;
 * at most one PPA is VALID for any LPN.
+
+Storage is plain Python lists rather than numpy arrays: every access on
+the write path is a *scalar* index, where list indexing is several times
+cheaper than ``ndarray.__getitem__`` plus the ``int()`` unboxing it
+forces (numpy earns its keep on vector operations, which this table
+never performs).  The hot paths also compare states against plain int
+constants — ``PageState`` stays the public vocabulary, but enum
+``__eq__``/``__hash__`` are off the per-write path.
 """
 
 from __future__ import annotations
 
 import enum
-
-import numpy as np
+from typing import List
 
 from repro.ftl.layout import FtlLayout
 
@@ -28,6 +35,13 @@ class PageState(enum.IntEnum):
     FREE = 0
     VALID = 1
     INVALID = 2
+
+
+# Int twins of PageState for the hot paths (enum comparison costs a
+# __getattr__ plus rich-compare per use; these are plain ints).
+_FREE = int(PageState.FREE)
+_VALID = int(PageState.VALID)
+_INVALID = int(PageState.INVALID)
 
 
 class MappingTable:
@@ -43,44 +57,91 @@ class MappingTable:
             )
         self.layout = layout
         self.logical_pages = logical_pages
-        self._l2p = np.full(logical_pages, UNMAPPED, dtype=np.int64)
-        self._p2l = np.full(layout.total_pages, UNMAPPED, dtype=np.int64)
-        self._state = np.full(layout.total_pages, PageState.FREE, dtype=np.int8)
-        self._valid_per_block = np.zeros(layout.total_blocks, dtype=np.int32)
+        self._pages_per_block = layout.pages_per_block
+        self._total_pages = layout.total_pages
+        self._l2p: List[int] = [UNMAPPED] * logical_pages
+        self._p2l: List[int] = [UNMAPPED] * layout.total_pages
+        self._state: List[int] = [_FREE] * layout.total_pages
+        self._valid_per_block: List[int] = [0] * layout.total_blocks
+        self._mapped = 0
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def lookup(self, lpn: int) -> int:
         """PPA holding ``lpn``'s data, or ``UNMAPPED`` if never written."""
-        self._check_lpn(lpn)
-        return int(self._l2p[lpn])
+        if not 0 <= lpn < self.logical_pages:
+            raise ValueError(f"logical page out of range: {lpn}")
+        return self._l2p[lpn]
 
     def owner(self, ppa: int) -> int:
         """LPN whose data is at ``ppa``, or ``UNMAPPED``."""
-        return int(self._p2l[ppa])
+        return self._p2l[ppa]
 
     def state(self, ppa: int) -> PageState:
         return PageState(self._state[ppa])
 
     def valid_count(self, block: int) -> int:
-        return int(self._valid_per_block[block])
+        return self._valid_per_block[block]
 
-    def valid_counts(self) -> np.ndarray:
-        """Per-block valid-page counts (a view; do not mutate)."""
+    def valid_counts(self) -> List[int]:
+        """Per-block valid-page counts (the live list; do not mutate)."""
         return self._valid_per_block
 
-    def valid_lpns_in_block(self, block: int) -> list:
+    def valid_lpns_in_block(self, block: int) -> List[int]:
         """LPNs whose current data lives in ``block`` (GC migration set)."""
         first = self.layout.first_page_of_block(block)
-        pages = slice(first, first + self.layout.pages_per_block)
-        owners = self._p2l[pages]
-        states = self._state[pages]
-        return [int(lpn) for lpn, st in zip(owners, states) if st == PageState.VALID]
+        stop = first + self._pages_per_block
+        p2l = self._p2l
+        state = self._state
+        return [p2l[ppa] for ppa in range(first, stop) if state[ppa] == _VALID]
 
     @property
     def mapped_lpn_count(self) -> int:
-        return int(np.count_nonzero(self._l2p != UNMAPPED))
+        return self._mapped
+
+    def is_pristine(self) -> bool:
+        """True if no page was ever bound (every page still FREE).
+
+        ``mapped_lpn_count == 0`` alone is not enough: a bind/trim pair
+        leaves an INVALID page behind with zero mappings.  The state
+        scan is a single C-speed ``list.count``.
+        """
+        return (
+            self._mapped == 0
+            and self._state.count(_FREE) == self._total_pages
+        )
+
+    def fill_sequential_striped(self, count: int) -> None:
+        """Bulk-bind LPNs ``0..count-1`` round-robin striped across dies
+        at consecutive per-die PPAs — the closed form of a sequential
+        fill on a pristine table.
+
+        The caller (:meth:`repro.ftl.core.PageMappedFtl.fill_sequential`)
+        is responsible for checking :meth:`is_pristine` and the
+        no-deflection guard; this method only applies the state.
+        """
+        layout = self.layout
+        dies = layout.dies
+        ppb = self._pages_per_block
+        blocks_per_die = layout.blocks_per_die
+        die_pages = blocks_per_die * ppb
+        l2p, p2l, state = self._l2p, self._p2l, self._state
+        valid_per_block = self._valid_per_block
+        for die in range(dies):
+            pages = (count - die + dies - 1) // dies
+            if pages <= 0:
+                continue
+            base = die * die_pages
+            l2p[die:count:dies] = range(base, base + pages)
+            p2l[base : base + pages] = range(die, die + pages * dies, dies)
+            state[base : base + pages] = [_VALID] * pages
+            full, rem = divmod(pages, ppb)
+            first_block = die * blocks_per_die
+            valid_per_block[first_block : first_block + full] = [ppb] * full
+            if rem:
+                valid_per_block[first_block + full] = rem
+        self._mapped = count
 
     # ------------------------------------------------------------------
     # Mutations
@@ -90,25 +151,34 @@ class MappingTable:
 
         Returns the previous PPA (now invalidated) or ``UNMAPPED``.
         """
-        self._check_lpn(lpn)
-        if self._state[ppa] != PageState.FREE:
+        if not 0 <= lpn < self.logical_pages:
+            raise ValueError(f"logical page out of range: {lpn}")
+        if not 0 <= ppa < self._total_pages:
+            raise ValueError(f"physical page out of range: {ppa}")
+        state = self._state
+        if state[ppa] != _FREE:
             raise ValueError(f"cannot bind to non-free page {ppa}")
-        previous = int(self._l2p[lpn])
+        l2p = self._l2p
+        previous = l2p[lpn]
         if previous != UNMAPPED:
             self._invalidate(previous)
-        self._l2p[lpn] = ppa
+        else:
+            self._mapped += 1
+        l2p[lpn] = ppa
         self._p2l[ppa] = lpn
-        self._state[ppa] = PageState.VALID
-        self._valid_per_block[self.layout.block_of_page(ppa)] += 1
+        state[ppa] = _VALID
+        self._valid_per_block[ppa // self._pages_per_block] += 1
         return previous
 
     def trim(self, lpn: int) -> int:
         """Discard ``lpn``'s mapping (TRIM); returns the freed PPA."""
-        self._check_lpn(lpn)
-        previous = int(self._l2p[lpn])
+        if not 0 <= lpn < self.logical_pages:
+            raise ValueError(f"logical page out of range: {lpn}")
+        previous = self._l2p[lpn]
         if previous != UNMAPPED:
             self._invalidate(previous)
             self._l2p[lpn] = UNMAPPED
+            self._mapped -= 1
         return previous
 
     def erase_block(self, block: int) -> None:
@@ -119,34 +189,34 @@ class MappingTable:
                 "valid pages; migrate before erasing"
             )
         first = self.layout.first_page_of_block(block)
-        pages = slice(first, first + self.layout.pages_per_block)
-        self._p2l[pages] = UNMAPPED
-        self._state[pages] = PageState.FREE
+        pages = self._pages_per_block
+        self._p2l[first : first + pages] = [UNMAPPED] * pages
+        self._state[first : first + pages] = [_FREE] * pages
 
     def _invalidate(self, ppa: int) -> None:
-        if self._state[ppa] != PageState.VALID:
+        state = self._state
+        if state[ppa] != _VALID:
             raise ValueError(f"page {ppa} is not valid")
-        self._state[ppa] = PageState.INVALID
+        state[ppa] = _INVALID
         self._p2l[ppa] = UNMAPPED
-        self._valid_per_block[self.layout.block_of_page(ppa)] -= 1
-
-    def _check_lpn(self, lpn: int) -> None:
-        if not 0 <= lpn < self.logical_pages:
-            raise ValueError(f"logical page out of range: {lpn}")
+        self._valid_per_block[ppa // self._pages_per_block] -= 1
 
     # ------------------------------------------------------------------
     def check_invariants(self) -> None:
         """Verify the structural invariants (used by property tests)."""
         layout = self.layout
-        valid = np.zeros(layout.total_blocks, dtype=np.int32)
+        valid = [0] * layout.total_blocks
         for ppa in range(layout.total_pages):
             state = self._state[ppa]
             lpn = self._p2l[ppa]
-            if state == PageState.VALID:
+            if state == _VALID:
                 if lpn == UNMAPPED or self._l2p[lpn] != ppa:
                     raise AssertionError(f"broken forward/reverse map at ppa {ppa}")
                 valid[layout.block_of_page(ppa)] += 1
             elif lpn != UNMAPPED:
                 raise AssertionError(f"non-valid page {ppa} has an owner")
-        if not np.array_equal(valid, self._valid_per_block):
+        if valid != self._valid_per_block:
             raise AssertionError("valid-per-block counters out of sync")
+        mapped = sum(1 for ppa in self._l2p if ppa != UNMAPPED)
+        if mapped != self._mapped:
+            raise AssertionError("mapped-LPN counter out of sync")

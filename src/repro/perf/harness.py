@@ -223,6 +223,9 @@ class CompareRow:
     #: ``component:callsite (share)`` of the new document's heaviest
     #: self-profiler site, when the bench was run with ``perf --profile``.
     top_hotspot: str = ""
+    #: Same for the old document — lets the render show a hotspot
+    #: *shift* when both benches were profiled.
+    old_top_hotspot: str = ""
 
     @property
     def ratio(self) -> Optional[float]:
@@ -285,7 +288,14 @@ class Comparison:
             f"{self.threshold:.0%} slowdown threshold"
         )
         for row in self.rows:
-            if row.top_hotspot:
+            if not (row.top_hotspot or row.old_top_hotspot):
+                continue
+            if row.old_top_hotspot and row.old_top_hotspot != row.top_hotspot:
+                lines.append(
+                    f"-- {row.figure_id}: top hotspot "
+                    f"{row.old_top_hotspot} -> {row.top_hotspot or '(none)'}"
+                )
+            else:
                 lines.append(
                     f"-- {row.figure_id}: top hotspot {row.top_hotspot}"
                 )
@@ -350,6 +360,7 @@ def compare_docs(
             old_events_per_s=old_rec.events_per_s,
             new_events_per_s=new_rec.events_per_s,
             top_hotspot=_top_hotspot(new_row),
+            old_top_hotspot=_top_hotspot(old_row),
         )
         if old_rec.cache != new_rec.cache:
             row.status = "incomparable"

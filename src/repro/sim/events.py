@@ -60,6 +60,19 @@ class Event:
             assert self._callbacks is not None
             self._callbacks.append(callback)
 
+    def remove_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Detach a previously-registered callback.
+
+        A no-op if the callback was never registered or the event has
+        already triggered (the callback list is consumed at trigger
+        time).  :meth:`repro.sim.process.Process.interrupt` uses this to
+        detach the interrupted process from the event it was waiting on,
+        so the event's eventual trigger cannot deliver a stale wakeup.
+        """
+        callbacks = self._callbacks
+        if callbacks is not None and callback in callbacks:
+            callbacks.remove(callback)
+
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
         self._trigger(value, None)

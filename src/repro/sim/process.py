@@ -39,7 +39,7 @@ class Process(Event):
         self._waiting_on: Event | None = None
         # Start on the next simulation step so creation order does not
         # matter within a single instant.
-        sim.schedule(0, self._resume, None, None)
+        sim.post(self._resume, None, None)
 
     @property
     def is_alive(self) -> bool:
@@ -51,10 +51,14 @@ class Process(Event):
         if self.triggered:
             raise RuntimeError("cannot interrupt a finished process")
         waiting_on, self._waiting_on = self._waiting_on, None
-        if waiting_on is not None:
-            # Detach: the stale event must not resume us later.
-            pass
-        self.sim.schedule(0, self._resume, None, Interrupted(cause))
+        if waiting_on is not None and not waiting_on.triggered:
+            # Detach for real: the event we were parked on may still
+            # trigger later (a pending timeout, a racing AnyOf), and its
+            # callback list must no longer reach us — otherwise every
+            # interrupt leaves a live callback that fires as a stale
+            # wakeup (pure dispatch overhead the profiler counts).
+            waiting_on.remove_callback(self._on_event)
+        self.sim.post(self._resume, None, Interrupted(cause))
 
     # ------------------------------------------------------------------
     def _on_event(self, event: Event) -> None:
@@ -97,8 +101,9 @@ class Process(Event):
             sanitize.check_owner(self.sim, target, "wait (process yield)")
         self._waiting_on = target
         if target.triggered:
-            # Flatten recursion: a ready event resumes us on the next
-            # zero-delay step instead of recursing synchronously.
-            self.sim.schedule(0, self._on_event, target)
+            # Flatten recursion: a ready event resumes us as a same-tick
+            # microtask instead of recursing synchronously — and, since
+            # PR 7, without a heap round-trip.
+            self.sim.post(self._on_event, target)
         else:
             target.add_callback(self._on_event)

@@ -15,7 +15,7 @@ single timeline with twice the single-channel rate; the
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.sim.engine import Simulator
 from repro.sim.resources import TimelineResource
@@ -42,12 +42,20 @@ class ChannelArray:
         self._channels: List[TimelineResource] = [
             TimelineResource(sim) for _ in range(n_channels)
         ]
+        # Transfers come in a handful of fixed sizes (host units, page
+        # batches): memoize the ns conversion per size.
+        self._transfer_cache: Dict[int, int] = {}
 
     def __len__(self) -> int:
         return len(self._channels)
 
     def transfer_ns(self, nbytes: int) -> int:
-        return int(round(nbytes * 1_000 / self.mbps))
+        cached = self._transfer_cache.get(nbytes)
+        if cached is not None:
+            return cached
+        result = int(round(nbytes * 1_000 / self.mbps))
+        self._transfer_cache[nbytes] = result
+        return result
 
     def channel_of_die(self, die: int) -> int:
         return die % len(self._channels)

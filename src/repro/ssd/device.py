@@ -136,14 +136,15 @@ class SsdDevice:
 
         Mutates FTL state without consuming simulated time — the standard
         "write the whole drive once" preparation the paper performs
-        before its GC and read experiments.  Returns the pages written.
+        before its GC and read experiments.  Applied in bulk through
+        :meth:`~repro.ftl.core.PageMappedFtl.fill_sequential` (state
+        identical to the write loop).  Returns the pages written.
         """
         if not 0.0 <= fraction <= 1.0:
             raise ValueError("fraction must be in [0, 1]")
         count = int(self.logical_pages * fraction)
         ftl = self.controller.ftl
-        for lpn in range(count):
-            ftl.write(lpn)
+        ftl.fill_sequential(count)
         ftl.reset_statistics()
         return count
 

@@ -196,6 +196,30 @@ class TestCompare:
         text = compare_docs(old, new).render()
         assert "top hotspot ssd.device:_write_flow (60% of events)" in text
 
+    def test_hotspot_shift_renders_both_sides(self):
+        old = make_doc({"f": (10.0, 100, 1, 1)})
+        new = make_doc({"f": (10.0, 100, 1, 1)})
+        old["figures"]["f"]["hotspots"] = [
+            {"site": "ftl.mapping:bind", "events": 90, "share": 0.9},
+        ]
+        new["figures"]["f"]["hotspots"] = [
+            {"site": "sim.engine:run", "events": 50, "share": 0.5},
+        ]
+        text = compare_docs(old, new).render()
+        assert (
+            "top hotspot ftl.mapping:bind (90% of events) -> "
+            "sim.engine:run (50% of events)" in text
+        )
+
+    def test_unchanged_hotspot_renders_once(self):
+        old = make_doc({"f": (10.0, 100, 1, 1)})
+        new = make_doc({"f": (10.0, 100, 1, 1)})
+        spot = [{"site": "sim.engine:run", "events": 50, "share": 0.5}]
+        old["figures"]["f"]["hotspots"] = spot
+        new["figures"]["f"]["hotspots"] = spot
+        text = compare_docs(old, new).render()
+        assert text.count("sim.engine:run") == 1
+
 
 # ----------------------------------------------------------------------
 # CLI gating

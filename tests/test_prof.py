@@ -137,7 +137,7 @@ class TestToySimulation:
         assert stats["peak_depth"] == 4
         assert stats["sift_cost"] > 0
 
-    def test_stale_wakeups_counted(self):
+    def test_interrupt_detaches_so_no_stale_wakeup(self):
         obs = profiled_bundle(wall=False)
         sim = Simulator(obs=obs)
 
@@ -151,8 +151,25 @@ class TestToySimulation:
         victim = sim.process(sleeper())
         sim.process(interrupter(victim))
         sim.run()
-        # The detached 100ns timeout still fires and wakes the dead
-        # process: pure overhead the profiler must surface.
+        # interrupt() detaches the process from the pending timeout, so
+        # its later firing delivers no wakeup at all: zero stales.
+        assert obs.profiler.stale_wakeups == 0
+
+    def test_stale_wakeup_still_counted(self):
+        obs = profiled_bundle(wall=False)
+        sim = Simulator(obs=obs)
+
+        def sleeper():
+            ready = sim.event()
+            ready.succeed()
+            yield ready  # resume rides the microtask ring
+
+        # The interrupt lands between the yield and the queued microtask
+        # (same instant), so the ring entry fires against a process that
+        # already moved on — the one stale path detach cannot remove.
+        victim = sim.process(sleeper())
+        sim.schedule(0, victim.interrupt)
+        sim.run()
         assert obs.profiler.stale_wakeups == 1
 
     def test_queue_depth_series_recorded(self):
