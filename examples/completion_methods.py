@@ -17,17 +17,17 @@ from repro import (
     KernelStack,
     Simulator,
     SsdDevice,
-    ull_ssd_config,
     run_job,
 )
 from repro.host.accounting import ExecMode
+from repro.ssd.registry import resolve_config
 
 IO_COUNT = 8000
 
 
 def measure(method: CompletionMethod):
     sim = Simulator()
-    device = SsdDevice(sim, ull_ssd_config())
+    device = SsdDevice(sim, resolve_config("zssd"))
     device.precondition()
     stack = KernelStack(sim, device, completion=method)
     job = FioJob(

@@ -1,10 +1,12 @@
 #!/usr/bin/env python
 """Quickstart: measure a ULL SSD through the kernel stack.
 
-Builds the paper's two devices, runs a 4 KB random-read job on each
-through the interrupt-driven kernel path, and prints the fio-style
-summary — the numbers behind the paper's headline claim that the Z-SSD
-serves random reads ~5x faster than a high-end NVMe SSD.
+Resolves the paper's two devices from the registry by name, runs a
+4 KB random-read job on each through the interrupt-driven kernel path,
+and prints the fio-style summary — the numbers behind the paper's
+headline claim that the Z-SSD serves random reads ~5x faster than a
+high-end NVMe SSD.  (`python -m repro devices list` shows every other
+named device the registry can build.)
 
 Run:  python examples/quickstart.py
 """
@@ -16,10 +18,9 @@ from repro import (
     KernelStack,
     Simulator,
     SsdDevice,
-    nvme_ssd_config,
     run_job,
-    ull_ssd_config,
 )
+from repro.ssd.registry import resolve_config
 
 
 def measure(config, label: str) -> None:
@@ -44,8 +45,8 @@ def measure(config, label: str) -> None:
 
 def main() -> None:
     print("4KB random reads, libaio QD1, interrupt completion\n")
-    measure(ull_ssd_config(), "ULL SSD (Z-SSD)")
-    measure(nvme_ssd_config(), "NVMe SSD (Intel 750-class)")
+    measure(resolve_config("zssd"), "ULL SSD (Z-SSD)")
+    measure(resolve_config("intel750"), "NVMe SSD (Intel 750-class)")
     print("\nThe ULL SSD's Z-NAND (tR = 3us) keeps random reads near 16us;")
     print("the NVMe SSD's MLC (tR = 70us) exposes raw flash latency on")
     print("cache misses - the paper's 5.2x gap (Section IV-A).")

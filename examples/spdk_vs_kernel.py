@@ -18,10 +18,9 @@ from repro import (
     Simulator,
     SpdkStack,
     SsdDevice,
-    nvme_ssd_config,
     run_job,
-    ull_ssd_config,
 )
+from repro.ssd.registry import resolve_config
 
 IO_COUNT = 4000
 
@@ -45,7 +44,7 @@ def measure(config, use_spdk: bool):
 def main() -> None:
     print(f"4KB sequential reads, QD1, {IO_COUNT} I/Os per configuration\n")
     print(f"{'device':28s} {'stack':18s} {'mean':>8s} {'CPU':>7s} {'loads/IO':>9s}")
-    for config in (nvme_ssd_config(), ull_ssd_config()):
+    for config in (resolve_config("intel750"), resolve_config("zssd")):
         rows = []
         for use_spdk in (False, True):
             result, loads = measure(config, use_spdk)

@@ -9,19 +9,22 @@ entire system and regenerates every table and figure.
 Quickstart::
 
     from repro import (
-        Simulator, SsdDevice, ull_ssd_config, KernelStack,
+        Simulator, SsdDevice, resolve_config, KernelStack,
         CompletionMethod, FioJob, IoEngineKind, run_job,
     )
 
     sim = Simulator()
-    device = SsdDevice(sim, ull_ssd_config())
+    device = SsdDevice(sim, resolve_config("zssd"))
     device.precondition()
     stack = KernelStack(sim, device, completion=CompletionMethod.POLL)
     job = FioJob(name="demo", rw="randread", io_count=1000)
     result = run_job(sim, stack, job)
     print(result.latency.mean_us, "us")
 
-Figure reproductions live in :data:`repro.core.figures.FIGURES`.
+Devices are named entries in a spec registry (``docs/devices.md``);
+``list_devices()`` enumerates the zoo, and the higher-level
+:mod:`repro.api` facade accepts the same names.  Figure reproductions
+live in :data:`repro.core.figures.FIGURES`.
 """
 
 from repro.core.experiment import DeviceKind, StackKind, build_device, build_stack
@@ -35,6 +38,8 @@ from repro.spdk.stack import SpdkStack
 from repro.ssd.config import SsdConfig
 from repro.ssd.device import IoOp, SsdDevice
 from repro.ssd.presets import nvme_ssd_config, ull_ssd_config
+from repro.ssd.registry import list_devices, load_device_spec, resolve_config
+from repro.ssd.spec import DeviceSpec, DeviceSpecError
 from repro.workloads.job import FioJob, IoEngineKind
 from repro.workloads.runner import JobResult, run_job
 
@@ -47,6 +52,11 @@ __all__ = [
     "IoOp",
     "ull_ssd_config",
     "nvme_ssd_config",
+    "DeviceSpec",
+    "DeviceSpecError",
+    "list_devices",
+    "load_device_spec",
+    "resolve_config",
     "KernelStack",
     "SpdkStack",
     "CompletionMethod",

@@ -87,7 +87,9 @@ from repro.core import sweep as sweep_engine
 from repro.core.figures import FIGURES, run_figure
 from repro.core.report import render_figure
 
-SUBCOMMANDS = ("figures", "sweep", "trace", "perf", "profile", "lint", "check")
+SUBCOMMANDS = (
+    "figures", "sweep", "trace", "perf", "profile", "devices", "lint", "check",
+)
 
 
 def _scaled_kwargs(figure_id: str, scale: float, seed=None, fault_seed=None) -> dict:
@@ -191,6 +193,16 @@ def _emit_observability(obs, figure_id: str, args, multi: bool) -> None:
 
 
 def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--device",
+        metavar="NAME|PATH",
+        default=None,
+        help=(
+            "run every figure against this device instead of the "
+            "paper's presets: a registry name (see `python -m repro "
+            "devices list`) or a .toml/.json spec file"
+        ),
+    )
     parser.add_argument(
         "--jobs",
         type=int,
@@ -435,9 +447,14 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_exec_flags(profile)
     _add_fault_flags(profile)
 
-    # `lint` and `check` are dispatched before this parser runs (their
-    # argument vocabulary is their own); the stubs exist so the top-level
-    # --help lists them.
+    # `devices`, `lint`, and `check` are dispatched before this parser
+    # runs (their argument vocabulary is their own); the stubs exist so
+    # the top-level --help lists them.
+    sub.add_parser(
+        "devices",
+        help="inspect the device registry: list names, show resolved specs",
+        add_help=False,
+    )
     sub.add_parser(
         "lint",
         help="run simlint, the determinism static analyzer (docs/lint.md)",
@@ -476,6 +493,21 @@ def _fault_context(args):
     return plan.installed()
 
 
+def _device_context(args):
+    """The ambient --device override (or a no-op).
+
+    Validation happens on entry, so a bad name fails before any figure
+    runs; the substitution itself lands in each point's declared
+    parameters (see :func:`repro.ssd.registry.device_override`).
+    """
+    device = getattr(args, "device", None)
+    if device is None:
+        return contextlib.nullcontext()
+    from repro.ssd.registry import device_override
+
+    return device_override(device)
+
+
 def _configure_engine(args) -> "sweep_engine.SweepEngine":
     cache_dir = None if args.no_cache else (
         args.cache_dir or sweep_engine.DEFAULT_CACHE_DIR
@@ -507,7 +539,7 @@ def _select_targets(parser, args):
 def _run_targets(targets, args, *, render: bool, observing: bool) -> int:
     engine = _configure_engine(args)
     multi = len(targets) > 1
-    with _fault_context(args):
+    with _fault_context(args), _device_context(args):
         for figure_id in targets:
             if figure_id not in FIGURES:
                 print(
@@ -590,34 +622,36 @@ def _cmd_perf(parser, args) -> int:
         args.no_cache = True
     engine = _configure_engine(args)
     session = perf_harness.PerfSession(engine)
-    for figure_id in targets:
-        kwargs = _scaled_kwargs(figure_id, args.scale, seed=args.seed)
-        if args.profile:
-            from repro.obs.core import Observability
-            from repro.obs.prof import ProfilerConfig, bench_hotspots
+    with _device_context(args):
+        for figure_id in targets:
+            kwargs = _scaled_kwargs(figure_id, args.scale, seed=args.seed)
+            if args.profile:
+                from repro.obs.core import Observability
+                from repro.obs.prof import ProfilerConfig, bench_hotspots
 
-            # Wall sampling off: the bench already times the whole run,
-            # and exact event counts keep the hotspot rows deterministic.
-            obs = Observability(
-                tracing=False,
-                metrics=False,
-                profile=ProfilerConfig(wall=False),
+                # Wall sampling off: the bench already times the whole
+                # run, and exact event counts keep the hotspot rows
+                # deterministic.
+                obs = Observability(
+                    tracing=False,
+                    metrics=False,
+                    profile=ProfilerConfig(wall=False),
+                )
+                with session.measure(figure_id), obs:
+                    run_figure(figure_id, **kwargs)
+                session.records[figure_id].hotspots = tuple(
+                    bench_hotspots(obs.profiler)
+                )
+            else:
+                with session.measure(figure_id):
+                    run_figure(figure_id, **kwargs)
+            record = session.records[figure_id]
+            print(
+                f"{figure_id}: {record.wall_s:.2f}s wall, "
+                f"{record.sim_events:,} sim events "
+                f"({record.events_per_s:,.0f}/s), cache={record.cache}",
+                file=sys.stderr,
             )
-            with session.measure(figure_id), obs:
-                run_figure(figure_id, **kwargs)
-            session.records[figure_id].hotspots = tuple(
-                bench_hotspots(obs.profiler)
-            )
-        else:
-            with session.measure(figure_id):
-                run_figure(figure_id, **kwargs)
-        record = session.records[figure_id]
-        print(
-            f"{figure_id}: {record.wall_s:.2f}s wall, "
-            f"{record.sim_events:,} sim events "
-            f"({record.events_per_s:,.0f}/s), cache={record.cache}",
-            file=sys.stderr,
-        )
     doc = session.to_doc(scale=args.scale)
     path = perf_harness.write_bench(doc, args.out)
     print(f"wrote bench document to {path}", file=sys.stderr)
@@ -656,7 +690,7 @@ def _cmd_profile(parser, args) -> int:
     )
     obs = Observability(tracing=False, metrics=False, profile=config)
     started = time.time()
-    with _fault_context(args), obs:
+    with _fault_context(args), _device_context(args), obs:
         run_figure(figure_id, **kwargs)
     elapsed = time.time() - started
     prof = obs.profiler
@@ -692,11 +726,79 @@ def _cmd_profile(parser, args) -> int:
     return 0
 
 
+def _cmd_devices(argv) -> int:
+    """``python -m repro devices list|show NAME [--format toml|json]``."""
+    from repro.ssd.registry import (
+        PRESET_NAMES,
+        get_spec,
+        list_devices,
+        load_device_spec,
+        resolve_spec,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro devices",
+        description="Inspect the device registry (see docs/devices.md)",
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+    sub.add_parser("list", help="one line per registered device")
+    show = sub.add_parser(
+        "show", help="dump one device's fully resolved spec"
+    )
+    show.add_argument("name", help="registry name or spec-file path")
+    show.add_argument(
+        "--format",
+        choices=("toml", "json"),
+        default="toml",
+        help="output format (default toml)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.action == "list":
+        names = list_devices()
+        width = max(len(n) for n in names + PRESET_NAMES)
+        for name in names:
+            spec = get_spec(name)
+            print(f"{name:{width}s}  {spec.label}")
+        for name in PRESET_NAMES:
+            twin = "zssd" if name == "ull" else "intel750"
+            print(
+                f"{name:{width}s}  (preset alias; spec twin: {twin})"
+            )
+        return 0
+
+    name = args.name
+    if name in PRESET_NAMES:
+        # Present the preset through its generated spec twin.
+        from repro.ssd.registry import resolve_config
+        from repro.ssd.spec import spec_from_config
+
+        spec = spec_from_config(resolve_config(name), name=name)
+    elif "/" in name or name.endswith((".toml", ".json")):
+        spec = load_device_spec(name)
+    else:
+        spec = resolve_spec(name)
+    if args.format == "json":
+        print(spec.to_json())
+    else:
+        print(spec.to_toml(), end="")
+    print(f"# spec_hash: {spec.spec_hash()}", file=sys.stderr)
+    return 0
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
-    # `lint`/`check` own their argument vocabulary (paths, --format, ...)
-    # and share nothing with the figure runners: dispatch before the
+    # `devices`/`lint`/`check` own their argument vocabulary and share
+    # nothing with the figure runners: dispatch before the
     # figure-oriented parser gets a say.
+    if argv and argv[0] == "devices":
+        from repro.ssd.spec import DeviceSpecError
+
+        try:
+            return _cmd_devices(argv[1:])
+        except DeviceSpecError as exc:
+            print(f"devices: {exc}", file=sys.stderr)
+            return 2
     if argv and argv[0] == "lint":
         from repro.lint.cli import run_lint
 
@@ -716,6 +818,19 @@ def main(argv=None) -> int:
         return 2
     args = parser.parse_args(argv)
 
+    from repro.ssd.spec import DeviceSpecError
+
+    try:
+        return _dispatch(parser, args)
+    except DeviceSpecError as exc:
+        # The single-error contract: a bad device spec (or --device
+        # name) is one message naming file, key path, and value — never
+        # a mid-construction traceback.
+        print(f"device spec error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(parser, args) -> int:
     if args.command == "perf":
         return _cmd_perf(parser, args)
 

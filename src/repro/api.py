@@ -5,25 +5,40 @@ I/O stack.  It consolidates the construction keywords that used to be
 re-plumbed through ``core/experiment.py``, ``core/runners.py``, and the
 figure modules into two frozen dataclasses:
 
-* :class:`Testbed` — *what hardware and host path*: device preset (with
-  config overrides), kernel vs. SPDK stack, completion method,
-  preconditioning, seeds, and an optional
-  :class:`~repro.faults.FaultPlan`;
+* :class:`Testbed` — *what hardware and host path*: a **named device**
+  (registry name like ``"zssd"``, spec-file path, live
+  :class:`~repro.ssd.spec.DeviceSpec`, or raw
+  :class:`~repro.ssd.config.SsdConfig` — with config overrides), kernel
+  vs. SPDK stack, completion method, preconditioning, seeds, and an
+  optional :class:`~repro.faults.FaultPlan`;
 * :class:`JobConfig` — *what workload*: pattern, engine, block size,
   queue depth, I/O count, pattern seed.
 
 Typical use::
 
-    from repro.api import Testbed, JobConfig
+    from repro.api import Testbed, JobConfig, list_devices
 
-    testbed = Testbed(device="ull", completion="poll")
+    print(list_devices())  # ('intel750', ..., 'qlc', ..., 'zssd')
+    testbed = Testbed(device="zssd", completion="poll")
     result = testbed.run_job(JobConfig(rw="randread", io_count=2000))
     print(result.latency.mean_us)
+
+``device`` accepts, in one argument:
+
+* a registry name from :func:`list_devices` (``"zssd"``,
+  ``"intel750"``, ``"qlc"``, ...) or a preset alias (``"ull"``,
+  ``"nvme"`` — the paper's two devices built by the hand-wired
+  presets);
+* a path to a ``.toml``/``.json`` spec file
+  (:func:`load_device_spec` loads one explicitly);
+* a :class:`~repro.ssd.spec.DeviceSpec` or a full
+  :class:`~repro.ssd.config.SsdConfig` object.
 
 Everything here is deterministic: the same testbed + job produce
 byte-identical results on every run, in any process.  The legacy
 helpers ``run_sync_job``/``run_async_job`` in ``repro.core.experiment``
-are deprecation shims over this module.
+and the ``ull_ssd_config``/``nvme_ssd_config`` preset constructors in
+``repro.ssd.presets`` are deprecation shims over this module.
 """
 
 from __future__ import annotations
@@ -32,7 +47,7 @@ import enum
 from dataclasses import dataclass
 from typing import Any, Optional, Tuple, Union
 
-from repro.core.experiment import DeviceKind, device_config
+from repro.core.experiment import DeviceKind
 from repro.core.sweep import DeviceSnapshot, Measurement
 from repro.faults.plan import FaultPlan
 from repro.host.costs import DEFAULT_COSTS, SoftwareCosts
@@ -42,14 +57,20 @@ from repro.sim.engine import Simulator
 from repro.spdk.stack import SpdkStack
 from repro.ssd.config import SsdConfig
 from repro.ssd.device import SsdDevice
+from repro.ssd.registry import list_devices, load_device_spec, resolve_config
+from repro.ssd.spec import DeviceSpec, DeviceSpecError
 from repro.workloads.job import FioJob, IoEngineKind
 from repro.workloads.runner import JobResult
 from repro.workloads.runner import run_job as _run_job_on
 
 __all__ = [
+    "DeviceSpec",
+    "DeviceSpecError",
     "JobConfig",
     "Testbed",
     "device_snapshot",
+    "list_devices",
+    "load_device_spec",
     "open_device",
     "run_job",
 ]
@@ -62,8 +83,16 @@ def _name_of(value: object) -> str:
     return str(value)
 
 
-def device_snapshot(device: SsdDevice) -> DeviceSnapshot:
-    """Detach the device-side state figures read after a run."""
+def device_snapshot(device: SsdDevice, *, label: str = "") -> DeviceSnapshot:
+    """Detach the device-side state figures read after a run.
+
+    ``label`` stamps the snapshot with the registry/spec name the device
+    was resolved from; when omitted, the label attached by
+    :func:`repro.ssd.registry.resolve_config` (or the config's display
+    name) is used.
+    """
+    from repro.ssd.registry import spec_label
+
     events = device.stats.gc_events
     return DeviceSnapshot(
         gc_events=len(events),
@@ -71,6 +100,7 @@ def device_snapshot(device: SsdDevice) -> DeviceSnapshot:
         write_amplification=device.ftl.write_amplification(),
         erases=int(device.ftl.erases),
         power_series=device.power.series,
+        device=label or spec_label(device.config),
     )
 
 
@@ -103,24 +133,29 @@ class JobConfig:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class Testbed:
-    """A device preset plus the host path that drives it.
+    """A named device plus the host path that drives it.
 
     A testbed is a *description* — building it allocates nothing.  Each
     :meth:`run_job`/:meth:`run` call constructs a fresh simulator,
     device, and stack, so runs are independent and reproducible.
 
-    ``device`` is ``"ull"`` or ``"nvme"`` (or a :class:`DeviceKind`);
-    ``config`` substitutes a full :class:`SsdConfig` for the preset, and
-    ``config_overrides`` applies ``(field, value)`` pairs on top.
-    ``faults`` attaches a :class:`~repro.faults.FaultPlan`, threaded to
-    every layer that can inject failures.
+    ``device`` names the hardware: a registry name (``"zssd"``,
+    ``"intel750"``, ``"qlc"``, ... — see :func:`list_devices`), a preset
+    alias (``"ull"``/``"nvme"`` or a
+    :class:`~repro.core.experiment.DeviceKind`), a path to a
+    ``.toml``/``.json`` spec file, a :class:`DeviceSpec`, or a raw
+    :class:`SsdConfig`.  ``config`` substitutes a full
+    :class:`SsdConfig` outright (it wins over ``device``), and
+    ``config_overrides`` applies ``(field, value)`` pairs on top of
+    either.  ``faults`` attaches a :class:`~repro.faults.FaultPlan`,
+    threaded to every layer that can inject failures.
     """
 
     #: Keep pytest from trying to collect this class when imported into
     #: test modules (its name matches the default Test* pattern).
     __test__ = False
 
-    device: Union[str, DeviceKind] = "ull"
+    device: Union[str, DeviceKind, DeviceSpec, SsdConfig] = "ull"
     stack: str = "kernel"
     completion: str = "interrupt"
     precondition: float = 1.0
@@ -137,6 +172,14 @@ class Testbed:
     # ------------------------------------------------------------------
     @property
     def device_name(self) -> str:
+        """A short label for the device — registry/spec name, preset
+        alias, or the config's model name for raw configs."""
+        if isinstance(self.device, DeviceSpec):
+            return self.device.name
+        if isinstance(self.device, SsdConfig):
+            from repro.ssd.registry import spec_label
+
+            return spec_label(self.device)
         return _name_of(self.device)
 
     @property
@@ -147,11 +190,15 @@ class Testbed:
         """The fully resolved :class:`SsdConfig` this testbed builds."""
         import dataclasses
 
-        base = self.config
-        if base is None:
-            base = device_config(DeviceKind(self.device_name))
-        overrides = dict(self.config_overrides)
-        return dataclasses.replace(base, **overrides) if overrides else base
+        if self.config is not None:
+            overrides = dict(self.config_overrides)
+            if overrides:
+                return dataclasses.replace(self.config, **overrides)
+            return self.config
+        device = self.device
+        if isinstance(device, enum.Enum):
+            device = str(device.value)
+        return resolve_config(device, self.config_overrides)
 
     # ------------------------------------------------------------------
     def open_device(self, sim: Simulator) -> SsdDevice:
@@ -254,7 +301,9 @@ class Testbed:
 # Module-level conveniences
 # ----------------------------------------------------------------------
 def open_device(
-    sim: Simulator, device: Union[str, DeviceKind] = "ull", **kwargs: Any
+    sim: Simulator,
+    device: Union[str, DeviceKind, DeviceSpec, SsdConfig] = "ull",
+    **kwargs: Any,
 ) -> SsdDevice:
     """A fresh device on ``sim`` (keywords as on :class:`Testbed`)."""
     return Testbed(device=device, **kwargs).open_device(sim)

@@ -25,12 +25,18 @@ from repro.sim.engine import Simulator
 from repro.spdk.stack import SpdkStack
 from repro.ssd.config import SsdConfig
 from repro.ssd.device import SsdDevice
-from repro.ssd.presets import nvme_ssd_config, ull_ssd_config
+from repro.ssd.presets import build_nvme_preset, build_ull_preset
 from repro.workloads.runner import JobResult
 
 
 class DeviceKind(enum.Enum):
-    """Which of the paper's two SSDs to instantiate."""
+    """The paper's two SSDs (the preset subset of the device registry).
+
+    The full zoo — these two plus planar MLC, multi-step TLC, QLC, and
+    the Optane-like PM device — lives in :mod:`repro.ssd.registry`;
+    anything that accepts a device accepts a registry name or a spec
+    path too.
+    """
 
     ULL = "ull"
     NVME = "nvme"
@@ -44,10 +50,14 @@ class StackKind(enum.Enum):
 
 
 def device_config(kind: DeviceKind, **overrides) -> SsdConfig:
-    """The preset config for ``kind`` (keyword overrides pass through)."""
+    """The preset config for ``kind`` (keyword overrides pass through).
+
+    Preset path only; for registry names and spec files use
+    :func:`repro.ssd.registry.resolve_config`.
+    """
     if kind is DeviceKind.ULL:
-        return ull_ssd_config(**overrides)
-    return nvme_ssd_config(**overrides)
+        return build_ull_preset(**overrides)
+    return build_nvme_preset(**overrides)
 
 
 def build_device(

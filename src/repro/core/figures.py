@@ -48,6 +48,7 @@ from repro.core.extensions import (
     lightqueue_study,
 )
 from repro.core.figures_faults import fault_nbdflap, fault_readtail, fault_retry
+from repro.core.figures_zoo import zoo_latency
 from repro.core.metrics import FigureResult, Series
 from repro.flash.timing import TABLE_I
 
@@ -119,6 +120,8 @@ FIGURES: Dict[str, Callable[..., FigureResult]] = {
     "ext-lightqueue": lightqueue_study,
     "ext-lightqueue-depth": lightqueue_depth_limit,
     "ext-anatomy": latency_anatomy,
+    # The registry's device axis: every zoo spec on one chart.
+    "zoo-latency": zoo_latency,
     # Resilience under deterministic fault injection (repro.faults).
     "fault-readtail": fault_readtail,
     "fault-retry": fault_retry,

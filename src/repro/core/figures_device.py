@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Tuple
 
 from repro.core.display import PATTERN_LABELS, PATTERNS, US
-from repro.core.experiment import DeviceKind, device_config
+from repro.core.experiment import DeviceKind
 from repro.core.metrics import FigureResult, Series
 from repro.core.runners import async_point, gc_point, idle_point, sync_point
 from repro.core.sweep import sweep
@@ -83,9 +83,14 @@ def fig04b(io_count: int = 2000, depths: Tuple[int, ...] = (1, 2, 4, 8, 16, 32))
 def _io_count_for(kind: DeviceKind, rw: str, depth: int, io_count: int) -> int:
     # Write runs must outlast the DRAM write buffer, or the measurement
     # reports buffered-absorption bandwidth instead of steady state.
+    # Sized against the *effective* device so a --device override still
+    # reaches steady state.
+    from repro.ssd.registry import effective_device, resolve_config
+
     count = max(io_count, depth * 30)
     if "write" in rw or rw in ("rw", "randrw"):
-        count = max(count, device_config(kind).write_buffer_units * 5)
+        config = resolve_config(effective_device(kind.value))
+        count = max(count, config.write_buffer_units * 5)
     return count
 
 

@@ -32,11 +32,11 @@ import dataclasses
 from typing import Optional, Tuple
 
 from repro.api import JobConfig, Testbed, device_snapshot
-from repro.core.experiment import DeviceKind, device_config
 from repro.core.sweep import Measurement, Point, make_point, runner
 from repro.faults.plan import FaultPlan, active_plan
 from repro.sim.engine import Simulator
 from repro.ssd.device import SsdDevice
+from repro.ssd.registry import effective_device, resolve_config
 from repro.workloads.job import FioJob, IoEngineKind
 from repro.workloads.runner import run_job
 
@@ -45,11 +45,9 @@ from repro.workloads.runner import run_job
 # Shared helpers
 # ----------------------------------------------------------------------
 def _resolve_config(device: str, config_overrides=()):
-    config = device_config(DeviceKind(device))
-    overrides = dict(config_overrides)
-    if overrides:
-        config = dataclasses.replace(config, **overrides)
-    return config
+    """Any device the registry accepts — preset alias, zoo name, or
+    spec path — resolved with overrides applied."""
+    return resolve_config(device, tuple(config_overrides))
 
 
 def _resolve_faults(fault_plan: Tuple) -> Optional[FaultPlan]:
@@ -315,6 +313,15 @@ def anatomy_runner(
 # ----------------------------------------------------------------------
 # Point constructors: the seed conventions of the pre-engine helpers
 # ----------------------------------------------------------------------
+# Each constructor passes its device through
+# ``registry.effective_device`` — the CLI's ``--device`` override
+# substitutes at *declaration* time, so the override lands in the
+# point's canonical parameters (and its cache key) and worker processes
+# need no ambient state.  Default point *keys* keep the declared device
+# name: figures index and label their series by the grid they declared,
+# and overridden grids that collapse onto one device dedup through the
+# engine's memo (identical params = one execution).  ``nbd_point`` is
+# the one exception: the NBD system models the ULL SSD only.
 def sync_point(
     device: str,
     rw: str,
@@ -330,8 +337,11 @@ def sync_point(
     Mirrors ``run_sync_job``: one seed (42) drives device, stack, and
     access pattern alike.
     """
+    if key is None:
+        key = (device, rw, block_size, method, stack)
+    device = effective_device(device)
     return make_point(
-        key if key is not None else (device, rw, block_size, method, stack),
+        key,
         "job",
         device=device,
         rw=rw,
@@ -362,8 +372,11 @@ def async_point(
 
     Mirrors ``run_async_job``: device and pattern seeded 42, stack 11.
     """
+    if key is None:
+        key = (device, rw, iodepth)
+    device = effective_device(device)
     return make_point(
-        key if key is not None else (device, rw, iodepth),
+        key,
         "job",
         device=device,
         rw=rw,
@@ -383,8 +396,11 @@ def async_point(
 def gc_point(device: str, io_count: int, *, key=None) -> Point:
     """Sustained sync QD-1 random overwrites until GC engages, with the
     latency time series and a device snapshot (Figs. 7b/8)."""
+    if key is None:
+        key = ("gc", device)
+    device = effective_device(device)
     return make_point(
-        key if key is not None else ("gc", device),
+        key,
         "job",
         device=device,
         rw="randwrite",
@@ -417,6 +433,7 @@ def config_point(
     Mirrors ``ablations._run_on_config``: device seed 42, stack seed 11,
     fio's default pattern seed (1234).
     """
+    device = effective_device(device)
     return make_point(
         key,
         "job",
@@ -447,8 +464,11 @@ def light_point(
     key=None,
 ) -> Point:
     """A light-queue-vs-NVMe-rings measurement (extension studies)."""
+    if key is None:
+        key = (device, rw, light, completion, iodepth)
+    device = effective_device(device)
     return make_point(
-        key if key is not None else (device, rw, light, completion, iodepth),
+        key,
         "job",
         device=device,
         rw=rw,
@@ -465,8 +485,11 @@ def light_point(
 
 def idle_point(device: str, *, duration_ns: int = 10_000_000, key=None) -> Point:
     """Average power of an idle, preconditioned device."""
+    if key is None:
+        key = ("idle", device)
+    device = effective_device(device)
     return make_point(
-        key if key is not None else ("idle", device),
+        key,
         "idle",
         device=device,
         duration_ns=duration_ns,
@@ -491,8 +514,11 @@ def anatomy_point(
     device: str = "ull", seed: int = 42, key=None,
 ) -> Point:
     """One stage-probe run for the latency-anatomy extension."""
+    if key is None:
+        key = (stack, completion)
+    device = effective_device(device)
     return make_point(
-        key if key is not None else (stack, completion),
+        key,
         "anatomy",
         device=device,
         stack=stack,

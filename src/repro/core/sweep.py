@@ -138,6 +138,9 @@ class DeviceSnapshot:
     write_amplification: float = 0.0
     erases: int = 0
     power_series: Optional[object] = None  # stats.timeseries.TimeSeries
+    #: Registry/spec name of the device measured ("" for legacy
+    #: snapshots unpickled from warm caches).
+    device: str = ""
 
 
 @dataclass(frozen=True)
@@ -181,17 +184,20 @@ def get_runner(name: str) -> Callable[..., Measurement]:
 # Cache keys
 # ----------------------------------------------------------------------
 def _device_identity(params: Dict[str, Any]) -> str:
-    """The resolved device configuration a point will run against."""
+    """The resolved device identity a point will run against.
+
+    Preset devices (``"ull"``/``"nvme"``) keep their historical identity
+    string — a ``repr`` of the resolved config — so warm caches stay
+    valid; registry/spec devices are content-addressed by canonical spec
+    hash (``spec:<name>:<hash>``).  See
+    :func:`repro.ssd.registry.device_identity`.
+    """
     device = params.get("device")
     if not device:
         return ""
-    from repro.core.experiment import DeviceKind, device_config
+    from repro.ssd.registry import device_identity
 
-    config = device_config(DeviceKind(device))
-    overrides = dict(params.get("config_overrides", ()))
-    if overrides:
-        config = dataclasses.replace(config, **overrides)
-    return repr(sorted(dataclasses.asdict(config).items()))
+    return device_identity(device, params.get("config_overrides", ()))
 
 
 def _costs_identity() -> str:

@@ -78,6 +78,16 @@ class Observability:
         self.telemetry.new_sim()
         self.profiler.new_sim()
 
+    def label_device(self, label: str) -> None:
+        """Stamp the current sim's spans/series with a device name.
+
+        Called by :class:`~repro.ssd.device.SsdDevice` construction with
+        the registry/spec label its config resolved from, so traces and
+        telemetry say *which* device a pid measured.
+        """
+        self.tracer.label_device(label)
+        self.telemetry.label_device(label)
+
     def absorb(self, other: "Observability") -> None:
         """Merge a worker bundle (spans, metrics, telemetry) into this one.
 
@@ -121,6 +131,9 @@ class _NullObservability:
     enabled = False
 
     def attach(self, sim: "Simulator") -> None:
+        pass
+
+    def label_device(self, label: str) -> None:
         pass
 
 

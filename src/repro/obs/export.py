@@ -175,14 +175,18 @@ def chrome_trace_events(
             }
         )
     metadata: List[dict] = []
+    device_labels = getattr(tracer, "device_labels", {})
     for pid in sorted(pids):
+        label = device_labels.get(pid)
         metadata.append(
             {
                 "name": "process_name",
                 "ph": "M",
                 "pid": pid,
                 "tid": 0,
-                "args": {"name": f"sim {pid}"},
+                "args": {
+                    "name": f"sim {pid} [{label}]" if label else f"sim {pid}"
+                },
             }
         )
     for (pid, tid) in sorted(lane_tids):
@@ -350,6 +354,19 @@ def telemetry_to_text(telemetry: "AnyTelemetry") -> str:
         return "(no telemetry series recorded)"
     name_width = max(len(row[0]) for row in rows)
     lines = []
+    device_labels = getattr(telemetry, "device_labels", {})
+    if device_labels:
+        distinct = sorted(set(device_labels.values()))
+        if len(distinct) == 1:
+            lines.append(
+                f"devices: {distinct[0]} ({len(device_labels)} sims)"
+            )
+        else:
+            devices = ", ".join(
+                f"{pid}:{label}"
+                for pid, label in sorted(device_labels.items())
+            )
+            lines.append(f"devices: {devices}")
     for name, kind, count, mean, p50, p99, peak, dropped, onset, unit in rows:
         lines.append(
             f"{name.ljust(name_width)}  {kind:<5} n={count:<8} "

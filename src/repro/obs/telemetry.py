@@ -457,6 +457,8 @@ class Telemetry:
         self.config = config or TelemetryConfig()
         self._series: "Dict[Tuple[int, str], TimeSeries]" = {}
         self._pid = 0
+        #: pid -> registry/spec name of the device that sim ran against.
+        self.device_labels: Dict[int, str] = {}
 
     # ------------------------------------------------------------------
     def new_sim(self) -> None:
@@ -466,6 +468,11 @@ class Telemetry:
     @property
     def current_pid(self) -> int:
         return max(1, self._pid)
+
+    def label_device(self, label: str) -> None:
+        """Record which device the current sim's series measure."""
+        if label:
+            self.device_labels[self.current_pid] = label
 
     # ------------------------------------------------------------------
     def series(
@@ -548,6 +555,8 @@ class Telemetry:
                 self._series[key] = series
             else:
                 mine._merge_from(series)
+        for pid, label in sorted(other.device_labels.items()):
+            self.device_labels[pid + pid_base] = label
         self._pid += other._pid
 
 
@@ -592,8 +601,12 @@ class NullTelemetry:
 
     enabled = False
     config: Optional[TelemetryConfig] = None
+    device_labels: Dict[int, str] = {}
 
     def new_sim(self) -> None:
+        pass
+
+    def label_device(self, label: str) -> None:
         pass
 
     def series(

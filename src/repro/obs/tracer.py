@@ -201,6 +201,9 @@ class SpanTracer:
         self._pid = 0
         self.finished_ios: List[IoTrace] = []
         self.track_spans: List[Span] = []
+        #: pid -> registry/spec name of the device that sim ran against
+        #: (fed by device construction; names the Chrome-trace process).
+        self.device_labels: Dict[int, str] = {}
 
     # ------------------------------------------------------------------
     def new_sim(self) -> None:
@@ -215,6 +218,11 @@ class SpanTracer:
     @property
     def current_pid(self) -> int:
         return max(1, self._pid)
+
+    def label_device(self, label: str) -> None:
+        """Record which device the current sim's spans run against."""
+        if label:
+            self.device_labels[self.current_pid] = label
 
     # ------------------------------------------------------------------
     def begin_io(self, op: object, offset: int, nbytes: int, at: int) -> IoTrace:
@@ -294,6 +302,8 @@ class SpanTracer:
                     args=args,
                 )
             )
+        for pid, label in sorted(other.device_labels.items()):
+            self.device_labels[pid + pid_base] = label
         self._pid += other._pid
         self._next_io_id += other._next_io_id
 
@@ -322,8 +332,12 @@ class NullTracer:
     """
 
     enabled = False
+    device_labels: Dict[int, str] = {}
 
     def new_sim(self) -> None:
+        pass
+
+    def label_device(self, label: str) -> None:
         pass
 
     def begin_io(

@@ -14,6 +14,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Generator, List, Optional
 
+from repro.obs.core import current_obs
 from repro.sim.engine import Simulator
 from repro.sim.events import Event
 from repro.ssd.config import UNIT_SIZE, SsdConfig
@@ -71,6 +72,11 @@ class SsdDevice:
         self.completed_reads = 0
         self.completed_writes = 0
         self.completed_trims = 0
+        obs = current_obs()
+        if obs.enabled:
+            from repro.ssd.registry import spec_label
+
+            obs.label_device(spec_label(config))
 
     # ------------------------------------------------------------------
     @property

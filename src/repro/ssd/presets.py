@@ -3,16 +3,26 @@
 Capacities are scaled down (hundreds of MiB) so GC experiments run in
 seconds; every latency/bandwidth-relevant parameter keeps its
 paper-derived value.  Docstrings note the provenance of each number.
+
+These hand-wired builders are the byte-identity reference for the
+``zssd``/``intel750`` specs in the device zoo (``devices/``), and the
+construction path behind the ``"ull"``/``"nvme"`` preset names — which
+is why their sweep cache identity never changed when the registry
+landed.  The public ``ull_ssd_config``/``nvme_ssd_config`` entry points
+are deprecated shims; new code names devices through
+:mod:`repro.ssd.registry` / :class:`repro.api.Testbed` instead.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from repro.flash.timing import PLANAR_MLC, Z_NAND
 from repro.ssd.config import SsdConfig
 from repro.ssd.power import PowerParams
 
 
-def ull_ssd_config(
+def build_ull_preset(
     *,
     blocks_per_die: int = 34,
     pages_per_block: int = 128,
@@ -81,7 +91,7 @@ def ull_ssd_config(
     )
 
 
-def nvme_ssd_config(
+def build_nvme_preset(
     *,
     blocks_per_die: int = 34,
     pages_per_block: int = 256,
@@ -139,3 +149,32 @@ def nvme_ssd_config(
             transfer_w=0.015,
         ),
     )
+
+
+# ----------------------------------------------------------------------
+# Deprecated shims
+# ----------------------------------------------------------------------
+def ull_ssd_config(**overrides: int) -> SsdConfig:
+    """Deprecated: use ``Testbed(device="zssd")`` or
+    ``repro.ssd.registry.resolve_config("zssd")`` instead."""
+    warnings.warn(
+        "ull_ssd_config is deprecated; name the device instead — "
+        "repro.api.Testbed(device='zssd') or "
+        "repro.ssd.registry.resolve_config('zssd')",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return build_ull_preset(**overrides)
+
+
+def nvme_ssd_config(**overrides: int) -> SsdConfig:
+    """Deprecated: use ``Testbed(device="intel750")`` or
+    ``repro.ssd.registry.resolve_config("intel750")`` instead."""
+    warnings.warn(
+        "nvme_ssd_config is deprecated; name the device instead — "
+        "repro.api.Testbed(device='intel750') or "
+        "repro.ssd.registry.resolve_config('intel750')",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return build_nvme_preset(**overrides)

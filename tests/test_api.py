@@ -104,6 +104,81 @@ class TestTestbed:
         assert snap.gc_events == len(device.stats.gc_events)
 
 
+class TestNamedDevices:
+    """The redesigned facade: devices are named registry entries."""
+
+    def test_zoo_name_runs_identically_to_preset(self):
+        config = JobConfig(rw="randread", io_count=130)
+        via_name = Testbed(device="zssd").run_job(config)
+        via_preset = Testbed(device="ull").run_job(config)
+        assert via_name.latency == via_preset.latency
+        assert via_name.duration_ns == via_preset.duration_ns
+
+    def test_spec_path_as_device(self):
+        from repro.ssd.registry import DEVICES_DIR
+
+        testbed = Testbed(device=str(DEVICES_DIR / "qlc.toml"))
+        assert testbed.device_config() == Testbed(device="qlc").device_config()
+
+    def test_device_spec_object_as_device(self):
+        from repro.api import DeviceSpec, load_device_spec
+        from repro.ssd.registry import DEVICES_DIR
+
+        spec = load_device_spec(DEVICES_DIR / "tlc-multistep.toml")
+        assert isinstance(spec, DeviceSpec)
+        testbed = Testbed(device=spec)
+        assert testbed.device_name == "tlc-multistep"
+        assert testbed.device_config() == Testbed(
+            device="tlc-multistep"
+        ).device_config()
+
+    def test_ssd_config_object_as_device(self):
+        explicit = Testbed(device="nvme").device_config()
+        testbed = Testbed(device=explicit)
+        assert testbed.device_config() == explicit
+        result = testbed.run_job(JobConfig(rw="randread", io_count=100))
+        assert result.latency.count == 100
+
+    def test_list_devices_exposed_on_facade(self):
+        from repro.api import list_devices
+
+        names = list_devices()
+        assert "zssd" in names and "intel750" in names
+        assert len(names) >= 6
+
+    def test_unknown_device_is_a_spec_error(self):
+        from repro.api import DeviceSpecError
+
+        with pytest.raises(DeviceSpecError):
+            Testbed(device="warp-drive").device_config()
+
+    def test_spec_device_with_overrides(self):
+        tweaked = Testbed(
+            device="qlc", config_overrides=(("overprovision", 0.4),)
+        ).device_config()
+        assert tweaked.overprovision == 0.4
+
+    def test_preset_config_shims_warn(self):
+        from repro.ssd.presets import (
+            build_nvme_preset,
+            build_ull_preset,
+            nvme_ssd_config,
+            ull_ssd_config,
+        )
+
+        with pytest.warns(DeprecationWarning, match="zssd"):
+            assert ull_ssd_config() == build_ull_preset()
+        with pytest.warns(DeprecationWarning, match="intel750"):
+            assert nvme_ssd_config() == build_nvme_preset()
+
+    def test_shims_still_honor_overrides(self):
+        from repro.ssd.presets import ull_ssd_config
+
+        with pytest.warns(DeprecationWarning):
+            config = ull_ssd_config(write_buffer_units=64)
+        assert config.write_buffer_units == 64
+
+
 class TestFacadeParity:
     """The facade reproduces the historical helpers bit for bit."""
 

@@ -127,6 +127,74 @@ class TestSubcommands:
         assert main(["figures", "fig99"]) == 2
 
 
+class TestDevicesSubcommand:
+    def test_list_names_every_device_and_preset_alias(self, capsys):
+        assert main(["devices", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("zssd", "intel750", "qlc", "planar-mlc",
+                     "tlc-multistep", "no-gc-pm"):
+            assert name in out
+        assert "preset alias" in out and "ull" in out
+
+    def test_show_dumps_toml_with_hash_on_stderr(self, capsys):
+        assert main(["devices", "show", "qlc"]) == 0
+        captured = capsys.readouterr()
+        assert '[timing]' in captured.out and 'name = "qlc"' in captured.out
+        assert "spec_hash:" in captured.err
+
+    def test_show_json_format(self, capsys):
+        import json
+
+        assert main(["devices", "show", "zssd", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["name"] == "zssd"
+
+    def test_show_preset_via_spec_twin(self, capsys):
+        assert main(["devices", "show", "ull"]) == 0
+        assert 'name = "ull"' in capsys.readouterr().out
+
+    def test_unknown_device_exits_2_with_clean_error(self, capsys):
+        assert main(["devices", "show", "warp-drive"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("devices:")
+        assert "Traceback" not in err
+
+
+class TestDeviceFlag:
+    def test_figures_accept_device_override(self, capsys):
+        assert main(
+            ["figures", "fig14b", "--scale", "0.1", "--device", "zssd"]
+        ) == 0
+        assert "blk_mq_poll" in capsys.readouterr().out
+
+    def test_device_flag_accepts_spec_path(self, capsys):
+        from repro.ssd.registry import DEVICES_DIR
+
+        path = str(DEVICES_DIR / "zssd.toml")
+        assert main(
+            ["figures", "fig14b", "--scale", "0.1", "--device", path]
+        ) == 0
+
+    def test_bad_device_name_exits_2(self, capsys):
+        assert main(
+            ["figures", "fig14b", "--scale", "0.1", "--device", "warp-drive"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "device spec error" in err
+        assert "Traceback" not in err
+
+    def test_override_changes_measured_latency(self, capsys):
+        # fig14b's grids are declared on the presets; overriding with the
+        # much slower QLC device must move the measured numbers.
+        assert main(["figures", "fig10", "--scale", "0.05"]) == 0
+        baseline = capsys.readouterr().out
+        assert main(
+            ["figures", "fig10", "--scale", "0.05", "--device", "qlc"]
+        ) == 0
+        overridden = capsys.readouterr().out
+        assert baseline != overridden
+
+
 class TestFaultFlags:
     def test_fault_seed_threads_to_fault_figures(self):
         assert _scaled_kwargs("fault-readtail", 1.0, fault_seed=9) == {

@@ -26,6 +26,7 @@ class TestRegistry:
             "abl-suspend", "abl-mapcache", "abl-writebuffer",
             "abl-overprovision", "abl-gcpolicy", "abl-hybridsleep",
             "ext-lightqueue", "ext-lightqueue-depth", "ext-anatomy",
+            "zoo-latency",
             "fault-readtail", "fault-retry", "fault-nbdflap",
         }
         assert set(FIGURES) == expected

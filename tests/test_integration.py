@@ -12,11 +12,10 @@ from repro import (
     SsdDevice,
     StackKind,
     build_device,
-    nvme_ssd_config,
     run_job,
-    ull_ssd_config,
 )
 from repro.api import JobConfig, Testbed
+from repro.ssd.registry import resolve_config
 
 
 def sync_job(device, rw, *, io_count, block_size=4096, stack="kernel",
@@ -117,7 +116,7 @@ class TestDeterminism:
     def test_full_stack_runs_are_bit_identical(self):
         def one_run():
             sim = Simulator()
-            device = SsdDevice(sim, ull_ssd_config(), seed=3)
+            device = SsdDevice(sim, resolve_config("ull"), seed=3)
             device.precondition()
             stack = KernelStack(
                 sim, device, completion=CompletionMethod.HYBRID, seed=3
@@ -136,7 +135,7 @@ class TestDeterminism:
     def test_spdk_runs_are_bit_identical(self):
         def one_run():
             sim = Simulator()
-            device = SsdDevice(sim, nvme_ssd_config(), seed=4)
+            device = SsdDevice(sim, resolve_config("nvme"), seed=4)
             device.precondition()
             stack = SpdkStack(sim, device)
             job = FioJob(
@@ -159,7 +158,7 @@ class TestPresetSanity:
         assert 100 << 20 < nvme.capacity_bytes < 2 << 30
 
     def test_ull_has_more_overprovision(self):
-        assert ull_ssd_config().overprovision > nvme_ssd_config().overprovision
+        assert resolve_config("ull").overprovision > resolve_config("nvme").overprovision
 
     def test_bandwidth_scale_matches_devices(self):
         """ULL peaks near PCIe (~2.7 GB/s here); NVMe near 1.8 GB/s."""

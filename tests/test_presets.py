@@ -1,10 +1,24 @@
-"""Behavioral tests of the two device presets (paper Section III-B)."""
+"""Behavioral tests of the two device presets (paper Section III-B).
+
+The presets are exercised through the registry (``"ull"``/``"nvme"``) —
+the same configs the deprecated preset shims return (shim warning
+behavior is covered in test_api.py).
+"""
 
 import pytest
 
 from repro.sim import Simulator
-from repro.ssd import SsdDevice, nvme_ssd_config, ull_ssd_config
+from repro.ssd import SsdDevice
 from repro.ssd.device import IoOp
+from repro.ssd.registry import resolve_config
+
+
+def ull_config():
+    return resolve_config("ull")
+
+
+def nvme_config():
+    return resolve_config("nvme")
 
 
 def fresh(config):
@@ -25,7 +39,7 @@ def mean_device_latency(sim, device, op, offsets, nbytes=4096):
 
 class TestUllPreset:
     def test_paper_parameters(self):
-        config = ull_ssd_config()
+        config = ull_config()
         assert config.timing.read_ns == 3_000  # Table I
         assert config.suspend_resume and config.super_channel
         assert config.physical_dies_per_die == 2
@@ -35,7 +49,7 @@ class TestUllPreset:
     def test_random_read_device_latency_near_12us(self):
         import numpy as np
 
-        sim, device = fresh(ull_ssd_config())
+        sim, device = fresh(ull_config())
         rng = np.random.default_rng(1)
         offsets = [int(rng.integers(0, device.logical_pages)) * 4096
                    for _ in range(200)]
@@ -45,7 +59,7 @@ class TestUllPreset:
 
     def test_sequential_reads_faster_than_random(self):
         """The map-segment cache: sequential lookups hit, random miss."""
-        sim, device = fresh(ull_ssd_config())
+        sim, device = fresh(ull_config())
         seq = mean_device_latency(
             sim, device, IoOp.READ, [i * 4096 for i in range(200)]
         )
@@ -61,7 +75,7 @@ class TestUllPreset:
     def test_suspend_resume_fires_under_mixed_load(self):
         import numpy as np
 
-        sim, device = fresh(ull_ssd_config())
+        sim, device = fresh(ull_config())
         rng = np.random.default_rng(3)
         pages = device.logical_pages
         for index in range(600):
@@ -77,16 +91,16 @@ class TestUllPreset:
 
 class TestNvmePreset:
     def test_paper_parameters(self):
-        config = nvme_ssd_config()
+        config = nvme_config()
         assert config.timing.read_ns == 70_000  # planar MLC tR
         assert not config.suspend_resume and not config.super_channel
         assert config.read_cache_units > 0 and config.prefetch_ahead > 0
-        assert config.write_buffer_units > ull_ssd_config().write_buffer_units
+        assert config.write_buffer_units > ull_config().write_buffer_units
 
     def test_random_read_exposes_raw_flash(self):
         import numpy as np
 
-        sim, device = fresh(nvme_ssd_config())
+        sim, device = fresh(nvme_config())
         rng = np.random.default_rng(4)
         offsets = [int(rng.integers(0, device.logical_pages)) * 4096
                    for _ in range(150)]
@@ -95,7 +109,7 @@ class TestNvmePreset:
         assert 70_000 < mean < 90_000
 
     def test_prefetcher_accelerates_sequential_reads(self):
-        sim, device = fresh(nvme_ssd_config())
+        sim, device = fresh(nvme_config())
         seq = mean_device_latency(
             sim, device, IoOp.READ, [i * 4096 for i in range(300)]
         )
@@ -103,19 +117,19 @@ class TestNvmePreset:
         assert device.stats.cache_read_hits > 100
 
     def test_buffered_write_hides_millisecond_program(self):
-        sim, device = fresh(nvme_ssd_config())
+        sim, device = fresh(nvme_config())
         mean = mean_device_latency(
             sim, device, IoOp.WRITE, [i * 4096 for i in range(100)]
         )
         assert mean < 15_000  # tPROG is 1.1ms; the buffer hides it
 
     def test_both_presets_share_idle_power(self):
-        assert ull_ssd_config().power.idle_w == nvme_ssd_config().power.idle_w == 3.8
+        assert ull_config().power.idle_w == nvme_config().power.idle_w == 3.8
 
     def test_program_power_mlc_above_znand(self):
         # Per *pair*, Z-NAND programs still draw less than one MLC die.
-        ull = ull_ssd_config()
-        nvme = nvme_ssd_config()
+        ull = ull_config()
+        nvme = nvme_config()
         assert (
             ull.power.program_op_w * ull.physical_dies_per_die
             < nvme.power.program_op_w

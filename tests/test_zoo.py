@@ -1,0 +1,76 @@
+"""Tests for the device zoo and the zoo-latency figure.
+
+Physics smoke checks across every shipped device: each zoo member must
+simulate cleanly and land in a physically sensible latency ordering
+(ULL Z-NAND below planar MLC below QLC for reads; buffered writes fast
+everywhere).
+"""
+
+from repro.core.figures_zoo import zoo_latency, zoo_sweep
+from repro.core.sweep import point_cache_key
+from repro.core.figures_zoo import zoo_points
+from repro.ssd.registry import list_devices
+
+
+class TestZooSweep:
+    def test_every_device_runs_both_workloads(self):
+        results = zoo_sweep(("randread", "randwrite"), io_count=120)
+        devices = list_devices()
+        assert set(results) == {
+            (d, rw) for d in devices for rw in ("randread", "randwrite")
+        }
+        for measurement in results.values():
+            assert measurement.result.latency.count > 0
+            assert measurement.result.latency.mean_ns > 0
+
+    def test_read_latency_ordering_is_physical(self):
+        results = zoo_sweep(("randread",), io_count=200)
+        mean_us = {
+            device: results[(device, "randread")].result.latency.mean_us
+            for device in list_devices()
+        }
+        # ULL Z-NAND reads are an order of magnitude under planar MLC,
+        # which in turn beats QLC's long sensing.
+        assert mean_us["zssd"] < mean_us["planar-mlc"] < mean_us["qlc"]
+        assert mean_us["zssd"] < mean_us["intel750"]
+        # The persistent-memory-style device has the shortest read path.
+        assert mean_us["no-gc-pm"] <= mean_us["zssd"]
+
+    def test_buffered_writes_fast_everywhere(self):
+        results = zoo_sweep(("randwrite",), io_count=120)
+        for device in list_devices():
+            mean_us = results[(device, "randwrite")].result.latency.mean_us
+            # Write buffers absorb 4KB randwrite at qd1 on every device.
+            assert mean_us < 100.0, device
+
+    def test_zoo_points_have_distinct_cache_keys(self):
+        points = zoo_points(("randread",), io_count=100)
+        keys = {point_cache_key(p) for p in points}
+        assert len(keys) == len(points) == len(list_devices())
+
+    def test_device_subset_selection(self):
+        results = zoo_sweep(
+            ("randread",), io_count=100, devices=("zssd", "qlc")
+        )
+        assert set(results) == {("zssd", "randread"), ("qlc", "randread")}
+
+
+class TestZooFigure:
+    def test_zoo_latency_figure_shape(self):
+        result = zoo_latency(io_count=120)
+        assert result.figure_id == "zoo-latency"
+        devices = list_devices()
+        labels = {series.label for series in result.series}
+        assert {"RndRd mean", "RndRd p99", "RndWr mean", "RndWr p99"} <= labels
+        for series in result.series:
+            assert list(series.x) == list(devices)
+            for device in devices:
+                assert series.value_at(device) > 0
+
+    def test_p99_at_least_mean(self):
+        result = zoo_latency(io_count=120)
+        for rw in ("RndRd", "RndWr"):
+            mean = result.get(f"{rw} mean")
+            p99 = result.get(f"{rw} p99")
+            for device in mean.x:
+                assert p99.value_at(device) >= mean.value_at(device) * 0.99
