@@ -10,7 +10,7 @@ Two quality-gate subcommands stand alone (see ``docs/lint.md``):
   when installed (skipped with a notice otherwise; ``--strict-tools``
   turns a skip into a failure).
 
-Five subcommands share one flag vocabulary:
+Six subcommands share one flag vocabulary:
 
 * ``figures`` — run figure reproductions and print their tables.  The
   historical flat form (``python -m repro fig10 --scale 0.2``) still
@@ -22,6 +22,12 @@ Five subcommands share one flag vocabulary:
 * ``trace`` — run ONE figure under a fresh observability bundle and
   report what the spans say; defaults to the latency-anatomy breakdown
   when no other observability output is selected.
+* ``blame`` — run ONE figure under wait-for blame attribution
+  (:mod:`repro.obs.blame`): verify the wait/service conservation
+  invariant on every traced I/O (printing a machine-checkable
+  ``conservation: OK`` line), then the tail-latency blame table —
+  which resource held the slowest requests, per (device, op) group —
+  plus SLO attainment for each ``--slo`` objective.
 * ``perf`` — time figures (wall seconds, sim-events/sec, cache state),
   write a top-level ``BENCH_<date>.json``, and optionally gate against
   a previous document with ``--compare OLD.json`` (``--threshold``
@@ -59,7 +65,9 @@ Observability flags wrap each figure run in a fresh
 :class:`repro.obs.core.Observability` bundle:
 
 * ``--trace-out FILE`` — write a Chrome ``trace_event`` JSON of every
-  I/O's spans (load it in Perfetto or ``chrome://tracing``);
+  I/O's spans (load it in Perfetto or ``chrome://tracing``); a
+  ``.jsonl`` extension selects the schema-versioned structured-event
+  export instead (one JSON object per span/wait-edge/sample);
 * ``--metrics`` / ``--metrics-out FILE`` — dump the metrics registry as
   text / CSV;
 * ``--anatomy`` — print the span-level latency-anatomy breakdown;
@@ -68,7 +76,12 @@ Observability flags wrap each figure run in a fresh
   the digest summary / write samples to FILE (``.html`` gets the
   self-contained timeline report, anything else long-format CSV);
   ``--telemetry-period NS`` sets the sample period.  With telemetry on,
-  ``--trace-out`` traces also carry counter tracks.
+  ``--trace-out`` traces also carry counter tracks;
+* ``--blame`` / ``--slo SPEC`` / ``--blame-out FILE`` — record wait-for
+  blame attribution (``--slo`` and ``--blame-out`` imply ``--blame``):
+  print the tail-latency blame table, monitor ``OP:LATENCY[@OBJECTIVE]``
+  objectives, and write the report to FILE (``.html`` gets the
+  self-contained version).
 
 With several figures selected, file outputs get a per-figure suffix
 (``trace.json`` becomes ``trace.fig10.json``).
@@ -88,8 +101,64 @@ from repro.core.figures import FIGURES, run_figure
 from repro.core.report import render_figure
 
 SUBCOMMANDS = (
-    "figures", "sweep", "trace", "perf", "profile", "devices", "lint", "check",
+    "figures", "sweep", "trace", "blame", "perf", "profile", "devices",
+    "lint", "check",
 )
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: a strictly positive integer (one clean error line)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}"
+        )
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type: a strictly positive float."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number, got {text!r}"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number, got {text!r}"
+        )
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    """argparse type: an integer >= 0 (seeds: 0 is the documented default)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {text!r}"
+        )
+    return value
+
+
+def _slo_spec(text: str):
+    """argparse type: parse OP:LATENCY[@OBJECTIVE] into an SloSpec."""
+    from repro.obs.blame import SloSpec
+
+    try:
+        return SloSpec.parse(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def _scaled_kwargs(figure_id: str, scale: float, seed=None, fault_seed=None) -> dict:
@@ -148,6 +217,23 @@ def _telemetry_config(args):
     )
 
 
+def _wants_blame(args) -> bool:
+    return bool(
+        getattr(args, "blame", False)
+        or getattr(args, "slo", None)
+        or getattr(args, "blame_out", None)
+    )
+
+
+def _blame_config(args):
+    from repro.obs.blame import DEFAULT_TOP, BlameConfig
+
+    return BlameConfig(
+        top=getattr(args, "top", None) or DEFAULT_TOP,
+        slos=tuple(getattr(args, "slo", None) or ()),
+    )
+
+
 def _emit_observability(obs, figure_id: str, args, multi: bool) -> None:
     from repro.obs.anatomy import AnatomyReport
     from repro.obs.export import (
@@ -167,13 +253,25 @@ def _emit_observability(obs, figure_id: str, args, multi: bool) -> None:
     if args.telemetry:
         print(telemetry_to_text(obs.telemetry))
         print()
+    blame = getattr(obs, "blame", None)
+    if blame is not None and (
+        getattr(args, "blame", False) or getattr(args, "slo", None)
+    ):
+        from repro.obs.blame import blame_table
+
+        print(blame_table(blame))
+        print()
     if args.trace_out:
         path = _suffixed(args.trace_out, figure_id, multi)
-        count = write_chrome_trace(
-            obs.tracer, path,
-            telemetry=obs.telemetry if obs.telemetry.enabled else None,
-        )
-        print(f"wrote {count} trace events to {path}", file=sys.stderr)
+        telemetry = obs.telemetry if obs.telemetry.enabled else None
+        if path.endswith(".jsonl"):
+            from repro.obs.export import write_trace_jsonl
+
+            count = write_trace_jsonl(obs.tracer, path, telemetry=telemetry)
+            print(f"wrote {count} JSONL events to {path}", file=sys.stderr)
+        else:
+            count = write_chrome_trace(obs.tracer, path, telemetry=telemetry)
+            print(f"wrote {count} trace events to {path}", file=sys.stderr)
     if args.metrics_out:
         path = _suffixed(args.metrics_out, figure_id, multi)
         write_metrics_csv(obs.registry, path)
@@ -190,6 +288,21 @@ def _emit_observability(obs, figure_id: str, args, multi: bool) -> None:
         else:
             write_telemetry_csv(obs.telemetry, path)
         print(f"wrote telemetry to {path}", file=sys.stderr)
+    if blame is not None and getattr(args, "blame_out", None):
+        from repro.obs.blame import blame_table
+
+        path = _suffixed(args.blame_out, figure_id, multi)
+        if path.endswith((".html", ".htm")):
+            from repro.obs.html import write_blame_html
+
+            write_blame_html(
+                blame, path, title=f"Tail-latency blame — {figure_id}"
+            )
+        else:
+            from repro.obs.export import atomic_write_text
+
+            atomic_write_text(path, blame_table(blame) + "\n")
+        print(f"wrote blame report to {path}", file=sys.stderr)
 
 
 def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
@@ -239,7 +352,7 @@ def _add_fault_flags(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--fault-seed",
-        type=int,
+        type=_nonnegative_int,
         default=None,
         metavar="N",
         help=(
@@ -288,10 +401,38 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--telemetry-period",
-        type=int,
+        type=_positive_int,
         default=None,
         metavar="NS",
         help="telemetry sample period in sim nanoseconds (default 10000)",
+    )
+    parser.add_argument(
+        "--blame",
+        action="store_true",
+        help=(
+            "record per-I/O wait-for blame attribution and print the "
+            "tail-latency blame table after each figure"
+        ),
+    )
+    parser.add_argument(
+        "--slo",
+        action="append",
+        default=[],
+        type=_slo_spec,
+        metavar="SPEC",
+        help=(
+            "monitor a latency SLO: OP:LATENCY[@OBJECTIVE], e.g. "
+            "read:150us@0.999 or '*:1ms@99%%'; repeatable; implies --blame"
+        ),
+    )
+    parser.add_argument(
+        "--blame-out",
+        metavar="FILE",
+        default=None,
+        help=(
+            "write the blame report to FILE (.html -> self-contained "
+            "report, anything else -> the text table); implies --blame"
+        ),
     )
 
 
@@ -333,6 +474,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_select_flags(warm)
     _add_exec_flags(warm)
     _add_fault_flags(warm)
+    _add_obs_flags(warm)
     warm.add_argument(
         "--clear-cache",
         action="store_true",
@@ -371,7 +513,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     perf.add_argument(
         "--threshold",
-        type=float,
+        type=_positive_float,
         default=None,
         help="slowdown gate as a fraction (default 0.30 = fail past +30%%)",
     )
@@ -432,14 +574,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     profile.add_argument(
         "--top",
-        type=int,
+        type=_positive_int,
         default=15,
         metavar="N",
         help="hotspot table size (default 15)",
     )
     profile.add_argument(
         "--period",
-        type=int,
+        type=_positive_int,
         default=None,
         metavar="NS",
         help="queue-series sample period in sim nanoseconds (default 10000)",
@@ -480,6 +622,31 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_exec_flags(trace)
     _add_fault_flags(trace)
     _add_obs_flags(trace)
+
+    blame = sub.add_parser(
+        "blame",
+        help=(
+            "run ONE figure under blame attribution: verify wait/service "
+            "conservation, print the tail-latency blame table"
+        ),
+    )
+    blame.add_argument("figures", nargs=1, metavar="figure", help="figure id")
+    blame.add_argument(
+        "--scale", type=float, default=1.0, help="I/O-count scale factor"
+    )
+    blame.add_argument(
+        "--seed", type=int, default=None, help="device-seed override"
+    )
+    blame.add_argument(
+        "--top",
+        type=_positive_int,
+        default=None,
+        metavar="K",
+        help="slowest requests kept per (device, op) group (default 10)",
+    )
+    _add_exec_flags(blame)
+    _add_fault_flags(blame)
+    _add_obs_flags(blame)
     return parser
 
 
@@ -558,7 +725,8 @@ def _run_targets(targets, args, *, render: bool, observing: bool) -> int:
                 obs = Observability(
                     telemetry=_telemetry_config(args)
                     if _wants_telemetry(args)
-                    else None
+                    else None,
+                    blame=_blame_config(args) if _wants_blame(args) else None,
                 )
                 with obs:
                     result = run_figure(figure_id, **kwargs)
@@ -579,6 +747,44 @@ def _run_targets(targets, args, *, render: bool, observing: bool) -> int:
             )
             if obs is not None:
                 _emit_observability(obs, figure_id, args, multi)
+    return 0
+
+
+def _cmd_blame(parser, args) -> int:
+    """``python -m repro blame FIGURE``: blame attribution with a
+    machine-checkable conservation line (CI greps for ``conservation: OK``).
+    """
+    from repro.obs.anatomy import verify_conservation
+    from repro.obs.blame import blame_table, verify_blame_conservation
+    from repro.obs.core import Observability
+
+    figure_id = args.figures[0]
+    if figure_id not in FIGURES:
+        print(f"unknown figure {figure_id!r}; try --list", file=sys.stderr)
+        return 2
+    _configure_engine(args)
+    kwargs = _scaled_kwargs(
+        figure_id, args.scale, seed=args.seed, fault_seed=args.fault_seed
+    )
+    obs = Observability(
+        telemetry=_telemetry_config(args) if _wants_telemetry(args) else None,
+        blame=_blame_config(args),
+    )
+    started = time.time()
+    with _fault_context(args), _device_context(args), obs:
+        run_figure(figure_id, **kwargs)
+    elapsed = time.time() - started
+    traced = verify_conservation(obs.tracer)
+    outliers = verify_blame_conservation(obs.blame)
+    print(f"conservation: OK ({outliers} outliers over {traced} I/Os)")
+    print()
+    print(blame_table(obs.blame))
+    # The table is printed; leave _emit_observability the file outputs
+    # and any other observability flags the caller set.
+    args.blame = False
+    args.slo = []
+    _emit_observability(obs, figure_id, args, multi=False)
+    print(f"[{elapsed:.1f}s]", file=sys.stderr)
     return 0
 
 
@@ -837,6 +1043,9 @@ def _dispatch(parser, args) -> int:
     if args.command == "profile":
         return _cmd_profile(parser, args)
 
+    if args.command == "blame":
+        return _cmd_blame(parser, args)
+
     if args.command == "trace":
         # Observability is the point: fall back to the anatomy report
         # when no output was chosen explicitly.
@@ -846,6 +1055,7 @@ def _dispatch(parser, args) -> int:
             or args.metrics_out
             or args.anatomy
             or _wants_telemetry(args)
+            or _wants_blame(args)
         ):
             args.anatomy = True
         return _run_targets(args.figures, args, render=True, observing=True)
@@ -855,15 +1065,16 @@ def _dispatch(parser, args) -> int:
         return 0
     if not targets:
         return 2
-    if args.command == "sweep":
-        return _run_targets(targets, args, render=False, observing=False)
     observing = bool(
         args.trace_out
         or args.metrics
         or args.metrics_out
         or args.anatomy
         or _wants_telemetry(args)
+        or _wants_blame(args)
     )
+    if args.command == "sweep":
+        return _run_targets(targets, args, render=False, observing=observing)
     return _run_targets(targets, args, render=True, observing=observing)
 
 

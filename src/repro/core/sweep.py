@@ -237,12 +237,13 @@ def _ambient_telemetry_params():
     return telemetry.config.to_params()
 
 
-# NOTE: the self-profiler (repro.obs.prof) is deliberately *excluded*
-# from cache keys.  Its configuration is attribution-only — it cannot
-# change a measurement (byte-identity is a tested guarantee), and
-# profiled runs always execute live because an enabled profiler makes
-# the installed bundle ``enabled``.  Keying on it would only fragment
-# warm caches.
+# NOTE: the self-profiler (repro.obs.prof) and the blame recorder
+# (repro.obs.blame) are deliberately *excluded* from cache keys.  Their
+# configuration is attribution-only — it cannot change a measurement
+# (byte-identity is a tested guarantee for both), and profiled/blamed
+# runs always execute live because an enabled profiler or blame
+# recorder makes the installed bundle ``enabled`` (blame additionally
+# requires tracing).  Keying on them would only fragment warm caches.
 
 
 def point_cache_key(point: Point, version: int = CACHE_SCHEMA) -> str:
@@ -336,6 +337,7 @@ def _execute_point_traced(
     fault_params=None,
     telemetry_params=None,
     profile_params=None,
+    blame_params=None,
 ):
     """Run one point under a fresh worker-local bundle and ship both back."""
     telemetry = None
@@ -348,8 +350,14 @@ def _execute_point_traced(
         from repro.obs.prof import ProfilerConfig
 
         profile = ProfilerConfig.from_params(profile_params)
+    blame = None
+    if blame_params is not None:
+        from repro.obs.blame import BlameConfig
+
+        blame = BlameConfig.from_params(blame_params)
     bundle = Observability(
-        tracing=tracing, metrics=metrics, telemetry=telemetry, profile=profile
+        tracing=tracing, metrics=metrics, telemetry=telemetry, profile=profile,
+        blame=blame,
     )
     with bundle:
         measurement = _execute_point(runner_name, params, fault_params)
@@ -479,6 +487,8 @@ class SweepEngine:
             if profiler is not None and profiler.enabled
             else None
         )
+        blame = getattr(obs, "blame", None)
+        blame_params = blame.config.to_params() if blame is not None else None
         if self.jobs > 1 and len(points) > 1:
             workers = min(self.jobs, len(points))
             with ProcessPoolExecutor(max_workers=workers) as pool:
@@ -486,7 +496,7 @@ class SweepEngine:
                     pool.submit(
                         _execute_point_traced, point.runner, point.params,
                         tracing, metrics, fault_params, telemetry_params,
-                        profile_params,
+                        profile_params, blame_params,
                     )
                     for point in points
                 ]
@@ -495,7 +505,7 @@ class SweepEngine:
             pairs = [
                 _execute_point_traced(
                     point.runner, point.params, tracing, metrics, fault_params,
-                    telemetry_params, profile_params,
+                    telemetry_params, profile_params, blame_params,
                 )
                 for point in points
             ]

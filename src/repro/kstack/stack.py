@@ -204,6 +204,7 @@ class KernelStack:
                 ctx.annotate(
                     "blkmq_requeue", start, start + delay, attempt=attempt
                 )
+                ctx.wait("kstack.hwq0", "requeue_backoff", start, start + delay)
             tracer = self.sim.obs.tracer
             if tracer.enabled:
                 tracer.span(

@@ -43,6 +43,11 @@ class NetworkLink:
         self.reconnects = 0
         self.drops = 0
         self._outages_hit: Set[int] = set()
+        # Wait attribution for the last _send (read by the NBD client's
+        # trace hooks): was the start deferred by a flap window, and how
+        # much delivery slip did drop/retransmit recovery add?
+        self.last_outage_defer = False
+        self.last_resend_wait_ns = 0
         if self._faults is not None:
             registry = sim.obs.registry
             self._m_reconnects = registry.counter(
@@ -92,9 +97,14 @@ class NetworkLink:
 
     def _send(self, wire: TimelineResource, nbytes: int, not_before: int) -> Tuple[int, int]:
         fi = self._faults
+        self.last_outage_defer = False
+        self.last_resend_wait_ns = 0
         if fi is not None:
-            not_before = self._defer_for_outage(max(not_before, self.sim.now))
+            ready = max(not_before, self.sim.now)
+            not_before = self._defer_for_outage(ready)
+            self.last_outage_defer = not_before > ready
         start, end = wire.reserve(self.wire_ns(nbytes), not_before)
+        first_end = end
         if fi is not None and fi.spec.drop_prob > 0.0:
             resends = 0
             while resends < fi.spec.max_resends and fi.roll(fi.spec.drop_prob):
@@ -109,6 +119,7 @@ class NetworkLink:
                 self.drops += resends
                 self._m_drops.inc(resends)
                 self._m_resent_bytes.inc(resends * nbytes)
+                self.last_resend_wait_ns = end - first_end
                 tracer = self.sim.obs.tracer
                 if tracer.enabled:
                     tracer.span(

@@ -37,6 +37,7 @@ from repro.ssd.device import IoOp, SsdDevice
 
 if TYPE_CHECKING:
     from repro.faults.plan import FaultPlan
+    from repro.obs.tracer import IoTrace
 
 #: NBD protocol request/response header size.
 NBD_HEADER_BYTES = 28
@@ -124,6 +125,10 @@ class NbdSystem:
         costs = self.costs
         started = self.sim.now
         self.requests += 1
+        tracer = self.sim.obs.tracer
+        ctx = tracer.begin_io(op, offset, nbytes, started) if tracer.enabled else None
+        if ctx is not None:
+            ctx.phase("submit", started)
         # Client: submission through the local kernel stack into nbd.ko.
         yield self._charge_and_wait(
             costs.syscall_entry, ExecMode.KERNEL, "vfs", "syscall"
@@ -134,18 +139,28 @@ class NbdSystem:
         )
         # Request (+ payload for writes) to the server.
         request_bytes = NBD_HEADER_BYTES + (nbytes if op is IoOp.WRITE else 0)
-        _, delivered = self.link.send_to_server(request_bytes, self.sim.now)
+        send_at = self.sim.now
+        sent, delivered = self.link.send_to_server(request_bytes, send_at)
+        if ctx is not None:
+            ctx.phase("net_send", send_at)
+            self._trace_link_waits(ctx, send_at, sent, delivered)
         if delivered > self.sim.now:
             yield self.sim.timeout(delivered - self.sim.now)
         # Server-side residence.
-        yield from self._server_side(op, offset, nbytes)
+        yield from self._server_side(op, offset, nbytes, ctx)
         # Reply (+ payload for reads) back to the client.
         reply_bytes = NBD_HEADER_BYTES + (nbytes if op is IoOp.READ else 0)
-        _, returned = self.link.send_to_client(reply_bytes, self.sim.now)
+        reply_at = self.sim.now
+        sent, returned = self.link.send_to_client(reply_bytes, reply_at)
+        if ctx is not None:
+            ctx.phase("net_return", reply_at)
+            self._trace_link_waits(ctx, reply_at, sent, returned)
         if returned > self.sim.now:
             yield self.sim.timeout(returned - self.sim.now)
         # Client: completion (interrupt-driven; the NBD client is kernel
         # code either way — SPDK only bypasses the *server* side).
+        if ctx is not None:
+            ctx.phase("completion_isr", self.sim.now)
         yield self.sim.timeout(self.costs.irq_delivery_ns)
         yield self._charge_and_wait(
             costs.blkmq_complete, ExecMode.KERNEL, "blk-mq", "blk_mq_complete_request"
@@ -156,19 +171,45 @@ class NbdSystem:
         yield self._charge_and_wait(
             costs.syscall_exit, ExecMode.KERNEL, "vfs", "syscall"
         )
+        if ctx is not None:
+            ctx.finish(self.sim.now)
         return self.sim.now - started
+
+    def _trace_link_waits(
+        self, ctx: "IoTrace", queued_ns: int, sent_ns: int, delivered_ns: int
+    ) -> None:
+        """Name the waits behind one link transfer on the I/O's trace.
+
+        Start slip is the flap window (when the outage logic deferred
+        us) or plain wire serialization backlog; delivery slip beyond
+        the first serialization is drop/retransmit recovery.
+        """
+        link = self.link
+        if sent_ns > queued_ns:
+            holder = "outage" if link.last_outage_defer else "wire_busy"
+            ctx.wait("net.link", holder, queued_ns, sent_ns)
+        if link.last_resend_wait_ns:
+            wire_done = delivered_ns - link.propagation_ns
+            ctx.wait(
+                "net.link",
+                "retransmit",
+                wire_done - link.last_resend_wait_ns,
+                wire_done,
+            )
 
     # ------------------------------------------------------------------
     def _server_side(
-        self, op: IoOp, offset: int, nbytes: int
+        self, op: IoOp, offset: int, nbytes: int, ctx: "Optional[IoTrace]" = None
     ) -> Generator[Event, Any, None]:
+        if ctx is not None:
+            ctx.phase("server", self.sim.now)
         if self.server is NbdServerKind.KERNEL:
-            yield from self._kernel_server(op, offset, nbytes)
+            yield from self._kernel_server(op, offset, nbytes, ctx)
         else:
-            yield from self._spdk_server(op, offset, nbytes)
+            yield from self._spdk_server(op, offset, nbytes, ctx)
 
     def _kernel_server(
-        self, op: IoOp, offset: int, nbytes: int
+        self, op: IoOp, offset: int, nbytes: int, ctx: "Optional[IoTrace]" = None
     ) -> Generator[Event, Any, None]:
         sc = self.server_costs
         if op is IoOp.READ:
@@ -182,9 +223,11 @@ class NbdSystem:
         yield self._charge_and_wait(
             sc.kernel_syscall_path, ExecMode.KERNEL, "nbd-server", "storage_stack"
         )
-        request = self.device.submit(op, offset, nbytes)
+        request = self.device.submit(op, offset, nbytes, trace=ctx)
         if not request.done.triggered:
             yield request.done
+        if ctx is not None:
+            ctx.phase("server", self.sim.now)
         if op is IoOp.READ:
             # The server slept on flash: interrupt + process wake-up.
             yield self._charge_and_wait(
@@ -199,7 +242,7 @@ class NbdSystem:
             )
 
     def _spdk_server(
-        self, op: IoOp, offset: int, nbytes: int
+        self, op: IoOp, offset: int, nbytes: int, ctx: "Optional[IoTrace]" = None
     ) -> Generator[Event, Any, None]:
         sc = self.server_costs
         yield self._charge_and_wait(
@@ -212,9 +255,11 @@ class NbdSystem:
         yield self._charge_and_wait(
             sc.spdk_submit, ExecMode.USER, "spdk-nbd", "spdk_nvme_ns_cmd_rw"
         )
-        request = self.device.submit(op, offset, nbytes)
+        request = self.device.submit(op, offset, nbytes, trace=ctx)
         if not request.done.triggered:
             yield request.done
+        if ctx is not None:
+            ctx.phase("server", self.sim.now)
         yield self._charge_and_wait(
             sc.spdk_reply_send, ExecMode.USER, "spdk-nbd", "dpdk_send"
         )

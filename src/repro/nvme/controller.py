@@ -173,10 +173,20 @@ class NvmeQueuePair:
         """Hand one command to the device; ``attempt`` counts injected
         timeouts already suffered by this command."""
         op = _OP_OF[command.opcode]
-        trace = self._pending[command.cid].trace
+        pending = self._pending[command.cid]
+        trace = pending.trace
         if trace is not None:
             # SQE is in the controller: firmware takes over.
             trace.phase("ctrl", self.sim.now)
+            if attempt == 0:
+                # SQ residence beyond the fetch DMA itself is queueing
+                # behind earlier doorbells (head-of-line blocking).
+                trace.wait(
+                    f"nvme.q{self.index}",
+                    "sq_backlog",
+                    pending.submit_ns + self.timings.sq_fetch_ns,
+                    self.sim.now,
+                )
         request = self.device.submit(
             op, command.offset_bytes, command.nbytes, trace=trace
         )
@@ -215,6 +225,12 @@ class NvmeQueuePair:
             pending.trace.annotate(
                 "nvme_timeout", now - fi.spec.timeout_ns, now, attempt=attempt
             )
+            pending.trace.wait(
+                f"nvme.q{self.index}",
+                "timeout_recovery",
+                now - fi.spec.timeout_ns,
+                now,
+            )
         tracer = self.sim.obs.tracer
         if tracer.enabled:
             tracer.span(
@@ -237,6 +253,12 @@ class NvmeQueuePair:
             if pending.trace is not None:
                 pending.trace.annotate(
                     "nvme_reset", now, now + fi.spec.reset_ns
+                )
+                pending.trace.wait(
+                    f"nvme.q{self.index}",
+                    "controller_reset",
+                    now,
+                    now + fi.spec.reset_ns,
                 )
             self.sim.schedule(fi.spec.reset_ns, self._execute, command, attempt)
         else:

@@ -1,6 +1,6 @@
 """repro.obs — cross-layer observability for the simulated I/O stack.
 
-Five pieces:
+Six pieces:
 
 * **Span tracing** (:mod:`repro.obs.tracer`): each I/O carries an
   :class:`IoTrace` context through kstack/nvme/ssd/spdk; top-level
@@ -11,6 +11,10 @@ Five pieces:
 * **Telemetry** (:mod:`repro.obs.telemetry`): named time-series sampled
   on the sim clock (queue depths, busy fractions, buffer occupancy, GC
   and fault-recovery activity) with streaming tail digests.
+* **Blame attribution** (:mod:`repro.obs.blame`): every layer that can
+  make an I/O wait emits wait-for edges alongside its spans; a bounded
+  top-K recorder keeps the slowest requests' full wait chains, rolls
+  tail blame up by resource, and tracks SLO attainment + burn rate.
 * **Self-profiling** (:mod:`repro.obs.prof`): where the *simulator
   itself* spends its events and wall time — hotspot attribution by
   layer/component/callsite, event-queue introspection, and
@@ -33,6 +37,16 @@ See ``docs/observability.md`` for the span taxonomy and metric names.
 """
 
 from repro.obs.anatomy import AnatomyReport, AnatomyRow, verify_conservation
+from repro.obs.blame import (
+    BlameConfig,
+    BlameRecorder,
+    OutlierRecord,
+    SloSpec,
+    blame_table,
+    format_ns,
+    parse_duration_ns,
+    verify_blame_conservation,
+)
 from repro.obs.core import NULL_OBS, Observability, current_obs, obs_aware_cache
 from repro.obs.prof import (
     NULL_PROFILER,
@@ -49,6 +63,7 @@ from repro.obs.prof import (
     write_speedscope,
 )
 from repro.obs.export import (
+    JSONL_SCHEMA,
     atomic_write_text,
     chrome_trace_events,
     metrics_to_csv,
@@ -57,11 +72,20 @@ from repro.obs.export import (
     telemetry_to_csv,
     telemetry_to_text,
     to_chrome_trace,
+    trace_jsonl_lines,
+    trace_to_jsonl,
     write_chrome_trace,
     write_metrics_csv,
     write_telemetry_csv,
+    write_trace_jsonl,
 )
-from repro.obs.html import telemetry_report_html, write_telemetry_html
+from repro.obs.html import (
+    blame_report_html,
+    blame_section_html,
+    telemetry_report_html,
+    write_blame_html,
+    write_telemetry_html,
+)
 from repro.obs.registry import (
     NULL_REGISTRY,
     Counter,
@@ -86,6 +110,7 @@ from repro.obs.tracer import (
     NullTracer,
     Span,
     SpanTracer,
+    WaitEdge,
     sort_span_names,
 )
 
@@ -142,4 +167,20 @@ __all__ = [
     "write_collapsed",
     "to_speedscope",
     "write_speedscope",
+    "WaitEdge",
+    "BlameConfig",
+    "BlameRecorder",
+    "OutlierRecord",
+    "SloSpec",
+    "blame_table",
+    "format_ns",
+    "parse_duration_ns",
+    "verify_blame_conservation",
+    "JSONL_SCHEMA",
+    "trace_jsonl_lines",
+    "trace_to_jsonl",
+    "write_trace_jsonl",
+    "blame_section_html",
+    "blame_report_html",
+    "write_blame_html",
 ]

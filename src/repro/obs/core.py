@@ -17,8 +17,9 @@ uninstrumented runs pay nothing and stay bit-identical.
 from __future__ import annotations
 
 import functools
-from typing import TYPE_CHECKING, Any, Callable, List, Union
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Union
 
+from repro.obs.blame import BlameConfig, BlameRecorder
 from repro.obs.prof import NULL_PROFILER, Profiler, ProfilerConfig
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, SpanTracer
@@ -39,6 +40,7 @@ class Observability:
         metrics: bool = True,
         telemetry: Union[bool, Telemetry, TelemetryConfig, None] = None,
         profile: Union[bool, Profiler, ProfilerConfig, None] = None,
+        blame: Union[bool, BlameRecorder, BlameConfig, None] = None,
     ) -> None:
         self.tracer = SpanTracer() if tracing else NULL_TRACER
         self.registry = MetricsRegistry() if metrics else NULL_REGISTRY
@@ -61,6 +63,24 @@ class Observability:
             self.profiler = profile
         else:
             self.profiler = NULL_PROFILER
+        # Blame attribution (repro.obs.blame) is opt-in the same way,
+        # but rides on the tracer: wait edges live on trace contexts.
+        if blame is True:
+            self.blame: Optional[BlameRecorder] = BlameRecorder()
+        elif isinstance(blame, BlameConfig):
+            self.blame = BlameRecorder(blame)
+        elif isinstance(blame, BlameRecorder):
+            self.blame = blame
+        else:
+            self.blame = None
+        if self.blame is not None:
+            if not self.tracer.enabled:
+                raise ValueError(
+                    "blame attribution requires tracing "
+                    "(wait edges ride on trace contexts)"
+                )
+            assert isinstance(self.tracer, SpanTracer)
+            self.tracer.blame = self.blame
 
     @property
     def enabled(self) -> bool:
@@ -69,6 +89,7 @@ class Observability:
             or self.registry.enabled
             or self.telemetry.enabled
             or self.profiler.enabled
+            or self.blame is not None
         )
 
     # ------------------------------------------------------------------
@@ -77,6 +98,8 @@ class Observability:
         self.tracer.new_sim()
         self.telemetry.new_sim()
         self.profiler.new_sim()
+        if self.blame is not None:
+            self.blame.new_sim()
 
     def label_device(self, label: str) -> None:
         """Stamp the current sim's spans/series with a device name.
@@ -87,6 +110,8 @@ class Observability:
         """
         self.tracer.label_device(label)
         self.telemetry.label_device(label)
+        if self.blame is not None:
+            self.blame.label_device(label)
 
     def absorb(self, other: "Observability") -> None:
         """Merge a worker bundle (spans, metrics, telemetry) into this one.
@@ -95,6 +120,7 @@ class Observability:
         processes and absorbs them in point order, so parallel traced
         runs produce the same pids/io ids a serial run would.
         """
+        io_base = getattr(self.tracer, "_next_io_id", 0)
         if self.tracer.enabled and getattr(other.tracer, "enabled", False):
             self.tracer.absorb(other.tracer)
         if self.registry.enabled and getattr(other.registry, "enabled", False):
@@ -104,6 +130,9 @@ class Observability:
         if self.profiler.enabled and getattr(other.profiler, "enabled", False):
             assert isinstance(self.profiler, Profiler)
             self.profiler.absorb(other.profiler)
+        if self.blame is not None and getattr(other, "blame", None) is not None:
+            assert other.blame is not None
+            self.blame.absorb(other.blame, io_base=io_base)
 
     # ------------------------------------------------------------------
     def install(self) -> "Observability":
@@ -128,6 +157,7 @@ class _NullObservability:
     registry = NULL_REGISTRY
     telemetry = NULL_TELEMETRY
     profiler = NULL_PROFILER
+    blame: Optional[BlameRecorder] = None
     enabled = False
 
     def attach(self, sim: "Simulator") -> None:

@@ -233,6 +233,143 @@ def write_chrome_trace(
 
 
 # ----------------------------------------------------------------------
+# JSONL structured events
+# ----------------------------------------------------------------------
+#: Schema version stamped on every JSONL line; bump on layout changes.
+JSONL_SCHEMA = 1
+
+
+def _jsonl(obj: dict) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def trace_jsonl_lines(
+    tracer: "AnyTracer", telemetry: "Optional[AnyTelemetry]" = None
+) -> List[str]:
+    """One JSON object per line: header, then per-I/O span/wait events.
+
+    The greppable/jq-able counterpart of the Chrome trace: no viewer
+    needed to ask "show me every wait on ssd.die3".  Line order and
+    key order are deterministic (finished-I/O order, then background
+    track spans, then telemetry samples), so serial and ``--jobs N``
+    runs export byte-identical files.  Every line carries
+    ``"schema": JSONL_SCHEMA`` and a ``"type"`` discriminator:
+    ``header`` / ``io`` / ``span`` / ``wait`` / ``track_span`` /
+    ``sample``.
+    """
+    lines: List[str] = []
+    device_labels = getattr(tracer, "device_labels", {})
+    lines.append(
+        _jsonl(
+            {
+                "schema": JSONL_SCHEMA,
+                "type": "header",
+                "producer": "repro.obs",
+                "devices": {str(pid): label for pid, label in sorted(device_labels.items())},
+                "ios": len(tracer.finished_ios),
+                "track_spans": len(tracer.track_spans),
+            }
+        )
+    )
+    for trace in tracer.finished_ios:
+        lines.append(
+            _jsonl(
+                {
+                    "schema": JSONL_SCHEMA,
+                    "type": "io",
+                    "io_id": trace.io_id,
+                    "pid": trace.pid,
+                    "op": trace.op,
+                    "offset": trace.offset,
+                    "nbytes": trace.nbytes,
+                    "start_ns": trace.start_ns,
+                    "end_ns": trace.end_ns,
+                    "latency_ns": trace.latency_ns,
+                }
+            )
+        )
+        for span in trace.spans():
+            event = {
+                "schema": JSONL_SCHEMA,
+                "type": "span",
+                "io_id": trace.io_id,
+                "pid": trace.pid,
+                "name": span.name,
+                "cat": "phase" if span.depth == 0 else "detail",
+                "start_ns": span.start_ns,
+                "end_ns": span.end_ns,
+                "dur_ns": span.duration_ns,
+            }
+            if span.args:
+                event["args"] = dict(span.args)
+            lines.append(_jsonl(event))
+        for edge in trace.waits():
+            lines.append(
+                _jsonl(
+                    {
+                        "schema": JSONL_SCHEMA,
+                        "type": "wait",
+                        "io_id": trace.io_id,
+                        "pid": trace.pid,
+                        "resource": edge.resource,
+                        "holder": edge.holder,
+                        "start_ns": edge.start_ns,
+                        "end_ns": edge.end_ns,
+                        "dur_ns": edge.duration_ns,
+                    }
+                )
+            )
+    for span in tracer.track_spans:
+        args = dict(span.args)
+        pid = args.pop("pid", 1)
+        event = {
+            "schema": JSONL_SCHEMA,
+            "type": "track_span",
+            "track": span.track,
+            "pid": pid,
+            "name": span.name,
+            "start_ns": span.start_ns,
+            "end_ns": span.end_ns,
+            "dur_ns": span.duration_ns,
+        }
+        if args:
+            event["args"] = args
+        lines.append(_jsonl(event))
+    if telemetry is not None and getattr(telemetry, "enabled", False):
+        for series in telemetry:
+            for t_ns, value in series.samples():
+                lines.append(
+                    _jsonl(
+                        {
+                            "schema": JSONL_SCHEMA,
+                            "type": "sample",
+                            "pid": series.pid,
+                            "series": series.name,
+                            "kind": series.kind,
+                            "t_ns": t_ns,
+                            "value": round(value, 6),
+                        }
+                    )
+                )
+    return lines
+
+
+def trace_to_jsonl(
+    tracer: "AnyTracer", telemetry: "Optional[AnyTelemetry]" = None
+) -> str:
+    return "\n".join(trace_jsonl_lines(tracer, telemetry)) + "\n"
+
+
+def write_trace_jsonl(
+    tracer: "AnyTracer", path: str, telemetry: "Optional[AnyTelemetry]" = None
+) -> int:
+    """Serialize to ``path``; returns the number of lines written."""
+    lines = trace_jsonl_lines(tracer, telemetry)
+    atomic_write_text(path, "\n".join(lines) + "\n")
+    return len(lines)
+
+
+# ----------------------------------------------------------------------
 # Metrics dumps
 # ----------------------------------------------------------------------
 def metrics_to_text(registry: "AnyRegistry", now_ns: Optional[int] = None) -> str:

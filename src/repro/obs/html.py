@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Callable, List, Tuple, Union
 from repro.obs.export import atomic_write_text
 
 if TYPE_CHECKING:
+    from repro.obs.blame import BlameRecorder
     from repro.obs.telemetry import NullTelemetry, Telemetry, TimeSeries
 
     AnyTelemetry = Union[Telemetry, NullTelemetry]
@@ -146,6 +147,15 @@ _CSS = """
   border-bottom: 1px solid var(--gridline);
 }
 .viz-root th { color: var(--text-secondary); font-weight: 600; }
+.viz-root td.label, .viz-root th.label { text-align: left; }
+.viz-root .blame-bar {
+  display: inline-block;
+  height: 9px;
+  background: var(--series-1);
+  border-radius: 2px;
+  vertical-align: middle;
+}
+.viz-root .blame-card table { width: 100%; max-width: 640px; }
 """
 
 _JS = """
@@ -394,3 +404,129 @@ def write_telemetry_html(
 ) -> Path:
     """Write the report atomically; returns the path."""
     return atomic_write_text(path, telemetry_report_html(telemetry, title))
+
+
+# ----------------------------------------------------------------------
+# Blame report (repro.obs.blame)
+# ----------------------------------------------------------------------
+def _share_row(label: str, holder: str, share: float) -> str:
+    width = max(0.0, min(1.0, share)) * 240.0
+    return (
+        f'<tr><td class="label">{_html.escape(label)}</td>'
+        f'<td class="label">{_html.escape(holder)}</td>'
+        f'<td>{share * 100.0:.1f}%</td>'
+        f'<td class="label"><span class="blame-bar" '
+        f'style="width:{width:.1f}px"></span></td></tr>'
+    )
+
+
+def blame_section_html(recorder: "BlameRecorder") -> str:
+    """The blame cards (no document shell) — embeddable and standalone.
+
+    A pure function of the recorder's content, valid even with zero
+    observed I/Os or zero captured outliers (no axis math is involved,
+    so there is nothing to divide by).
+    """
+    from repro.obs.blame import format_ns
+
+    parts: List[str] = []
+    if not recorder.observed:
+        parts.append(
+            '<div class="chart-card blame-card">'
+            '<p class="chart-title">Blame</p>'
+            '<p class="chart-sub">(no I/Os observed)</p></div>'
+        )
+        return "\n".join(parts)
+    for (device, op), records in recorder.groups():
+        digest = recorder.group_digest(device, op)
+        title = f"{_html.escape(device)} / {_html.escape(op)}"
+        sub = (
+            f"{digest.count} I/Os &middot; "
+            f"p50={format_ns(digest.quantile(0.50))} &middot; "
+            f"p99={format_ns(digest.quantile(0.99))} &middot; "
+            f"p99.9={format_ns(digest.quantile(0.999))} &middot; "
+            f"max={format_ns(digest.max or 0.0)}"
+        )
+        shares = recorder.tail_blame(device, op)
+        if shares:
+            rows = [_share_row(r, h, s) for r, h, s in shares]
+            service = 1.0 - sum(s for _r, _h, s in shares)
+            rows.append(_share_row("(service)", "", service))
+            body = (
+                '<table><thead><tr><th class="label">resource</th>'
+                '<th class="label">holder</th><th>share</th>'
+                '<th class="label"></th></tr></thead>'
+                f'<tbody>{"".join(rows)}</tbody></table>'
+            )
+        else:
+            body = '<p class="chart-sub">(no wait edges captured)</p>'
+        outliers = "".join(
+            f"<tr><td>{rec.io_id}</td><td>{format_ns(rec.latency_ns)}</td>"
+            f"<td>{format_ns(rec.wait_ns)}</td>"
+            f"<td>{format_ns(rec.service_ns)}</td></tr>"
+            for rec in records
+        )
+        outlier_table = (
+            '<details><summary>Outliers</summary>'
+            '<table><thead><tr><th>io</th><th>latency</th><th>wait</th>'
+            '<th>service</th></tr></thead>'
+            f'<tbody>{outliers}</tbody></table></details>'
+            if records
+            else ""
+        )
+        parts.append(
+            f'<div class="chart-card blame-card"><p class="chart-title">{title}</p>'
+            f'<p class="chart-sub">{sub}</p>{body}{outlier_table}</div>'
+        )
+    slo_rows = recorder.slo_rows()
+    if slo_rows:
+        rows = "".join(
+            f'<tr><td class="label">{_html.escape(row["label"])}</td>'
+            f'<td>{row["checked"] - row["misses"]}/{row["checked"]}</td>'
+            f'<td>{row["attainment"] * 100.0:.3f}%</td>'
+            f'<td class="label">{"MET" if row["met"] else "MISSED"}</td>'
+            f'<td>{row["peak_burn"]:.1f}x</td></tr>'
+            for row in slo_rows
+        )
+        parts.append(
+            '<div class="chart-card blame-card"><p class="chart-title">SLO '
+            'attainment</p><table><thead><tr><th class="label">objective</th>'
+            '<th>ok</th><th>attainment</th><th class="label">verdict</th>'
+            '<th>peak burn</th></tr></thead>'
+            f'<tbody>{rows}</tbody></table></div>'
+        )
+    return "\n".join(parts)
+
+
+def blame_report_html(
+    recorder: "BlameRecorder", title: str = "Tail-latency blame"
+) -> str:
+    """Render the standalone blame report document."""
+    subtitle = (
+        f"{recorder.observed} I/Os observed &middot; top "
+        f"{recorder.config.top} outliers per (device, op) group"
+    )
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>{_html.escape(title)}</title>
+<style>{_CSS}</style>
+</head>
+<body class="viz-root">
+<h1>{_html.escape(title)}</h1>
+<p class="subtitle">{subtitle}</p>
+{blame_section_html(recorder)}
+</body>
+</html>
+"""
+
+
+def write_blame_html(
+    recorder: "BlameRecorder",
+    path: Union[str, Path],
+    title: str = "Tail-latency blame",
+) -> Path:
+    """Write the blame report atomically; returns the path."""
+    return atomic_write_text(path, blame_report_html(recorder, title))

@@ -24,7 +24,10 @@ tracer (see :mod:`repro.obs.core`) and every layer reaches it through
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, NamedTuple, Optional, Tuple
+
+if TYPE_CHECKING:
+    from repro.obs.blame import BlameRecorder
 
 #: Canonical ordering of span names for reports (unknown names follow,
 #: alphabetically).  Mirrors a request's journey down and back up.
@@ -32,6 +35,8 @@ SPAN_ORDER: Tuple[str, ...] = (
     "submit",
     "blkmq_queue",
     "light_queue",
+    "net_send",
+    "server",
     "nvme_sq",
     "ctrl",
     "suspend_wait",
@@ -43,6 +48,7 @@ SPAN_ORDER: Tuple[str, ...] = (
     "buffer_full",
     "gc_stall",
     "write_stall",
+    "net_return",
     "cqe_post",
     "completion_isr",
     "completion_poll",
@@ -66,6 +72,27 @@ class Span:
         return self.end_ns - self.start_ns
 
 
+class WaitEdge(NamedTuple):
+    """One wait-for interval of a request: who it waited on, and why.
+
+    ``resource`` names the contended thing (``ssd.die3``, ``nvme.q0``,
+    ``net.link``); ``holder`` names what occupied it (``gc``,
+    ``timeout_recovery``, ``outage``).  Edges are attribution detail on
+    top of the phase timeline — they may overlap each other (a lost
+    completion's timeout window can contain a die wait), so the blame
+    layer charges wall-clock wait time from the *union* of the edges.
+    """
+
+    resource: str
+    holder: str
+    start_ns: int
+    end_ns: int
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+
 class IoTrace:
     """The per-I/O span context carried through the stack."""
 
@@ -80,6 +107,7 @@ class IoTrace:
         "pid",
         "_marks",
         "_nested",
+        "_waits",
     )
 
     def __init__(
@@ -102,6 +130,7 @@ class IoTrace:
         self.pid = pid
         self._marks: List[Tuple[int, str]] = []
         self._nested: List[Span] = []
+        self._waits: List[WaitEdge] = []
 
     # ------------------------------------------------------------------
     def phase(self, name: str, at: int) -> None:
@@ -138,6 +167,16 @@ class IoTrace:
                 args=tuple(sorted(args.items())),
             )
         )
+
+    def wait(self, resource: str, holder: str, start_ns: int, end_ns: int) -> None:
+        """Record a wait-for edge: this I/O sat on ``resource`` because of
+        ``holder`` over ``[start_ns, end_ns]``.  Zero/negative intervals
+        are dropped so call sites can emit unconditionally.
+        """
+        start_ns = int(start_ns)
+        end_ns = int(end_ns)
+        if end_ns > start_ns:
+            self._waits.append(WaitEdge(resource, holder, start_ns, end_ns))
 
     def finish(self, at: int) -> None:
         """Close the trace; the last phase ends here."""
@@ -186,6 +225,10 @@ class IoTrace:
     def nested(self) -> List[Span]:
         return list(self._nested)
 
+    def waits(self) -> List[WaitEdge]:
+        """The wait-for edges recorded for this I/O, in emission order."""
+        return list(self._waits)
+
     def spans(self) -> List[Span]:
         """Top-level phases followed by nested detail spans."""
         return self.phases() + self._nested
@@ -204,6 +247,9 @@ class SpanTracer:
         #: pid -> registry/spec name of the device that sim ran against
         #: (fed by device construction; names the Chrome-trace process).
         self.device_labels: Dict[int, str] = {}
+        #: Optional blame consumer, fed each finished trace (see
+        #: :mod:`repro.obs.blame`); wired by the Observability bundle.
+        self.blame: Optional["BlameRecorder"] = None
 
     # ------------------------------------------------------------------
     def new_sim(self) -> None:
@@ -257,6 +303,8 @@ class SpanTracer:
 
     def _finished(self, trace: IoTrace) -> None:
         self.finished_ios.append(trace)
+        if self.blame is not None:
+            self.blame.observe(trace)
 
     # ------------------------------------------------------------------
     def absorb(self, other: "SpanTracer") -> None:

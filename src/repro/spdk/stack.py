@@ -147,11 +147,14 @@ class SpdkStack:
         cqe_event = pending.cqe_event
         if not cqe_event.triggered:
             yield cqe_event
+        # The iteration that observes the phase flip.
+        detect = costs.spdk_iter_ns
         if pending.trace is not None:
             # CQE visible: the remaining time is user-space detection.
             pending.trace.phase("completion_poll", pending.cqe_ns)
-        # The iteration that observes the phase flip.
-        detect = costs.spdk_iter_ns
+            pending.trace.wait(
+                "spdk.poller", "poll_gap", pending.cqe_ns, pending.cqe_ns + detect
+            )
         yield self.sim.timeout(detect)
         self._charge_spin(self.sim.now - started)
         self._t_poll_burn.add_interval(started, self.sim.now)

@@ -323,7 +323,7 @@ class SsdController:
             stall = self.config.read_stall_ns
             array_done += stall
         channel = self.channels.channel_of_die(die_index)
-        _, transfer_done = self.channels.transfer(
+        channel_start, transfer_done = self.channels.transfer(
             channel, UNIT_SIZE, not_before=array_done
         )
         if trace is not None:
@@ -331,11 +331,22 @@ class SsdController:
                 # The die was busy: a suspend window (Z-NAND preempting a
                 # program) or plain die contention.
                 trace.phase("suspend_wait" if suspended else "die_wait", start)
+                holder = (
+                    "program_suspend"
+                    if suspended
+                    else ("gc" if self.gc_active > 0 else "io")
+                )
+                trace.wait(f"ssd.die{die_index}", holder, start, flash_start)
             trace.phase("flash_read", flash_start)
+            if retries:
+                trace.wait(f"ssd.die{die_index}", "ecc_retry", retry_start, array_done - stall)
             if stall:
                 trace.annotate("read_stall", array_done - stall, array_done)
             # Channel transfer toward the controller buffer.
             trace.phase("dma", array_done)
+            trace.wait(
+                f"ssd.ch{channel}", "transfer_backlog", array_done, channel_start
+            )
         self.read_cache.insert(lpn, ready_at=transfer_done)
         self.stats.flash_reads += 1
         self._m_flash_reads.inc()
@@ -415,6 +426,12 @@ class SsdController:
             blocked_on = "gc_stall" if self.gc_active > 0 else "buffer_full"
             trace.phase(blocked_on, wait_from)
             trace.phase("write_buffer", self.sim.now)
+            trace.wait(
+                "ssd.write_buffer",
+                "gc" if self.gc_active > 0 else "flush",
+                wait_from,
+                self.sim.now,
+            )
         self.write_buffer.insert(lpn)
         self._m_buffer_occ.set(self.write_buffer.occupancy, self.sim.now)
         self._t_buffer_occ.record(self.sim.now, self.write_buffer.occupancy)

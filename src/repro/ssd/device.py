@@ -192,6 +192,7 @@ class SsdDevice:
         done_at = dma_done + self.config.completion_fw_ns
         if trace is not None:
             # Data moves host-ward, then completion firmware wraps up.
+            trace.wait("ssd.pcie", "dma_backlog", internal_done, dma_start)
             trace.phase("dma", dma_start)
             trace.annotate("pcie_dma", dma_start, dma_done, nbytes=request.nbytes)
             trace.phase("ctrl", dma_done)
@@ -207,6 +208,7 @@ class SsdDevice:
             config.pcie_transfer_ns(request.nbytes), not_before=self.sim.now
         )
         if trace is not None:
+            trace.wait("ssd.pcie", "dma_backlog", self.sim.now, dma_start)
             trace.phase("dma", dma_start)
             trace.annotate("pcie_dma", dma_start, dma_done, nbytes=request.nbytes)
         if dma_done > self.sim.now:
@@ -220,6 +222,9 @@ class SsdDevice:
             if stall:
                 trace.phase("write_stall", self.sim.now)
                 trace.phase("ctrl", self.sim.now + stall)
+                trace.wait(
+                    "ssd.firmware", "write_stall", self.sim.now, self.sim.now + stall
+                )
             else:
                 trace.phase("ctrl", self.sim.now)
         yield self.sim.timeout(stall + config.dram_hit_ns + config.completion_fw_ns)
