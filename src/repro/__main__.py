@@ -2,10 +2,13 @@
 
 Two quality-gate subcommands stand alone (see ``docs/lint.md``):
 
-* ``lint`` — run simlint, the determinism & invariant static analyzer
-  (``SIM001``-``SIM008``), over the given paths (default ``src tests``);
-  ``--format json`` for machine-readable output, non-zero exit on
-  findings.
+* ``lint`` — run simlint, the determinism, invariant & unit/dimension
+  static analyzer (``SIM000``-``SIM014``; the SIM01x codes come from the
+  interprocedural flow pass, :mod:`repro.lint.flow`), over the given
+  paths (default ``src tests``); ``--format json``/``sarif`` for
+  machine-readable output, ``--baseline``/``--write-baseline`` for
+  adopting a dirty tree, non-zero exit on findings.  Full runs are
+  served from a content-hash cache (``--no-cache`` bypasses).
 * ``check`` — aggregate gate: simlint plus ``ruff`` and strict ``mypy``
   when installed (skipped with a notice otherwise; ``--strict-tools``
   turns a skip into a failure).

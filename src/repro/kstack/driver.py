@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING, Dict, Optional
 from repro.kstack.blkmq import BlkMq, BlkRequest, Cookie
 from repro.nvme.controller import NvmeQueuePair, PendingCommand
 from repro.ssd.device import IoOp
+from repro.units import Bytes
 
 if TYPE_CHECKING:
     from repro.obs.tracer import IoTrace
@@ -48,7 +49,7 @@ class KernelNvmeDriver:
         return len(self._by_cookie)
 
     # ------------------------------------------------------------------
-    def submit(self, cpu: int, op: IoOp, offset: int, nbytes: int, *,
+    def submit(self, cpu: int, op: IoOp, offset: Bytes, nbytes: int, *,
                hipri: bool = False, now_ns: int = 0,
                trace: "Optional[IoTrace]" = None) -> DriverRequest:
         """Stage a bio through blk-mq and issue the NVMe command."""

@@ -25,6 +25,7 @@ from repro.host.costs import StepCost
 from repro.sim.engine import Simulator
 from repro.sim.events import Event, Timeout
 from repro.ssd.device import IoOp
+from repro.units import Bytes
 
 
 @dataclass(frozen=True)
@@ -110,7 +111,7 @@ class Ext4Model:
         return block * self.costs.metadata_block_bytes
 
     # ------------------------------------------------------------------
-    def read(self, offset: int, nbytes: int) -> Generator[Event, Any, int]:
+    def read(self, offset: Bytes, nbytes: int) -> Generator[Event, Any, int]:
         """Process: file read.  Returns application latency (ns)."""
         costs = self.costs
         started = self.sim.now
@@ -124,7 +125,7 @@ class Ext4Model:
         yield self._charge_and_wait(costs.atime_update, "ext4_update_atime")
         return self.sim.now - started
 
-    def write(self, offset: int, nbytes: int) -> Generator[Event, Any, int]:
+    def write(self, offset: Bytes, nbytes: int) -> Generator[Event, Any, int]:
         """Process: file write with journaling.  Returns latency (ns)."""
         costs = self.costs
         started = self.sim.now

@@ -20,6 +20,7 @@ from repro.nvme.controller import NvmeController, NvmeQueuePair, NvmeTimings
 from repro.sim.engine import Simulator
 from repro.sim.events import Event, Timeout
 from repro.ssd.device import IoOp, SsdDevice
+from repro.units import Bytes
 
 if TYPE_CHECKING:
     from repro.faults.plan import FaultPlan
@@ -103,7 +104,7 @@ class KernelStack:
 
     # ------------------------------------------------------------------
     def sync_io(
-        self, op: IoOp, offset: int, nbytes: int
+        self, op: IoOp, offset: Bytes, nbytes: int
     ) -> Generator[Event, Any, int]:
         """Process: one synchronous (pvsync2-style) I/O.
 
@@ -223,7 +224,7 @@ class KernelStack:
 
     # ------------------------------------------------------------------
     def submit_async(
-        self, op: IoOp, offset: int, nbytes: int
+        self, op: IoOp, offset: Bytes, nbytes: int
     ) -> Generator[Event, Any, DriverRequest]:
         """Process: queue one libaio I/O (batched io_submit, amortized).
 

@@ -1,0 +1,86 @@
+"""Finding baselines: adopt simlint on a tree with pre-existing debt.
+
+``--write-baseline FILE`` records every current finding as a
+*fingerprint* — ``sha256(path:code:message)`` truncated to 16 hex chars,
+with a count per fingerprint so N identical findings in one file are N
+slots, not a wildcard.  ``--baseline FILE`` then subtracts: a finding
+whose fingerprint still has a free slot is silently dropped, anything
+new fails the run.  Line numbers are deliberately *not* part of the
+fingerprint — shifting a file must not resurrect baselined findings —
+and a fixed finding simply leaves its slot unused (regenerate the
+baseline to ratchet down).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.lint.diagnostics import Diagnostic
+
+BASELINE_VERSION = 1
+
+
+def fingerprint(diag: Diagnostic) -> str:
+    """Stable, line-number-free identity of one finding."""
+    text = f"{diag.path}:{diag.code}:{diag.message}"
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+def write_baseline(path: Union[str, Path], diagnostics: List[Diagnostic]) -> int:
+    """Write a baseline file; returns the number of findings recorded."""
+    counts: Dict[str, int] = {}
+    for diag in diagnostics:
+        key = fingerprint(diag)
+        counts[key] = counts.get(key, 0) + 1
+    payload = {
+        "version": BASELINE_VERSION,
+        "tool": "simlint",
+        "findings": len(diagnostics),
+        "fingerprints": dict(sorted(counts.items())),
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(diagnostics)
+
+
+def load_baseline(path: Union[str, Path]) -> Dict[str, int]:
+    """Load fingerprint slots from a baseline file.
+
+    Raises ``ValueError`` on a malformed or wrong-version file — a
+    corrupt baseline silently matching nothing would fail CI with noise,
+    silently matching everything would hide regressions.
+    """
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise ValueError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path} has unsupported format "
+            f"(want version {BASELINE_VERSION})"
+        )
+    fingerprints = data.get("fingerprints")
+    if not isinstance(fingerprints, dict):
+        raise ValueError(f"baseline {path} has no fingerprint table")
+    return {str(k): int(v) for k, v in fingerprints.items()}
+
+
+def apply_baseline(
+    diagnostics: List[Diagnostic], slots: Dict[str, int]
+) -> Tuple[List[Diagnostic], int]:
+    """Split findings into (new, baselined-count) against ``slots``."""
+    remaining = dict(slots)
+    kept: List[Diagnostic] = []
+    absorbed = 0
+    for diag in diagnostics:
+        key = fingerprint(diag)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            absorbed += 1
+        else:
+            kept.append(diag)
+    return kept, absorbed

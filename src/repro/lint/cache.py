@@ -1,0 +1,179 @@
+"""Content-hash cache for lint runs.
+
+Two tiers, both keyed by content so invalidation is automatic:
+
+* **per-file** — ``sha256(display + source)`` -> the file's raw
+  *syntactic* diagnostics (SIM001-SIM009).  A file hits as long as its
+  bytes (and display path) are unchanged, whatever happened elsewhere.
+* **per-project** — ``sha256(all file keys)`` -> the *flow* diagnostics
+  (SIM010-SIM014).  The flow pass reads every module's call summaries,
+  so any changed file invalidates it; on an unchanged tree the whole
+  pass — including parsing — is skipped and ``repro check`` is
+  near-instant.
+
+The store self-invalidates when the lint engine itself changes: the
+cache file records a fingerprint hashed over every ``repro/lint``
+source file, so editing a rule drops the whole cache rather than
+serving findings from the old engine.  Suppression comments are *not*
+cached — they re-apply on every run from the (already in memory)
+source text, so SIM007/SIM008 stay live.
+
+Location: ``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else
+``~/.cache/repro``.  ``--no-cache`` on the CLI bypasses it, as does any
+``--select`` run (partial rule sets must not poison full-run entries).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.lint.diagnostics import Diagnostic
+
+#: Bump to shed caches whose layout this module no longer understands.
+CACHE_FORMAT_VERSION = 1
+
+#: Growth caps — oldest entries beyond these are pruned at save time.
+_MAX_FILE_ENTRIES = 8192
+_MAX_FLOW_ENTRIES = 64
+
+_DIAG_FIELDS = ("path", "line", "col", "code", "message")
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache directory from the environment."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def engine_fingerprint() -> str:
+    """Hash of every source file in the lint package (rules + engine +
+    flow pass): any edit to the linter invalidates every cached finding."""
+    package_dir = Path(__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(package_dir.rglob("*.py")):
+        digest.update(path.relative_to(package_dir).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+class LintCache:
+    """Load-on-construct, save-on-demand JSON store with hit counters."""
+
+    def __init__(self, directory: Optional[Union[str, Path]] = None) -> None:
+        self.directory = Path(directory) if directory else default_cache_dir()
+        self.path = self.directory / "lintcache.json"
+        self.fingerprint = engine_fingerprint()
+        self.file_hits = 0
+        self.file_misses = 0
+        self.flow_hot = False
+        self._dirty = False
+        self._files: Dict[str, List[dict]] = {}
+        self._flows: Dict[str, List[dict]] = {}
+        try:
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if (
+            isinstance(data, dict)
+            and data.get("version") == CACHE_FORMAT_VERSION
+            and data.get("fingerprint") == self.fingerprint
+        ):
+            self._files = dict(data.get("files", {}))
+            self._flows = dict(data.get("flows", {}))
+
+    # -- keys ----------------------------------------------------------
+
+    def file_key(self, display: str, source: str) -> str:
+        digest = hashlib.sha256()
+        digest.update(display.encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(source.encode("utf-8"))
+        return digest.hexdigest()
+
+    def project_key(self, file_keys: Sequence[str]) -> str:
+        digest = hashlib.sha256()
+        for key in file_keys:
+            digest.update(key.encode("ascii"))
+            digest.update(b"\n")
+        return digest.hexdigest()
+
+    # -- lookups -------------------------------------------------------
+
+    def _revive(self, rows: List[dict]) -> Optional[List[Diagnostic]]:
+        try:
+            return [
+                Diagnostic(**{f: row[f] for f in _DIAG_FIELDS}) for row in rows
+            ]
+        except (KeyError, TypeError):
+            return None  # malformed entry: treat as a miss
+
+    def get_file(self, key: str) -> Optional[List[Diagnostic]]:
+        rows = self._files.get(key)
+        revived = self._revive(rows) if rows is not None else None
+        if revived is None:
+            self.file_misses += 1
+            return None
+        self.file_hits += 1
+        self._files[key] = self._files.pop(key)  # LRU refresh
+        return revived
+
+    def put_file(self, key: str, diags: Sequence[Diagnostic]) -> None:
+        self._files[key] = [d.to_dict() for d in diags]
+        self._dirty = True
+
+    def get_flow(self, key: str) -> Optional[List[Diagnostic]]:
+        rows = self._flows.get(key)
+        revived = self._revive(rows) if rows is not None else None
+        if revived is None:
+            return None
+        self.flow_hot = True
+        self._flows[key] = self._flows.pop(key)
+        return revived
+
+    def put_flow(self, key: str, diags: Sequence[Diagnostic]) -> None:
+        self._flows[key] = [d.to_dict() for d in diags]
+        self._dirty = True
+
+    # -- persistence ---------------------------------------------------
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        for store, cap in ((self._files, _MAX_FILE_ENTRIES),
+                           (self._flows, _MAX_FLOW_ENTRIES)):
+            excess = len(store) - cap
+            if excess > 0:
+                for key in list(store)[:excess]:
+                    del store[key]
+        payload = {
+            "version": CACHE_FORMAT_VERSION,
+            "fingerprint": self.fingerprint,
+            "files": self._files,
+            "flows": self._flows,
+        }
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            tmp = self.path.with_name(self.path.name + ".tmp")
+            tmp.write_text(json.dumps(payload), encoding="utf-8")
+            tmp.replace(self.path)
+        except OSError:
+            return  # a read-only cache dir must never fail the lint
+        self._dirty = False
+
+    # -- reporting -----------------------------------------------------
+
+    def status(self) -> str:
+        """One-line summary for the CLI (CI greps for ``cache:``)."""
+        total = self.file_hits + self.file_misses
+        flow = "hot" if self.flow_hot else "cold"
+        return f"cache: {self.file_hits}/{total} files hot, flow {flow}"

@@ -16,8 +16,11 @@ import subprocess
 import sys
 from typing import List, Optional, Sequence, Tuple
 
+from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
+from repro.lint.cache import LintCache
 from repro.lint.engine import lint_paths, validate_select
 from repro.lint.rules import rules_table
+from repro.lint.sarif import to_sarif
 
 DEFAULT_PATHS = ("src", "tests")
 
@@ -29,8 +32,9 @@ def _lint_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro lint",
         description=(
-            "simlint: determinism & invariant static analysis for the "
-            "simulated testbed (rules SIM000-SIM009; see docs/lint.md)"
+            "simlint: determinism, invariant & unit/dimension static "
+            "analysis for the simulated testbed (rules SIM000-SIM014; "
+            "see docs/lint.md)"
         ),
     )
     parser.add_argument(
@@ -41,7 +45,7 @@ def _lint_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default text)",
     )
@@ -50,6 +54,23 @@ def _lint_parser() -> argparse.ArgumentParser:
         metavar="CODES",
         default=None,
         help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="drop findings recorded in this baseline file (new ones still fail)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        default=None,
+        help="record current findings as the baseline and exit clean",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the content-hash result cache",
     )
     parser.add_argument(
         "--list-rules",
@@ -75,23 +96,54 @@ def run_lint(argv: Optional[Sequence[str]] = None) -> int:
             print(f"lint: {exc}", file=sys.stderr)
             return EXIT_USAGE
 
+    # The cache only serves full runs: a --select subset would otherwise
+    # poison (or be poisoned by) full-run entries.
+    cache = None
+    if not args.no_cache and select is None:
+        cache = LintCache()
+
     try:
-        result = lint_paths(args.paths, select=select)
+        result = lint_paths(args.paths, select=select, cache=cache)
     except FileNotFoundError as exc:
         print(f"lint: {exc}", file=sys.stderr)
         return EXIT_USAGE
 
+    if args.write_baseline:
+        recorded = write_baseline(args.write_baseline, result.diagnostics)
+        print(
+            f"simlint: baseline written to {args.write_baseline} "
+            f"({recorded} finding{'' if recorded == 1 else 's'})"
+        )
+        return EXIT_CLEAN
+
+    baselined = 0
+    if args.baseline:
+        try:
+            slots = load_baseline(args.baseline)
+        except ValueError as exc:
+            print(f"lint: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        result.diagnostics, baselined = apply_baseline(
+            result.diagnostics, slots
+        )
+
     if args.format == "json":
         print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    elif args.format == "sarif":
+        print(json.dumps(to_sarif(result), indent=2, sort_keys=True))
     else:
         for diag in result.diagnostics:
             print(diag.format())
         summary = (
             f"{len(result.diagnostics)} finding"
             f"{'' if len(result.diagnostics) == 1 else 's'} "
-            f"({result.files_scanned} files, {result.suppressed} suppressed)"
+            f"({result.files_scanned} files, {result.suppressed} suppressed"
+            + (f", {baselined} baselined" if baselined else "")
+            + ")"
         )
         print(("" if result.ok else "\n") + f"simlint: {summary}")
+        if cache is not None:
+            print(f"simlint: {cache.status()}")
     return EXIT_CLEAN if result.ok else EXIT_FINDINGS
 
 
@@ -119,6 +171,11 @@ def _check_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="fail (instead of skip) when ruff or mypy is not installed",
     )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the simlint content-hash result cache",
+    )
     return parser
 
 
@@ -136,7 +193,10 @@ def run_check(argv: Optional[Sequence[str]] = None) -> int:
     skipped: List[str] = []
 
     print("== simlint ==", flush=True)
-    lint_rc = run_lint(list(args.paths))
+    lint_argv = list(args.paths)
+    if args.no_cache:
+        lint_argv.append("--no-cache")
+    lint_rc = run_lint(lint_argv)
     if lint_rc != EXIT_CLEAN:
         failures += 1
 

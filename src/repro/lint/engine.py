@@ -26,6 +26,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
 from repro.lint.diagnostics import Diagnostic, Suppression
 from repro.lint.rules import RULES, all_codes
 from repro.lint.rules import ModuleContext
+from repro.lint.flow.rules import FLOW_RULES, run_flow
 
 #: Directory components that mark a module as *simulation code* for the
 #: sim-only rules (SIM001): the layers the paper's testbed is built from.
@@ -116,42 +117,63 @@ def find_suppressions(source: str) -> List[Suppression]:
     return suppressions
 
 
-def lint_source(
-    source: str,
-    display: str = "<string>",
-    *,
-    is_sim_layer: Optional[bool] = None,
-    select: Optional[Iterable[str]] = None,
-) -> LintResult:
-    """Lint one module's source text (the unit tests' entry point)."""
-    result = LintResult(files_scanned=1)
-    suppressions = find_suppressions(source)
-    selected = set(select) if select is not None else None
+@dataclass
+class ParsedModule:
+    """One parsed file, in the shape the flow pass consumes."""
 
+    display: str
+    tree: ast.AST
+    is_sim_layer: bool
+
+
+def _parse_module(
+    source: str, display: str, is_sim_layer: Optional[bool]
+) -> Union[ParsedModule, Diagnostic]:
+    """Parse one file; a syntax error comes back as its SIM000."""
     try:
         tree = ast.parse(source, filename=display)
     except SyntaxError as exc:
-        result.diagnostics.append(
-            Diagnostic(
-                path=display,
-                line=exc.lineno or 1,
-                col=(exc.offset or 0) or 1,
-                code="SIM000",
-                message=f"file does not parse: {exc.msg}",
-            )
+        return Diagnostic(
+            path=display,
+            line=exc.lineno or 1,
+            col=(exc.offset or 0) or 1,
+            code="SIM000",
+            message=f"file does not parse: {exc.msg}",
         )
-        return result.sorted()
-
     if is_sim_layer is None:
         is_sim_layer = is_sim_layer_path(display)
-    ctx = ModuleContext(display=display, tree=tree, is_sim_layer=is_sim_layer)
+    return ParsedModule(display=display, tree=tree, is_sim_layer=is_sim_layer)
 
+
+def _syntactic_diagnostics(
+    module: ParsedModule, selected: Optional[set]
+) -> List[Diagnostic]:
+    """Run the per-file (syntactic) rule pack over one parsed module."""
+    ctx = ModuleContext(
+        display=module.display,
+        tree=module.tree,
+        is_sim_layer=module.is_sim_layer,
+    )
     raw: List[Diagnostic] = []
     for code, rule in sorted(RULES.items()):
         if selected is not None and code not in selected:
             continue
         raw.extend(rule.check(ctx))
+    return raw
 
+
+def _apply_suppressions(
+    source: str,
+    display: str,
+    raw: Sequence[Diagnostic],
+    selected: Optional[set],
+    result: LintResult,
+) -> None:
+    """Filter ``raw`` through the file's suppression comments into
+    ``result``, then emit SIM007/SIM008 for bad suppressions.  Runs after
+    syntactic and flow findings are combined so a suppression can absorb
+    either kind."""
+    suppressions = find_suppressions(source)
     for diag in raw:
         absorbed = False
         for suppression in suppressions:
@@ -191,6 +213,32 @@ def lint_source(
                     ),
                 )
             )
+
+
+def lint_source(
+    source: str,
+    display: str = "<string>",
+    *,
+    is_sim_layer: Optional[bool] = None,
+    select: Optional[Iterable[str]] = None,
+) -> LintResult:
+    """Lint one module's source text (the unit tests' entry point).
+
+    Runs the syntactic rules and the flow pass (SIM010-SIM014) over the
+    single module; cross-module findings need :func:`lint_paths`.
+    """
+    result = LintResult(files_scanned=1)
+    selected = set(select) if select is not None else None
+
+    parsed = _parse_module(source, display, is_sim_layer)
+    if isinstance(parsed, Diagnostic):
+        result.diagnostics.append(parsed)
+        return result.sorted()
+
+    raw = _syntactic_diagnostics(parsed, selected)
+    raw.extend(run_flow([parsed], selected))
+    raw.sort(key=lambda d: d.sort_key)
+    _apply_suppressions(source, display, raw, selected, result)
     return result.sorted()
 
 
@@ -215,18 +263,83 @@ def lint_paths(
     *,
     root: Optional[Union[str, Path]] = None,
     select: Optional[Iterable[str]] = None,
+    cache: Optional["LintCache"] = None,
 ) -> LintResult:
     """Lint every python file under ``paths``; display paths are
-    root-relative (default: relative to the current directory)."""
+    root-relative (default: relative to the current directory).
+
+    Syntactic rules run per file; the flow pass (SIM010-SIM014) runs once
+    over the whole file set so call-graph summaries cross module
+    boundaries.  With a :class:`repro.lint.cache.LintCache`, per-file
+    syntactic findings are keyed by content hash and the flow findings by
+    the hash of all hashes — an unchanged tree skips parsing entirely.
+    The cache is only consulted for full runs (``select=None``).
+    """
     base = Path(root) if root is not None else Path.cwd()
+    selected = set(select) if select is not None else None
     result = LintResult()
+
+    records: List[tuple] = []  # (display, source)
     for path in iter_python_files(paths):
         try:
             display = path.resolve().relative_to(base.resolve()).as_posix()
         except ValueError:
             display = path.as_posix()
-        source = path.read_text(encoding="utf-8")
-        result.extend(lint_source(source, display, select=select))
+        records.append((display, path.read_text(encoding="utf-8")))
+    result.files_scanned = len(records)
+
+    use_cache = cache is not None and selected is None
+    keys: Dict[str, str] = {}
+    flow_key = ""
+    if use_cache:
+        keys = {d: cache.file_key(d, s) for d, s in records}
+        flow_key = cache.project_key([keys[d] for d, _ in records])
+
+    raw_by_file: Dict[str, List[Diagnostic]] = {d: [] for d, _ in records}
+    flow_diags = cache.get_flow(flow_key) if use_cache else None
+
+    cold_files: List[tuple] = []
+    for display, source in records:
+        cached = cache.get_file(keys[display]) if use_cache else None
+        if cached is not None:
+            raw_by_file[display].extend(cached)
+        else:
+            cold_files.append((display, source))
+
+    # Parse what we must: cache-cold files always; *every* file when the
+    # flow result is cold (the flow pass needs all trees to resolve
+    # cross-module calls).
+    to_parse = cold_files if flow_diags is not None else records
+    cold_displays = {d for d, _ in cold_files}
+    modules: List[ParsedModule] = []
+    for display, source in to_parse:
+        parsed = _parse_module(source, display, None)
+        if isinstance(parsed, Diagnostic):
+            if display in cold_displays:
+                raw_by_file[display].append(parsed)
+                if use_cache:
+                    cache.put_file(keys[display], [parsed])
+            continue
+        modules.append(parsed)
+        if display in cold_displays:
+            diags = _syntactic_diagnostics(parsed, selected)
+            raw_by_file[display].extend(diags)
+            if use_cache:
+                cache.put_file(keys[display], diags)
+
+    if flow_diags is None:
+        flow_diags = run_flow(modules, selected)
+        if use_cache:
+            cache.put_flow(flow_key, flow_diags)
+    for diag in flow_diags:
+        raw_by_file.setdefault(diag.path, []).append(diag)
+
+    for display, source in records:
+        raw = sorted(raw_by_file[display], key=lambda d: d.sort_key)
+        _apply_suppressions(source, display, raw, selected, result)
+
+    if use_cache:
+        cache.save()
     return result.sorted()
 
 

@@ -1,0 +1,65 @@
+"""``repro.lint.flow`` — simflow, the interprocedural dataflow layer of
+simlint.
+
+Where the syntactic rules (SIM000-SIM009) look at one construct at a
+time, simflow builds per-function control-flow graphs and a
+whole-package call graph, infers a *dimension tag* for every value it
+can (time in ns/us/ms/s, size in bytes/sectors/pages/blocks, logical vs
+physical address), and checks that tags stay consistent across
+arithmetic, comparisons, assignments, and — the interesting part —
+function boundaries: an ``ns`` value passed to a ``_us`` parameter two
+modules away is one SIM010 diagnostic.
+
+Entry point: :func:`run_flow` (the engine calls it with its parsed
+modules).  Rule metadata lives in :data:`FLOW_RULES`.
+"""
+
+from repro.lint.flow.callgraph import (
+    CallTarget,
+    FunctionInfo,
+    ModuleLike,
+    Project,
+    annotation_dim,
+    resolve_call,
+)
+from repro.lint.flow.cfg import Cfg, build_cfg, is_generator
+from repro.lint.flow.dims import (
+    ADDR_LOGICAL,
+    ADDR_PHYSICAL,
+    DIMLESS,
+    Dim,
+    SIZE_BYTES,
+    SIZE_PAGES,
+    TIME_NS,
+    TIME_US,
+    UNKNOWN,
+    conflict_kind,
+    dim_of_name,
+)
+from repro.lint.flow.rules import FLOW_RULES, DimInference, run_flow
+
+__all__ = [
+    "ADDR_LOGICAL",
+    "ADDR_PHYSICAL",
+    "Cfg",
+    "CallTarget",
+    "DIMLESS",
+    "Dim",
+    "DimInference",
+    "FLOW_RULES",
+    "FunctionInfo",
+    "ModuleLike",
+    "Project",
+    "SIZE_BYTES",
+    "SIZE_PAGES",
+    "TIME_NS",
+    "TIME_US",
+    "UNKNOWN",
+    "annotation_dim",
+    "build_cfg",
+    "conflict_kind",
+    "dim_of_name",
+    "is_generator",
+    "resolve_call",
+    "run_flow",
+]

@@ -1,0 +1,414 @@
+"""Whole-package function index, call resolution, and dim summaries.
+
+The interprocedural half of simflow: every function and method in the
+linted file set gets a :class:`FunctionInfo` summary — per-parameter
+dimension tags and a return tag — and call sites resolve to summaries so
+an ``ns`` value flowing into a ``_us`` parameter two modules away is
+still one diagnostic.
+
+Resolution is deliberately conservative (wrong resolution would mean
+wrong findings):
+
+* bare names resolve within the defining module, then through the
+  import map to another linted module;
+* ``self.method()`` resolves in the enclosing class, then through base
+  classes found by name in the project;
+* ``Class(...)`` resolves to ``Class.__init__``;
+* ``obj.method()`` on an arbitrary object resolves only when exactly one
+  class in the whole file set defines that method name — otherwise the
+  call is left unresolved and no argument check happens.
+
+Return tags reach a fixed point in a few passes: a function whose return
+expression is ``callee()`` picks up the callee's tag once it is known.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lint.rules import ImportMap, _dotted
+from repro.lint.flow.cfg import FunctionNode, _SCOPE_NODES
+from repro.lint.flow.dims import (
+    ANNOTATION_DIMS,
+    CONVERTER_SIGNATURES,
+    Dim,
+    UNKNOWN,
+    dim_of_name,
+    join,
+)
+
+
+class ModuleLike:
+    """What the flow pass needs of one parsed module (duck-typed: the
+    lint engine hands in its own parsed-module records)."""
+
+    display: str
+    tree: ast.AST
+    is_sim_layer: bool
+
+
+def module_dotted_name(display: str) -> str:
+    """``src/repro/ftl/core.py`` -> ``repro.ftl.core`` (best effort)."""
+    parts = display.replace("\\", "/").split("/")
+    if parts and parts[0] in ("src", "lib"):
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(part for part in parts if part)
+
+
+class FunctionInfo:
+    """Summary of one function/method: where it lives and what its
+    parameters and return value are measured in."""
+
+    __slots__ = (
+        "node", "module", "qualname", "class_name", "base_names",
+        "param_names", "param_dims", "return_dim", "declared_return",
+        "is_method",
+    )
+
+    def __init__(
+        self,
+        node: FunctionNode,
+        module: ModuleLike,
+        imports: ImportMap,
+        class_name: Optional[str] = None,
+        base_names: Tuple[str, ...] = (),
+    ) -> None:
+        self.node = node
+        self.module = module
+        self.class_name = class_name
+        self.base_names = base_names
+        self.is_method = class_name is not None
+        prefix = f"{class_name}." if class_name else ""
+        self.qualname = f"{module.display}::{prefix}{node.name}"
+
+        args = node.args
+        ordered = list(args.posonlyargs) + list(args.args)
+        self.param_names: List[str] = [a.arg for a in ordered]
+        self.param_dims: Dict[str, Dim] = {}
+        for arg in ordered + list(args.kwonlyargs):
+            self.param_dims[arg.arg] = _param_dim(arg, imports)
+
+        declared = annotation_dim(node.returns, imports)
+        if not declared.known:
+            declared = dim_of_name(node.name)
+        self.declared_return = declared
+        self.return_dim = declared
+
+    def positional_param(self, index: int, *, bound: bool) -> Optional[str]:
+        """Name of the parameter receiving positional arg ``index``;
+        ``bound`` skips ``self``/``cls`` for method/constructor calls."""
+        offset = 1 if bound and self.param_names[:1] in (["self"], ["cls"]) else 0
+        position = index + offset
+        if position < len(self.param_names):
+            return self.param_names[position]
+        return None
+
+
+def _param_dim(arg: ast.arg, imports: ImportMap) -> Dim:
+    annotated = annotation_dim(arg.annotation, imports)
+    if annotated != UNKNOWN:
+        # Known dims AND explicit DIMLESS (a `Count` annotation) both
+        # override the name suffix.
+        return annotated
+    return dim_of_name(arg.arg)
+
+
+def annotation_dim(annotation: Optional[ast.expr], imports: ImportMap) -> Dim:
+    """Dim carried by an annotation naming a :mod:`repro.units` alias.
+
+    Accepts ``Ns``, ``units.Ns``, a string annotation ``"Ns"``, and
+    ``Optional[Ns]`` / ``Ns | None`` shapes.
+    """
+    if annotation is None:
+        return UNKNOWN
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        name = annotation.value.rsplit(".", 1)[-1]
+        return ANNOTATION_DIMS.get(name, UNKNOWN)
+    if isinstance(annotation, ast.Subscript):
+        # Optional[Ns] — the subscripted container decides nothing, look
+        # at the first slice element.
+        inner = annotation.slice
+        if isinstance(inner, ast.Tuple) and inner.elts:
+            inner = inner.elts[0]
+        return annotation_dim(inner, imports)
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        left = annotation_dim(annotation.left, imports)
+        return left if left.known else annotation_dim(annotation.right, imports)
+    dotted = _dotted(annotation)
+    if dotted is None:
+        return UNKNOWN
+    name = dotted.rsplit(".", 1)[-1]
+    if name not in ANNOTATION_DIMS:
+        return UNKNOWN
+    resolved = imports.resolve(annotation)
+    if resolved is not None and not resolved.startswith("repro.units"):
+        # It resolved to some *other* imported thing that happens to
+        # collide with an alias name — don't tag.
+        if resolved.rsplit(".", 1)[-1] != name or "." in resolved[: -len(name) - 1]:
+            return UNKNOWN
+    return ANNOTATION_DIMS[name]
+
+
+class ClassInfo:
+    __slots__ = ("name", "module", "base_names", "methods")
+
+    def __init__(self, name: str, module: ModuleLike, base_names: Tuple[str, ...]):
+        self.name = name
+        self.module = module
+        self.base_names = base_names
+        self.methods: Dict[str, FunctionInfo] = {}
+
+
+class Project:
+    """Index over every linted module: functions, classes, imports."""
+
+    def __init__(self, modules: Sequence[ModuleLike]) -> None:
+        self.modules = list(modules)
+        self.imports: Dict[str, ImportMap] = {}
+        #: module display -> {function name -> info} (module level only)
+        self.functions: Dict[str, Dict[str, FunctionInfo]] = {}
+        #: module display -> {class name -> ClassInfo}
+        self.classes: Dict[str, Dict[str, ClassInfo]] = {}
+        #: dotted module name -> display (for import resolution)
+        self.by_dotted: Dict[str, str] = {}
+        #: method name -> [FunctionInfo] across every class (fallback)
+        self.methods_by_name: Dict[str, List[FunctionInfo]] = {}
+        #: every FunctionInfo, for the analysis driver
+        self.all_functions: List[FunctionInfo] = []
+
+        for module in self.modules:
+            imports = ImportMap(module.tree)
+            self.imports[module.display] = imports
+            self.functions[module.display] = {}
+            self.classes[module.display] = {}
+            self.by_dotted[module_dotted_name(module.display)] = module.display
+            body = getattr(module.tree, "body", [])
+            for node in body:
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    info = FunctionInfo(node, module, imports)
+                    self.functions[module.display][node.name] = info
+                    self.all_functions.append(info)
+                elif isinstance(node, ast.ClassDef):
+                    bases = tuple(
+                        b for b in (_dotted(base) for base in node.bases)
+                        if b is not None
+                    )
+                    cls = ClassInfo(node.name, module, bases)
+                    self.classes[module.display][node.name] = cls
+                    for item in node.body:
+                        if isinstance(
+                            item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                        ):
+                            info = FunctionInfo(
+                                item, module, imports,
+                                class_name=node.name, base_names=bases,
+                            )
+                            cls.methods[item.name] = info
+                            self.all_functions.append(info)
+                            self.methods_by_name.setdefault(
+                                item.name, []
+                            ).append(info)
+
+    # -- lookup helpers ------------------------------------------------
+
+    def class_in_module(self, display: str, name: str) -> Optional[ClassInfo]:
+        return self.classes.get(display, {}).get(name)
+
+    def resolve_class(self, display: str, name: str) -> Optional[ClassInfo]:
+        """A class by (possibly dotted or imported) name, from ``display``."""
+        simple = name.rsplit(".", 1)[-1]
+        local = self.class_in_module(display, simple)
+        if local is not None and "." not in name:
+            return local
+        imports = self.imports.get(display)
+        if imports is not None:
+            alias = name.split(".")[0]
+            resolved = imports.aliases.get(alias)
+            if resolved is not None:
+                dotted = name.replace(alias, resolved, 1)
+                module_part, _, cls_part = dotted.rpartition(".")
+                target = self.by_dotted.get(module_part)
+                if target is not None:
+                    found = self.class_in_module(target, cls_part)
+                    if found is not None:
+                        return found
+        return local
+
+    def method_on_class(
+        self, cls: ClassInfo, method: str, _depth: int = 0
+    ) -> Optional[FunctionInfo]:
+        """Method lookup walking same-project base classes (depth-capped)."""
+        found = cls.methods.get(method)
+        if found is not None or _depth > 4:
+            return found
+        for base in cls.base_names:
+            parent = self.resolve_class(cls.module.display, base)
+            if parent is not None and parent is not cls:
+                found = self.method_on_class(parent, method, _depth + 1)
+                if found is not None:
+                    return found
+        return None
+
+    def unique_method(self, name: str) -> Optional[FunctionInfo]:
+        candidates = self.methods_by_name.get(name, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+
+class CallTarget:
+    """A resolved call: the callee summary plus binding details."""
+
+    __slots__ = ("info", "bound", "converter")
+
+    def __init__(
+        self,
+        info: Optional[FunctionInfo] = None,
+        *,
+        bound: bool = False,
+        converter: Optional[Tuple[Dim, Dim]] = None,
+    ) -> None:
+        self.info = info
+        self.bound = bound  # skip a leading self/cls when mapping args
+        self.converter = converter  # (expected arg dim, result dim)
+
+
+def resolve_call(
+    project: Project,
+    caller: FunctionInfo,
+    call: ast.Call,
+) -> Optional[CallTarget]:
+    """Resolve ``call`` made from inside ``caller`` to a target, or None."""
+    display = caller.module.display
+    imports = project.imports[display]
+    func = call.func
+
+    if isinstance(func, ast.Name):
+        name = func.id
+        resolved = imports.resolve(func)
+        # Blessed converter, imported from repro.units or bare.
+        if (resolved or "").startswith("repro.units.") or (
+            resolved is None and name in CONVERTER_SIGNATURES
+        ):
+            signature = CONVERTER_SIGNATURES.get(
+                (resolved or name).rsplit(".", 1)[-1]
+            )
+            if signature is not None:
+                return CallTarget(converter=signature)
+        # Module-local function.
+        local = project.functions[display].get(name)
+        if local is not None and resolved is None:
+            return CallTarget(local)
+        # Module-local class -> constructor.
+        cls = project.class_in_module(display, name)
+        if cls is not None and resolved is None:
+            init = project.method_on_class(cls, "__init__")
+            if init is not None:
+                return CallTarget(init, bound=True)
+            return None
+        # Imported function or class.
+        if resolved is not None:
+            return _resolve_dotted(project, resolved)
+        return None
+
+    if isinstance(func, ast.Attribute):
+        # self.method() / cls.method()
+        if (
+            isinstance(func.value, ast.Name)
+            and func.value.id in ("self", "cls")
+            and caller.class_name is not None
+        ):
+            cls_info = project.class_in_module(display, caller.class_name)
+            if cls_info is not None:
+                method = project.method_on_class(cls_info, func.attr)
+                if method is not None:
+                    return CallTarget(method, bound=True)
+            return None
+        # module.func() / package.Class() through imports.
+        resolved = imports.resolve(func)
+        if resolved is not None:
+            if resolved.startswith("repro.units."):
+                signature = CONVERTER_SIGNATURES.get(resolved.rsplit(".", 1)[-1])
+                if signature is not None:
+                    return CallTarget(converter=signature)
+            return _resolve_dotted(project, resolved)
+        # obj.method(): only when the method name is project-unique.
+        if not func.attr.startswith("__"):
+            unique = project.unique_method(func.attr)
+            if unique is not None:
+                return CallTarget(unique, bound=True)
+        return None
+
+    return None
+
+
+def _resolve_dotted(project: Project, dotted: str) -> Optional[CallTarget]:
+    """``repro.ftl.core.PageMappedFtl`` or ``repro.flash.timing.func``."""
+    module_part, _, leaf = dotted.rpartition(".")
+    display = project.by_dotted.get(module_part)
+    if display is None:
+        return None
+    fn = project.functions[display].get(leaf)
+    if fn is not None:
+        return CallTarget(fn)
+    cls = project.class_in_module(display, leaf)
+    if cls is not None:
+        init = project.method_on_class(cls, "__init__")
+        if init is not None:
+            return CallTarget(init, bound=True)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Return-dim fixed point.
+# ----------------------------------------------------------------------
+
+
+def refine_return_dims(
+    project: Project,
+    infer_return: "callable",
+    max_passes: int = 3,
+) -> None:
+    """Propagate return dims until stable: functions whose return tag is
+    undeclared pick it up from their return expressions (which may in
+    turn read callee summaries).  ``infer_return(info) -> Dim``."""
+    for _ in range(max_passes):
+        changed = False
+        for info in project.all_functions:
+            if info.declared_return.known:
+                continue
+            inferred = infer_return(info)
+            if inferred.known and inferred != info.return_dim:
+                info.return_dim = inferred
+                changed = True
+        if not changed:
+            return
+
+
+def return_exprs(fn: FunctionNode) -> List[ast.expr]:
+    """Every expression returned from ``fn``'s own scope."""
+    out: List[ast.expr] = []
+    stack: List[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _SCOPE_NODES):
+            continue
+        if isinstance(node, ast.Return) and node.value is not None:
+            out.append(node.value)
+        stack.extend(ast.iter_child_nodes(node))
+    return out
+
+
+def merge_return_dim(dims: List[Dim]) -> Dim:
+    known = [d for d in dims if d.known]
+    if not known:
+        return UNKNOWN
+    result = known[0]
+    for d in known[1:]:
+        result = join(result, d)
+    return result

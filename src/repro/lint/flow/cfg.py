@@ -1,0 +1,195 @@
+"""Per-function control-flow graphs for simflow.
+
+One :class:`Cfg` per function: nodes are *simple statements* (compound
+statements contribute their headers), edges follow the usual Python
+control flow — if/else joins, loop back edges, ``break``/``continue``,
+``return``/``raise`` to exit, and the conservative try/except model where
+every statement of a ``try`` body may jump to every handler (an exception
+can strike mid-statement).  ``with`` bodies are linear; ``finally``
+blocks are on every path out of their ``try``.
+
+Each node records whether the statement *contains a yield* (scanning its
+expressions but not nested ``def``/``lambda`` bodies): the stale-state
+analysis (SIM014) treats a yield as "the engine may run arbitrary other
+processes here", i.e. a clock/state barrier.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Statement types that open their own scope — never descended into when
+#: scanning a statement's own expressions.
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+
+class Node:
+    """One simple statement in the CFG."""
+
+    __slots__ = ("index", "stmt", "succs", "has_yield")
+
+    def __init__(self, index: int, stmt: Optional[ast.stmt]) -> None:
+        self.index = index
+        self.stmt = stmt
+        self.succs: Set[int] = set()
+        self.has_yield = stmt is not None and stmt_contains_yield(stmt)
+
+
+def stmt_contains_yield(stmt: ast.stmt) -> bool:
+    """True when ``stmt``'s own expressions contain a yield/yield-from."""
+    for node in _walk_same_scope(stmt):
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+    return False
+
+
+def _walk_same_scope(root: ast.AST):
+    """``ast.walk`` that does not descend into nested scopes or into a
+    compound statement's *body* (only its header expressions)."""
+    stack: List[ast.AST] = [root]
+    first = True
+    while stack:
+        node = stack.pop()
+        if not first and isinstance(node, _SCOPE_NODES):
+            continue
+        first = False
+        yield node
+        for field, value in ast.iter_fields(node):
+            # For the root compound statement, look only at header
+            # expressions (test/iter/items/targets/value), not the body.
+            if isinstance(node, (ast.If, ast.While, ast.For, ast.AsyncFor,
+                                 ast.With, ast.AsyncWith, ast.Try)) and field in (
+                "body", "orelse", "finalbody", "handlers"
+            ):
+                continue
+            if isinstance(value, ast.AST):
+                stack.append(value)
+            elif isinstance(value, list):
+                stack.extend(v for v in value if isinstance(v, ast.AST))
+
+
+class Cfg:
+    """Control-flow graph of one function body."""
+
+    def __init__(self, fn: FunctionNode) -> None:
+        self.fn = fn
+        self.nodes: List[Node] = []
+        # Virtual entry (index 0) and exit (index 1) carry no statement.
+        self.entry = self._new_node(None)
+        self.exit = self._new_node(None)
+        self._loop_stack: List[Dict[str, Set[int]]] = []
+        tails = self._build_body(fn.body, {self.entry.index})
+        self._connect(tails, self.exit.index)
+
+    # -- construction --------------------------------------------------
+
+    def _new_node(self, stmt: Optional[ast.stmt]) -> Node:
+        node = Node(len(self.nodes), stmt)
+        self.nodes.append(node)
+        return node
+
+    def _connect(self, sources: Set[int], target: int) -> None:
+        for source in sources:
+            self.nodes[source].succs.add(target)
+
+    def _build_body(self, body: List[ast.stmt], preds: Set[int]) -> Set[int]:
+        """Wire ``body`` after ``preds``; returns the dangling tails."""
+        current = preds
+        for stmt in body:
+            if not current:
+                break  # unreachable after return/raise/break/continue
+            current = self._build_stmt(stmt, current)
+        return current
+
+    def _build_stmt(self, stmt: ast.stmt, preds: Set[int]) -> Set[int]:
+        if isinstance(stmt, ast.If):
+            header = self._new_node(stmt)
+            self._connect(preds, header.index)
+            then_tails = self._build_body(stmt.body, {header.index})
+            else_tails = self._build_body(stmt.orelse, {header.index}) \
+                if stmt.orelse else {header.index}
+            return then_tails | else_tails
+
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            header = self._new_node(stmt)
+            self._connect(preds, header.index)
+            self._loop_stack.append({"break": set(), "continue": set()})
+            body_tails = self._build_body(stmt.body, {header.index})
+            frame = self._loop_stack.pop()
+            # Back edge: body tail (and continue) re-enter the header.
+            self._connect(body_tails | frame["continue"], header.index)
+            # Normal exit (condition false / iterator exhausted) plus
+            # breaks; a `while True` still gets the header exit edge —
+            # conservative, and harmless for the analyses built on top.
+            exit_tails = self._build_body(stmt.orelse, {header.index}) \
+                if stmt.orelse else {header.index}
+            return exit_tails | frame["break"]
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            header = self._new_node(stmt)
+            self._connect(preds, header.index)
+            return self._build_body(stmt.body, {header.index})
+
+        if isinstance(stmt, ast.Try):
+            handler_sources: Set[int] = set(preds)
+            # Build the try body, remembering every node in it: any of
+            # them may raise into any handler.
+            first_new = len(self.nodes)
+            body_tails = self._build_body(stmt.body, preds)
+            body_nodes = set(range(first_new, len(self.nodes)))
+            handler_sources |= body_nodes
+
+            all_tails: Set[int] = set()
+            for handler in stmt.handlers:
+                head = self._new_node(handler)  # the `except X:` header
+                self._connect(handler_sources, head.index)
+                all_tails |= self._build_body(handler.body, {head.index})
+            else_tails = self._build_body(stmt.orelse, body_tails) \
+                if stmt.orelse else body_tails
+            all_tails |= else_tails
+
+            if stmt.finalbody:
+                return self._build_body(stmt.finalbody, all_tails)
+            return all_tails
+
+        # Simple statements.
+        node = self._new_node(stmt)
+        self._connect(preds, node.index)
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            self._connect({node.index}, self.exit.index)
+            return set()
+        if isinstance(stmt, ast.Break):
+            if self._loop_stack:
+                self._loop_stack[-1]["break"].add(node.index)
+            return set()
+        if isinstance(stmt, ast.Continue):
+            if self._loop_stack:
+                self._loop_stack[-1]["continue"].add(node.index)
+            return set()
+        return {node.index}
+
+    # -- queries -------------------------------------------------------
+
+    def statement_nodes(self) -> List[Node]:
+        return [node for node in self.nodes if node.stmt is not None]
+
+
+def build_cfg(fn: FunctionNode) -> Cfg:
+    """Build the control-flow graph for one function definition."""
+    return Cfg(fn)
+
+
+def is_generator(fn: FunctionNode) -> bool:
+    """True when ``fn`` is a generator (contains a yield in its own scope)."""
+    stack: List[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _SCOPE_NODES):
+            continue
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+        stack.extend(ast.iter_child_nodes(node))
+    return False

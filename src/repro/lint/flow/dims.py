@@ -1,0 +1,211 @@
+"""Dimension tags: the lattice simflow infers over names and expressions.
+
+A :class:`Dim` is a (kind, unit) pair:
+
+* kind ``time``  — units ``ns``/``us``/``ms``/``s`` (sim clock is ns);
+* kind ``size``  — units ``bytes``/``sectors``/``pages``/``blocks``;
+* kind ``addr``  — units ``logical`` (lpn/lba) / ``physical`` (ppa/ppn/pba)
+  / ``block`` (pba at block granularity folds into physical);
+* ``DIMLESS``    — a bare number (literals, counts, ratios);
+* ``UNKNOWN``    — no evidence either way.
+
+The analysis is optimistic: ``UNKNOWN`` never participates in a finding,
+and ``DIMLESS`` acts as a wildcard in arithmetic (``t_ns + 1`` is fine).
+Only two *known, conflicting* tags produce a diagnostic, which is what
+lets the pass run over the whole tree without drowning in noise.
+
+Evidence sources, strongest first:
+
+1. an annotation naming a :mod:`repro.units` alias (``Ns``, ``Bytes``,
+   ``Lpn``, ...);
+2. a name suffix convention (``*_ns``, ``*_bytes``, ``lpn``, ``prev_ppa``);
+3. a blessed converter call (``us_to_ns(x)`` is ``ns`` whatever ``x`` was);
+4. a literal-scale conversion idiom (``x_ns / 1_000`` is ``us``);
+5. a callee's return summary (interprocedural, see ``callgraph``).
+
+Rate names (``*_per_s``, ``*_mbps``, ``pages_per_block``) are deliberately
+``UNKNOWN``: a rate is neither of its constituent units.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional
+
+
+class Dim(NamedTuple):
+    """One point of the dimension lattice."""
+
+    kind: str  # "time" | "size" | "addr" | "none" | "unknown"
+    unit: str
+
+    @property
+    def known(self) -> bool:
+        return self.kind not in ("none", "unknown")
+
+    def describe(self) -> str:
+        if self.kind == "none":
+            return "dimensionless"
+        if self.kind == "unknown":
+            return "unknown"
+        if self.kind == "addr":
+            return f"{self.unit} address"
+        return f"{self.kind}:{self.unit}"
+
+
+UNKNOWN = Dim("unknown", "")
+DIMLESS = Dim("none", "")
+
+TIME_NS = Dim("time", "ns")
+TIME_US = Dim("time", "us")
+TIME_MS = Dim("time", "ms")
+TIME_S = Dim("time", "s")
+
+SIZE_BYTES = Dim("size", "bytes")
+SIZE_SECTORS = Dim("size", "sectors")
+SIZE_PAGES = Dim("size", "pages")
+SIZE_BLOCKS = Dim("size", "blocks")
+
+ADDR_LOGICAL = Dim("addr", "logical")
+ADDR_PHYSICAL = Dim("addr", "physical")
+
+#: ns per unit — the scale ladder literal-conversion idioms move along.
+TIME_SCALE_NS = {"ns": 1, "us": 1_000, "ms": 1_000_000, "s": 1_000_000_000}
+_SCALE_TO_UNIT = {scale: unit for unit, scale in TIME_SCALE_NS.items()}
+
+_TIME_SUFFIXES = {"ns": TIME_NS, "us": TIME_US, "ms": TIME_MS, "s": TIME_S}
+_SIZE_SUFFIXES = {
+    "bytes": SIZE_BYTES,
+    "nbytes": SIZE_BYTES,
+    "sectors": SIZE_SECTORS,
+    "pages": SIZE_PAGES,
+    "blocks": SIZE_BLOCKS,
+}
+#: Address-space vocabularies: host/FTL logical vs flash physical.
+LOGICAL_ADDR_NAMES = frozenset({"lpn", "lba"})
+PHYSICAL_ADDR_NAMES = frozenset({"ppa", "ppn", "pba"})
+
+#: Annotation names (from repro.units) -> dim.  ``Count`` maps to
+#: DIMLESS: an *explicitly declared* count, distinct from UNKNOWN.
+ANNOTATION_DIMS = {
+    "Count": DIMLESS,
+    "Ns": TIME_NS,
+    "Us": TIME_US,
+    "Ms": TIME_MS,
+    "Sec": TIME_S,
+    "Bytes": SIZE_BYTES,
+    "Sectors": SIZE_SECTORS,
+    "Pages": SIZE_PAGES,
+    "Blocks": SIZE_BLOCKS,
+    "Lpn": ADDR_LOGICAL,
+    "Lba": ADDR_LOGICAL,
+    "Ppa": ADDR_PHYSICAL,
+    "Ppn": ADDR_PHYSICAL,
+    "Pba": ADDR_PHYSICAL,
+}
+
+#: Blessed converters (repro.units) -> (argument dim, result dim).
+CONVERTER_SIGNATURES = {
+    "us_to_ns": (TIME_US, TIME_NS),
+    "ms_to_ns": (TIME_MS, TIME_NS),
+    "s_to_ns": (TIME_S, TIME_NS),
+    "ns_to_us": (TIME_NS, TIME_US),
+    "ns_to_ms": (TIME_NS, TIME_MS),
+    "ns_to_s": (TIME_NS, TIME_S),
+    "bytes_to_pages": (SIZE_BYTES, SIZE_PAGES),
+    "pages_to_bytes": (SIZE_PAGES, SIZE_BYTES),
+    "bytes_to_sectors": (SIZE_BYTES, SIZE_SECTORS),
+    "sectors_to_bytes": (SIZE_SECTORS, SIZE_BYTES),
+}
+
+
+def dim_of_name(name: str) -> Dim:
+    """The dimension a bare identifier advertises through its suffix.
+
+    The convention is segment-based: the *last* ``_``-separated segment
+    carries the unit (``flush_coalesce_ns``, ``capacity_bytes``,
+    ``victim_ppa``).  A whole identifier that IS an address word
+    (``lpn``, ``ppa``) tags too, as does its plural (``lpns``).  Rates
+    (``events_per_s``, ``bus_mbps``) and ``*_size`` names stay special:
+    ``per`` disables the suffix, ``size`` means a byte quantity.
+    """
+    text = name.lower().strip("_")
+    if not text:
+        return UNKNOWN
+    segments = text.split("_")
+    last = segments[-1]
+    # Rates: `events_per_s`, `pages_per_block` — neither unit.
+    if len(segments) >= 2 and segments[-2] == "per":
+        return UNKNOWN
+    if last in _TIME_SUFFIXES:
+        # A lone `s` variable (or `ns` used as a name) is too thin to tag
+        # time; require a describing prefix for the one-letter second.
+        if last == "s" and len(segments) < 2:
+            return UNKNOWN
+        return _TIME_SUFFIXES[last]
+    if last in _SIZE_SUFFIXES:
+        return _SIZE_SUFFIXES[last]
+    if last == "size":
+        # `page_size` / `sector_size` / `qd_size`? — geometry sizes in the
+        # tree are byte quantities; queue sizes say `depth`.
+        return SIZE_BYTES
+    addr = last[:-1] if last.endswith("s") and len(last) == 4 else last
+    if addr in LOGICAL_ADDR_NAMES:
+        return ADDR_LOGICAL
+    if addr in PHYSICAL_ADDR_NAMES:
+        return ADDR_PHYSICAL
+    return UNKNOWN
+
+
+def join(a: Dim, b: Dim) -> Dim:
+    """Least upper bound for control-flow merges: agree or know nothing."""
+    if a == b:
+        return a
+    if a == UNKNOWN or b == UNKNOWN:
+        return UNKNOWN
+    if a == DIMLESS:
+        return b
+    if b == DIMLESS:
+        return a
+    return UNKNOWN
+
+
+def scaled_time_unit(unit: str, factor: float, *, multiply: bool) -> Optional[str]:
+    """The time unit reached by scaling ``unit`` by a literal ``factor``.
+
+    ``x_us * 1_000`` lands on ns (smaller unit, larger count);
+    ``x_ns / 1_000`` lands on us.  Returns None when the factor does not
+    land exactly on another rung of the ladder.
+    """
+    if factor <= 0 or unit not in TIME_SCALE_NS:
+        return None
+    scale = TIME_SCALE_NS[unit]
+    target = scale / factor if multiply else scale * factor
+    if target != int(target):
+        return None
+    return _SCALE_TO_UNIT.get(int(target))
+
+
+def conflict_kind(a: Dim, b: Dim) -> Optional[str]:
+    """Classify a pairing of two *known* dims: None when compatible,
+    otherwise which rule family owns the mismatch.
+
+    * ``"time"``  — both time, different units (SIM010);
+    * ``"addr"``  — both addresses, different spaces (SIM012);
+    * ``"cross"`` — time vs size, time vs addr, or two size units
+      (SIM011).
+
+    An address paired with a size is *compatible*: bounds checks
+    (``lpn < logical_pages``) and pointer arithmetic (``lpn + pages``)
+    are the idiom, not a bug.
+    """
+    if not (a.known and b.known):
+        return None
+    if a == b:
+        return None
+    if a.kind == "time" and b.kind == "time":
+        return "time"
+    if a.kind == "addr" and b.kind == "addr":
+        return "addr"
+    if {a.kind, b.kind} == {"addr", "size"}:
+        return None
+    return "cross"

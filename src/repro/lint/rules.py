@@ -234,8 +234,19 @@ def register(cls: type) -> type:
     return cls
 
 
+def _flow_rules() -> Dict[str, Tuple[str, str]]:
+    """Metadata for the dataflow rule pack (SIM010-SIM014).
+
+    Imported lazily: the flow package uses this module's ImportMap, so a
+    top-level import here would be circular.
+    """
+    from repro.lint.flow.rules import FLOW_RULES
+
+    return FLOW_RULES
+
+
 def all_codes() -> List[str]:
-    return sorted(set(RULES) | set(ENGINE_CODES))
+    return sorted(set(RULES) | set(ENGINE_CODES) | set(_flow_rules()))
 
 
 # ----------------------------------------------------------------------
@@ -700,4 +711,7 @@ def rules_table() -> List[Tuple[str, str]]:
     """(code, summary) rows for every code simlint can emit."""
     rows = [(code, rule.summary) for code, rule in RULES.items()]
     rows.extend(ENGINE_CODES.items())
+    rows.extend(
+        (code, summary) for code, (_name, summary) in _flow_rules().items()
+    )
     return sorted(rows)

@@ -1,0 +1,83 @@
+"""SARIF 2.1.0 export for simlint findings.
+
+SARIF (Static Analysis Results Interchange Format) is the schema code
+hosts ingest for inline review annotations; ``python -m repro lint
+--format sarif`` emits one run with the full rule table in
+``tool.driver.rules`` and one ``result`` per diagnostic, so CI can
+upload the file as an artifact (or to a code-scanning endpoint) without
+any adapter glue.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.lint.engine import LintResult
+from repro.lint.rules import rules_table
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Codes that indicate broken input rather than a style finding.
+_ERROR_CODES = frozenset({"SIM000"})
+
+
+def to_sarif(result: LintResult) -> Dict[str, Any]:
+    """Render a :class:`LintResult` as a SARIF 2.1.0 document (dict)."""
+    rules = [
+        {
+            "id": code,
+            "shortDescription": {"text": summary},
+            "defaultConfiguration": {
+                "level": "error" if code in _ERROR_CODES else "warning",
+            },
+        }
+        for code, summary in rules_table()
+    ]
+    rule_index = {rule["id"]: index for index, rule in enumerate(rules)}
+
+    results = []
+    for diag in result.diagnostics:
+        entry: Dict[str, Any] = {
+            "ruleId": diag.code,
+            "level": "error" if diag.code in _ERROR_CODES else "warning",
+            "message": {"text": diag.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": diag.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": diag.line,
+                            "startColumn": diag.col,
+                        },
+                    }
+                }
+            ],
+        }
+        if diag.code in rule_index:
+            entry["ruleIndex"] = rule_index[diag.code]
+        results.append(entry)
+
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "simlint",
+                        "informationUri": "docs/lint.md",
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }

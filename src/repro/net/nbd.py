@@ -34,6 +34,7 @@ from repro.net.link import NetworkLink
 from repro.sim.engine import Simulator
 from repro.sim.events import Event, Timeout
 from repro.ssd.device import IoOp, SsdDevice
+from repro.units import Bytes
 
 if TYPE_CHECKING:
     from repro.faults.plan import FaultPlan
@@ -119,7 +120,7 @@ class NbdSystem:
 
     # ------------------------------------------------------------------
     def sync_io(
-        self, op: IoOp, offset: int, nbytes: int
+        self, op: IoOp, offset: Bytes, nbytes: int
     ) -> Generator[Event, Any, int]:
         """Process: one block I/O across the network.  Returns latency."""
         costs = self.costs

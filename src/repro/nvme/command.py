@@ -7,6 +7,8 @@ converts the byte-addressed requests used elsewhere in the simulator.
 from __future__ import annotations
 
 import enum
+
+from repro.units import Bytes
 from dataclasses import dataclass
 
 SECTOR_SIZE = 512
@@ -51,7 +53,7 @@ class NvmeCommand:
 
     @classmethod
     def from_bytes(
-        cls, cid: int, opcode: Opcode, offset: int, nbytes: int
+        cls, cid: int, opcode: Opcode, offset: Bytes, nbytes: int
     ) -> "NvmeCommand":
         if offset % SECTOR_SIZE or nbytes % SECTOR_SIZE:
             raise ValueError("offset and size must be sector-aligned")

@@ -21,6 +21,7 @@ from repro.nvme.queue import CompletionQueue, QueueFull, SubmissionQueue
 from repro.sim.engine import Simulator
 from repro.sim.events import Event
 from repro.ssd.device import IoOp, SsdDevice
+from repro.units import Bytes
 
 if TYPE_CHECKING:
     from repro.faults.injector import FaultInjector
@@ -124,7 +125,7 @@ class NvmeQueuePair:
 
     # ------------------------------------------------------------------
     def submit(
-        self, op: IoOp, offset: int, nbytes: int, *,
+        self, op: IoOp, offset: Bytes, nbytes: int, *,
         trace: "Optional[IoTrace]" = None,
     ) -> PendingCommand:
         """Build an SQE, ring the doorbell, return the pending command."""

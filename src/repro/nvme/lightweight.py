@@ -28,6 +28,7 @@ from repro.nvme.queue import QueueFull
 from repro.sim.engine import Simulator
 from repro.sim.events import Event
 from repro.ssd.device import IoOp, SsdDevice
+from repro.units import Bytes
 
 if TYPE_CHECKING:
     from repro.obs.tracer import IoTrace
@@ -97,7 +98,7 @@ class LightQueuePair:
 
     # ------------------------------------------------------------------
     def submit(
-        self, op: IoOp, offset: int, nbytes: int, *,
+        self, op: IoOp, offset: Bytes, nbytes: int, *,
         trace: "Optional[IoTrace]" = None,
     ) -> PendingCommand:
         """Latch a command into a free register slot."""

@@ -36,6 +36,7 @@ from repro.obs.core import current_obs
 from repro.sim import sanitize
 from repro.sim.events import AnyOf, Event, Timeout
 from repro.sim.process import Process
+from repro.units import Ns
 
 if TYPE_CHECKING:
     from repro.obs.core import Observability
@@ -96,7 +97,7 @@ class Simulator:
     # ------------------------------------------------------------------
     # Scheduling primitives
     # ------------------------------------------------------------------
-    def schedule(self, delay: int, callback: Callable, *args: Any) -> None:
+    def schedule(self, delay: Ns, callback: Callable, *args: Any) -> None:
         """Run ``callback(*args)`` ``delay`` ns from now."""
         self.schedule_at(self.now + int(delay), callback, *args)
 
@@ -150,7 +151,7 @@ class Simulator:
         """Create a fresh pending event."""
         return Event(self)
 
-    def timeout(self, delay: int, value: Any = None) -> Timeout:
+    def timeout(self, delay: Ns, value: Any = None) -> Timeout:
         """Create an event that fires ``delay`` ns from now."""
         return Timeout(self, int(delay), value)
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, List, Optional
 
 from repro.sim import sanitize
+from repro.units import Ns
 
 
 class Event:
@@ -110,7 +111,7 @@ class Timeout(Event):
 
     __slots__ = ("delay",)
 
-    def __init__(self, sim: "Simulator", delay: int, value: Any = None) -> None:  # noqa: F821
+    def __init__(self, sim: "Simulator", delay: Ns, value: Any = None) -> None:  # noqa: F821
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
         super().__init__(sim)

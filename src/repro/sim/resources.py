@@ -18,12 +18,13 @@ from collections import deque
 from typing import Any, Deque, Tuple
 
 from repro.sim.events import Event
+from repro.units import Count, Ns
 
 
 class Resource:
     """A counted resource with FIFO granting."""
 
-    def __init__(self, sim: "Simulator", capacity: int = 1) -> None:  # noqa: F821
+    def __init__(self, sim: "Simulator", capacity: Count = 1) -> None:  # noqa: F821
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.sim = sim
@@ -103,7 +104,7 @@ class TimelineResource:
         self.free_at: int = 0
         self.busy_ns: int = 0
 
-    def reserve(self, duration: int, not_before: int = 0) -> Tuple[int, int]:
+    def reserve(self, duration: Ns, not_before: Ns = 0) -> Tuple[int, int]:
         """Book ``duration`` ns; returns the booked ``(start, end)``."""
         if duration < 0:
             raise ValueError("negative duration")

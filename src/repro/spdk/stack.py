@@ -24,6 +24,7 @@ from repro.sim.events import Event, Timeout
 from repro.spdk.hugepage import HugePageAllocator
 from repro.spdk.uio import UioBinding
 from repro.ssd.device import IoOp, SsdDevice
+from repro.units import Bytes
 
 if TYPE_CHECKING:
     from repro.faults.plan import FaultPlan
@@ -89,7 +90,7 @@ class SpdkStack:
 
     # ------------------------------------------------------------------
     def sync_io(
-        self, op: IoOp, offset: int, nbytes: int
+        self, op: IoOp, offset: Bytes, nbytes: int
     ) -> Generator[Event, Any, int]:
         """Process: one QD-1 I/O through the SPDK fast path.
 
@@ -123,7 +124,7 @@ class SpdkStack:
         return self.sim.now - started
 
     def submit_async(
-        self, op: IoOp, offset: int, nbytes: int, *, trace: "Optional[IoTrace]" = None
+        self, op: IoOp, offset: Bytes, nbytes: int, *, trace: "Optional[IoTrace]" = None
     ) -> PendingCommand:
         """Queue an I/O without waiting (SPDK is natively asynchronous)."""
         costs = self.costs

@@ -20,12 +20,13 @@ from typing import Deque, Dict, List, Optional
 from repro.sim.engine import Simulator
 from repro.sim.events import Event
 from repro.sim.resources import Store
+from repro.units import Count
 
 
 class WriteBuffer:
     """Counted DRAM slots with FIFO admission and a flush queue."""
 
-    def __init__(self, sim: Simulator, capacity_units: int) -> None:
+    def __init__(self, sim: Simulator, capacity_units: Count) -> None:
         if capacity_units < 1:
             raise ValueError("write buffer needs at least one slot")
         self.sim = sim
@@ -108,7 +109,7 @@ class ReadCache:
     prefetched entry still being read from flash is a hit that waits.
     """
 
-    def __init__(self, capacity_units: int, prefetch_ahead: int = 0) -> None:
+    def __init__(self, capacity_units: Count, prefetch_ahead: int = 0) -> None:
         if capacity_units < 0 or prefetch_ahead < 0:
             raise ValueError("capacity and prefetch depth must be >= 0")
         self.capacity = capacity_units

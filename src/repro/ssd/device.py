@@ -19,6 +19,7 @@ from repro.sim.engine import Simulator
 from repro.sim.events import Event
 from repro.ssd.config import UNIT_SIZE, SsdConfig
 from repro.ssd.controller import SsdController
+from repro.units import Bytes
 
 if TYPE_CHECKING:
     from repro.faults.plan import FaultPlan
@@ -101,7 +102,7 @@ class SsdDevice:
 
     # ------------------------------------------------------------------
     def submit(
-        self, op: IoOp, offset: int, nbytes: int, *, trace: "Optional[IoTrace]" = None
+        self, op: IoOp, offset: Bytes, nbytes: int, *, trace: "Optional[IoTrace]" = None
     ) -> DeviceRequest:
         """Issue a request; ``request.done`` fires at device completion."""
         lpns = self._lpns_of(offset, nbytes)
@@ -121,13 +122,13 @@ class SsdDevice:
             self._submit_trim(request)
         return request
 
-    def read(self, offset: int, nbytes: int) -> DeviceRequest:
+    def read(self, offset: Bytes, nbytes: int) -> DeviceRequest:
         return self.submit(IoOp.READ, offset, nbytes)
 
-    def write(self, offset: int, nbytes: int) -> DeviceRequest:
+    def write(self, offset: Bytes, nbytes: int) -> DeviceRequest:
         return self.submit(IoOp.WRITE, offset, nbytes)
 
-    def trim(self, offset: int, nbytes: int) -> DeviceRequest:
+    def trim(self, offset: Bytes, nbytes: int) -> DeviceRequest:
         """Deallocate a range (NVMe Dataset Management).
 
         Pure FTL metadata work: the mapped pages are invalidated, which

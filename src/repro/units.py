@@ -1,0 +1,158 @@
+"""``repro.units`` — the testbed's unit vocabulary and blessed converters.
+
+Every number the figures rest on is a physical quantity: nanoseconds of
+die latency, bytes per transfer, logical vs physical page addresses.  A
+silent ``ns``-vs-``us`` (or LBA-vs-PPN) mix-up corrupts a latency-anatomy
+result without failing any test, so the conventions live in one place:
+
+* **Unit aliases** (``Ns``, ``Bytes``, ``Lpn``, ...) annotate quantities
+  whose *name* cannot carry the unit (a parameter called ``offset``, a
+  return value).  They are deliberate ``int``/``float`` aliases — not
+  ``typing.NewType`` — so annotating an existing API never forces call
+  sites to wrap values (the strict-mypy ratchet stays green and sweep
+  outputs stay byte-identical).  Enforcement comes from the simflow
+  dataflow pass (``repro.lint.flow``, rules SIM010-SIM014), which reads
+  these aliases off annotations and treats them exactly like a
+  ``_ns``/``_bytes`` name suffix.
+
+* **Blessed converters** (``us_to_ns`` & friends) make every unit change
+  explicit and greppable.  The flow pass knows their signatures: feeding
+  ``us_to_ns`` a value it can prove is already nanoseconds is a SIM010
+  finding, and the call's result is tagged with the target unit.
+
+Conversion is exact: time converters use integer arithmetic (the sim
+clock is integer nanoseconds), so swapping a hand-written ``* 1_000``
+for ``us_to_ns`` can never perturb a measurement.
+
+See docs/lint.md (rule catalogue) and DESIGN.md ("Units and address
+spaces") for the conventions these types encode.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+# ----------------------------------------------------------------------
+# Unit aliases.
+#
+# Time quantities are integer nanoseconds end to end; ``Us``/``Ms``/``Sec``
+# exist for the few boundary values (CLI flags, paper tables) that are
+# naturally expressed coarser.  Address spaces: ``Lpn`` (logical page
+# number — the FTL's view of an LBA) vs ``Ppa`` (physical page address).
+# ``Lba``/``Ppn``/``Pba`` name the same two spaces in NVMe/flash jargon;
+# the flow pass treats {lba, lpn} and {ppn, pba, ppa} as the logical and
+# physical space respectively.
+# ----------------------------------------------------------------------
+
+Number = Union[int, float]
+
+Ns = int  #: simulated time in nanoseconds (the sim clock's native unit)
+Us = int  #: time in microseconds (boundary values only; convert at the edge)
+Ms = int  #: time in milliseconds
+Sec = float  #: wall-clock or coarse time in seconds
+
+Count = int  #: an explicitly dimensionless count (queue slots, retries)
+
+Bytes = int  #: a size or byte offset
+Sectors = int  #: a size in 512-byte host sectors
+Pages = int  #: a size in flash pages (see FtlLayout.page_size for bytes)
+Blocks = int  #: a size in flash erase blocks
+
+Lpn = int  #: logical page number (host/FTL logical address space)
+Lba = int  #: logical block address (host sector-granular logical space)
+Ppa = int  #: physical page address (flash physical space)
+Ppn = int  #: physical page number (synonym of Ppa in NVMe/flash jargon)
+Pba = int  #: physical block address (flash physical space, block granular)
+
+#: ns per microsecond / millisecond / second — the only scale constants
+#: the converters use, exported so tables can write ``3 * NS_PER_US``.
+NS_PER_US = 1_000
+NS_PER_MS = 1_000_000
+NS_PER_S = 1_000_000_000
+
+#: bytes per 512-byte host sector (the NVMe LBA granularity we model).
+BYTES_PER_SECTOR = 512
+
+
+# ----------------------------------------------------------------------
+# Time converters.  Integer in, integer out, exact — these are drop-in
+# replacements for hand-written ``* 1_000`` scalings.
+# ----------------------------------------------------------------------
+
+
+def us_to_ns(us: Number) -> Ns:
+    """Microseconds -> nanoseconds (exact for integral inputs)."""
+    return int(us * NS_PER_US)
+
+
+def ms_to_ns(ms: Number) -> Ns:
+    """Milliseconds -> nanoseconds (exact for integral inputs)."""
+    return int(ms * NS_PER_MS)
+
+
+def s_to_ns(s: Number) -> Ns:
+    """Seconds -> nanoseconds (exact for integral inputs)."""
+    return int(s * NS_PER_S)
+
+
+def ns_to_us(ns: Ns) -> float:
+    """Nanoseconds -> microseconds, as a float (display/report edge)."""
+    return ns / NS_PER_US
+
+
+def ns_to_ms(ns: Ns) -> float:
+    """Nanoseconds -> milliseconds, as a float (display/report edge)."""
+    return ns / NS_PER_MS
+
+
+def ns_to_s(ns: Ns) -> float:
+    """Nanoseconds -> seconds, as a float (display/report edge)."""
+    return ns / NS_PER_S
+
+
+# ----------------------------------------------------------------------
+# Size converters.  Page/block geometry varies per device, so the layout
+# quantity (bytes per page, pages per block) is an explicit argument —
+# there is no ambient "the page size".
+# ----------------------------------------------------------------------
+
+
+def bytes_to_pages(nbytes: Bytes, page_size: Bytes) -> Pages:
+    """Bytes -> whole flash pages, rounding up (a partial page occupies
+    a full page of the transfer/mapping machinery)."""
+    if page_size <= 0:
+        raise ValueError(f"page size must be positive, got {page_size}")
+    return -(-nbytes // page_size)
+
+
+def pages_to_bytes(pages: Pages, page_size: Bytes) -> Bytes:
+    """Flash pages -> bytes for a given page size."""
+    if page_size <= 0:
+        raise ValueError(f"page size must be positive, got {page_size}")
+    return pages * page_size
+
+
+def bytes_to_sectors(nbytes: Bytes, sector_size: Bytes = BYTES_PER_SECTOR) -> Sectors:
+    """Bytes -> whole 512-byte host sectors, rounding up."""
+    if sector_size <= 0:
+        raise ValueError(f"sector size must be positive, got {sector_size}")
+    return -(-nbytes // sector_size)
+
+
+def sectors_to_bytes(sectors: Sectors, sector_size: Bytes = BYTES_PER_SECTOR) -> Bytes:
+    """512-byte host sectors -> bytes."""
+    if sector_size <= 0:
+        raise ValueError(f"sector size must be positive, got {sector_size}")
+    return sectors * sector_size
+
+
+__all__ = [
+    "Ns", "Us", "Ms", "Sec", "Count",
+    "Bytes", "Sectors", "Pages", "Blocks",
+    "Lpn", "Lba", "Ppa", "Ppn", "Pba",
+    "NS_PER_US", "NS_PER_MS", "NS_PER_S", "BYTES_PER_SECTOR",
+    "us_to_ns", "ms_to_ns", "s_to_ns",
+    "ns_to_us", "ns_to_ms", "ns_to_s",
+    "bytes_to_pages", "pages_to_bytes",
+    "bytes_to_sectors", "sectors_to_bytes",
+]

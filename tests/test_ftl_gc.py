@@ -32,7 +32,7 @@ class TestWritePath:
     def test_capacity_respects_overprovision(self):
         ftl = make_ftl()
         assert ftl.logical_pages == int(ftl.layout.total_pages * 0.75)
-        assert ftl.capacity_bytes == ftl.logical_pages * 4096
+        assert ftl.capacity_bytes == ftl.logical_pages * ftl.layout.unit_size
 
     def test_still_in_block(self):
         ftl = make_ftl()

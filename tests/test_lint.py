@@ -26,6 +26,7 @@ from repro.lint.engine import (
     lint_source,
     validate_select,
 )
+from repro.lint.flow.rules import FLOW_RULES
 from repro.lint.rules import ENGINE_CODES, RULES, all_codes, rules_table
 
 
@@ -50,7 +51,10 @@ class TestRegistry:
     def test_rule_pack_is_complete(self):
         assert sorted(RULES) == [f"SIM00{i}" for i in range(1, 7)] + ["SIM009"]
         assert sorted(ENGINE_CODES) == ["SIM000", "SIM007", "SIM008"]
-        assert all_codes() == [f"SIM00{i}" for i in range(10)]
+        assert sorted(FLOW_RULES) == [f"SIM01{i}" for i in range(5)]
+        assert all_codes() == [f"SIM00{i}" for i in range(10)] + [
+            f"SIM01{i}" for i in range(5)
+        ]
 
     def test_rules_table_covers_every_code(self):
         table = dict(rules_table())
@@ -302,6 +306,275 @@ class TestBareExcept:
 
 
 # ----------------------------------------------------------------------
+# SIM010 — mixed time units
+# ----------------------------------------------------------------------
+class TestMixedTimeUnits:
+    def test_fires_for_ns_plus_us(self):
+        source = "def f(a_ns, b_us):\n    return a_ns + b_us\n"
+        result = lint_sim(source)
+        assert codes_of(result) == ["SIM010"]
+        assert "us_to_ns" in result.diagnostics[0].message  # fix recipe
+
+    def test_fires_interprocedurally_at_the_call_site(self):
+        source = (
+            "def wait(delay_us):\n"
+            "    return delay_us\n"
+            "def f(t_ns):\n"
+            "    return wait(t_ns)\n"
+        )
+        result = lint_sim(source)
+        assert [(d.code, d.line) for d in result.diagnostics] == [
+            ("SIM010", 4)
+        ]
+        assert "'delay_us'" in result.diagnostics[0].message
+
+    def test_fires_for_converter_misuse(self):
+        source = (
+            "from repro.units import us_to_ns\n"
+            "def f(t_ns):\n"
+            "    return us_to_ns(t_ns)\n"
+        )
+        assert codes_of(lint_sim(source)) == ["SIM010"]
+
+    def test_silent_when_converted(self):
+        source = (
+            "from repro.units import us_to_ns\n"
+            "def f(a_ns, b_us):\n"
+            "    return a_ns + us_to_ns(b_us)\n"
+        )
+        assert codes_of(lint_sim(source)) == []
+
+    def test_silent_for_literal_ladder_scaling(self):
+        source = "def f(t_us, t_ns):\n    return t_us * 1_000 + t_ns\n"
+        assert codes_of(lint_sim(source)) == []
+
+
+# ----------------------------------------------------------------------
+# SIM011 — cross-dimension arithmetic / comparison
+# ----------------------------------------------------------------------
+class TestCrossDimension:
+    def test_fires_for_time_vs_size_comparison(self):
+        source = "def f(t_ns, cap_bytes):\n    return t_ns < cap_bytes\n"
+        assert codes_of(lint_sim(source)) == ["SIM011"]
+
+    def test_fires_interprocedurally_via_return_summary(self):
+        source = (
+            "def payload(nbytes):\n"
+            "    return nbytes\n"
+            "def f(t_ns, nbytes):\n"
+            "    return t_ns + payload(nbytes)\n"
+        )
+        result = lint_sim(source)
+        assert [(d.code, d.line) for d in result.diagnostics] == [
+            ("SIM011", 4)
+        ]
+
+    def test_silent_for_address_plus_size(self):
+        # Pointer arithmetic and bounds checks are idiomatic.
+        source = "def f(lpn, npages):\n    return lpn + npages\n"
+        assert codes_of(lint_sim(source)) == []
+
+    def test_silent_for_geometry_division(self):
+        source = (
+            "def f(nbytes, page_size):\n"
+            "    pages = nbytes // page_size\n"
+            "    return pages\n"
+        )
+        assert codes_of(lint_sim(source)) == []
+
+
+# ----------------------------------------------------------------------
+# SIM012 — LBA/PPN address-space confusion
+# ----------------------------------------------------------------------
+class TestAddressConfusion:
+    def test_fires_for_physical_index_into_l2p(self):
+        source = (
+            "class F:\n"
+            "    def read(self, ppa):\n"
+            "        return self._l2p[ppa]\n"
+        )
+        result = lint_sim(source)
+        assert codes_of(result) == ["SIM012"]
+        assert "wrong side of the address mapping" in \
+            result.diagnostics[0].message
+
+    def test_fires_for_cross_space_assignment(self):
+        source = "def f(ppa):\n    lpn = ppa\n    return lpn\n"
+        assert codes_of(lint_sim(source)) == ["SIM012"]
+
+    def test_fires_interprocedurally_for_wrong_space_argument(self):
+        source = (
+            "def lookup(lpn):\n"
+            "    return lpn\n"
+            "def f(ppa):\n"
+            "    return lookup(ppa)\n"
+        )
+        result = lint_sim(source)
+        assert [(d.code, d.line) for d in result.diagnostics] == [
+            ("SIM012", 4)
+        ]
+
+    def test_silent_for_logical_index_into_l2p(self):
+        source = (
+            "class F:\n"
+            "    def read(self, lpn):\n"
+            "        return self._l2p[lpn]\n"
+        )
+        assert codes_of(lint_sim(source)) == []
+
+
+# ----------------------------------------------------------------------
+# SIM013 — unit-ambiguous public sim API parameters
+# ----------------------------------------------------------------------
+class TestAmbiguousApi:
+    AMBIGUOUS = (
+        "class Dev:\n"
+        "    def submit(self, offset, nbytes):\n"
+        "        return offset + nbytes\n"
+    )
+
+    def test_fires_for_bare_offset(self):
+        result = lint_sim(self.AMBIGUOUS)
+        assert codes_of(result) == ["SIM013"]
+        assert "repro.units" in result.diagnostics[0].message
+
+    def test_silent_with_units_annotation(self):
+        source = (
+            "from repro.units import Bytes\n"
+            "class Dev:\n"
+            "    def submit(self, offset: Bytes, nbytes):\n"
+            "        return offset + nbytes\n"
+        )
+        assert codes_of(lint_sim(source)) == []
+
+    def test_silent_for_private_methods(self):
+        source = self.AMBIGUOUS.replace("def submit", "def _submit")
+        assert codes_of(lint_sim(source)) == []
+
+    def test_silent_outside_sim_layers(self):
+        assert codes_of(lint_plain(self.AMBIGUOUS)) == []
+
+    def test_fires_across_modules_in_a_project_run(self, tmp_path):
+        # Whole-project run: the ambiguous API lives in one sim-layer
+        # module, its caller in another; only the definition is flagged.
+        api = tmp_path / "src/pkg/ssd/dev.py"
+        api.parent.mkdir(parents=True)
+        api.write_text(self.AMBIGUOUS)
+        (tmp_path / "src/pkg/ssd/user.py").write_text(
+            "from pkg.ssd.dev import Dev\n"
+            "def go(dev, nbytes):\n"
+            "    return dev.submit(0, nbytes)\n"
+        )
+        result = lint_paths([tmp_path / "src"], root=tmp_path)
+        assert [(d.code, d.path) for d in result.diagnostics] == [
+            ("SIM013", "src/pkg/ssd/dev.py")
+        ]
+
+
+# ----------------------------------------------------------------------
+# SIM014 — stale volatile state across a yield
+# ----------------------------------------------------------------------
+class TestStaleAcrossYield:
+    def test_fires_for_depth_read_before_yield(self):
+        source = (
+            "class P:\n"
+            "    def run(self):\n"
+            "        depth = self.queue_depth\n"
+            "        yield self.ev\n"
+            "        self.consume(depth)\n"
+        )
+        result = lint_sim(source)
+        assert [(d.code, d.line) for d in result.diagnostics] == [
+            ("SIM014", 5)
+        ]
+
+    def test_fires_for_len_of_queue(self):
+        source = (
+            "class P:\n"
+            "    def run(self):\n"
+            "        depth = len(self.queue)\n"
+            "        yield self.ev\n"
+            "        self.consume(depth)\n"
+        )
+        assert codes_of(lint_sim(source)) == ["SIM014"]
+
+    def test_fires_when_only_one_path_yields(self):
+        # Dataflow merge is stale-wins: a single yielding path suffices.
+        source = (
+            "class P:\n"
+            "    def run(self):\n"
+            "        if self.fast:\n"
+            "            depth = self.queue_depth\n"
+            "            yield self.ev\n"
+            "        else:\n"
+            "            depth = 0\n"
+            "        self.consume(depth)\n"
+        )
+        result = lint_sim(source)
+        assert [(d.code, d.line) for d in result.diagnostics] == [
+            ("SIM014", 8)
+        ]
+
+    def test_silent_when_reread_after_yield(self):
+        source = (
+            "class P:\n"
+            "    def run(self):\n"
+            "        yield self.ev\n"
+            "        depth = self.queue_depth\n"
+            "        self.consume(depth)\n"
+        )
+        assert codes_of(lint_sim(source)) == []
+
+    def test_silent_for_elapsed_time_idiom(self):
+        # `now` snapshots are the POINT of measuring across a yield.
+        source = (
+            "class P:\n"
+            "    def run(self):\n"
+            "        t0 = self.sim.now\n"
+            "        yield self.ev\n"
+            "        elapsed = self.sim.now - t0\n"
+            "        self.log(elapsed)\n"
+        )
+        assert codes_of(lint_sim(source)) == []
+
+    def test_silent_outside_sim_layers(self):
+        source = (
+            "class P:\n"
+            "    def run(self):\n"
+            "        depth = self.queue_depth\n"
+            "        yield self.ev\n"
+            "        self.consume(depth)\n"
+        )
+        assert codes_of(lint_plain(source)) == []
+
+    def test_fires_across_modules_in_a_project_run(self, tmp_path):
+        # Whole-project run: the process snapshots the inflight count of
+        # a device defined in a sibling module, then blocks on an event
+        # that device hands out.
+        dev = tmp_path / "src/pkg/ssd/dev.py"
+        dev.parent.mkdir(parents=True)
+        dev.write_text(
+            "class Dev:\n"
+            "    def __init__(self):\n"
+            "        self.inflight = []\n"
+            "    def drain_event(self):\n"
+            "        return object()\n"
+        )
+        (tmp_path / "src/pkg/ssd/proc.py").write_text(
+            "from pkg.ssd.dev import Dev\n"
+            "class Poller:\n"
+            "    def run(self):\n"
+            "        backlog = len(self.dev.inflight)\n"
+            "        yield self.dev.drain_event()\n"
+            "        self.report(backlog)\n"
+        )
+        result = lint_paths([tmp_path / "src"], root=tmp_path)
+        assert [(d.code, d.path, d.line) for d in result.diagnostics] == [
+            ("SIM014", "src/pkg/ssd/proc.py", 6)
+        ]
+
+
+# ----------------------------------------------------------------------
 # Suppression semantics (incl. SIM007 / SIM008)
 # ----------------------------------------------------------------------
 class TestSuppressions:
@@ -368,6 +641,26 @@ class TestSuppressions:
         assert first.target_line == 1
         assert second.codes is None
         assert second.target_line == 3
+
+    def test_disable_absorbs_flow_findings(self):
+        # Flow diagnostics run through the same suppression machinery
+        # as the syntactic rules.
+        source = (
+            "def f(a_ns, b_us):\n"
+            "    return a_ns + b_us"
+            "  # simlint: disable=SIM010 -- legacy mixed units\n"
+        )
+        result = lint_sim(source)
+        assert codes_of(result) == []
+        assert result.suppressed == 1
+
+    def test_stale_flow_disable_is_sim008(self):
+        source = (
+            "def f(a_ns, b_ns):\n"
+            "    return a_ns + b_ns"
+            "  # simlint: disable=SIM010 -- nothing fires\n"
+        )
+        assert codes_of(lint_sim(source)) == ["SIM008"]
 
     def test_select_restricts_rules(self):
         source = "import time\nnow = time.time()\ndef f(x=[]):\n    return x\n"

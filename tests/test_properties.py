@@ -137,10 +137,10 @@ class TestPatternProperties:
         st.integers(min_value=1, max_value=64),
         st.integers(min_value=0, max_value=2**31 - 1),
     )
-    def test_property_sequential_covers_whole_region(self, blocks, seed):
-        pattern = make_pattern("read", 4096, blocks * 4096, seed=seed)
-        offsets = {offset for _, offset in pattern.take(blocks)}
-        assert offsets == {i * 4096 for i in range(blocks)}
+    def test_property_sequential_covers_whole_region(self, nchunks, seed):
+        pattern = make_pattern("read", 4096, nchunks * 4096, seed=seed)
+        offsets = {offset for _, offset in pattern.take(nchunks)}
+        assert offsets == {i * 4096 for i in range(nchunks)}
 
     @settings(max_examples=25, deadline=None)
     @given(st.integers(min_value=0, max_value=2**31 - 1))

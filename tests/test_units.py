@@ -1,0 +1,78 @@
+"""repro.units: converter exactness, rounding, and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+
+
+class TestTimeConverters:
+    def test_ladder_up_is_exact_integer(self):
+        assert units.us_to_ns(3) == 3_000
+        assert units.ms_to_ns(2) == 2_000_000
+        assert units.s_to_ns(1) == 1_000_000_000
+        assert isinstance(units.us_to_ns(3), int)
+
+    def test_ladder_down_is_float(self):
+        assert units.ns_to_us(1_500) == 1.5
+        assert units.ns_to_ms(2_500_000) == 2.5
+        assert units.ns_to_s(1_000_000_000) == 1.0
+
+    def test_round_trip_integral(self):
+        for value in (0, 1, 7, 123_456):
+            assert units.ns_to_us(units.us_to_ns(value)) == value
+
+    def test_scale_constants_consistent(self):
+        assert units.NS_PER_MS == units.NS_PER_US * 1_000
+        assert units.NS_PER_S == units.NS_PER_MS * 1_000
+
+    def test_us_to_ns_matches_hand_scaling(self):
+        # The converters must be drop-in for `* 1_000` so the sweep
+        # outputs cannot move when call sites migrate to them.
+        for value in (0, 1, 13, 4_096, 999_999):
+            assert units.us_to_ns(value) == value * 1_000
+
+
+class TestSizeConverters:
+    def test_bytes_to_pages_rounds_up(self):
+        assert units.bytes_to_pages(0, 4096) == 0
+        assert units.bytes_to_pages(1, 4096) == 1
+        assert units.bytes_to_pages(4096, 4096) == 1
+        assert units.bytes_to_pages(4097, 4096) == 2
+
+    def test_pages_to_bytes(self):
+        assert units.pages_to_bytes(3, 4096) == 12_288
+
+    def test_sector_default_is_512(self):
+        assert units.BYTES_PER_SECTOR == 512
+        assert units.bytes_to_sectors(1024) == 2
+        assert units.bytes_to_sectors(1025) == 3
+        assert units.sectors_to_bytes(2) == 1024
+
+    @pytest.mark.parametrize("bad", [0, -1, -4096])
+    def test_nonpositive_geometry_rejected(self, bad):
+        with pytest.raises(ValueError):
+            units.bytes_to_pages(4096, bad)
+        with pytest.raises(ValueError):
+            units.pages_to_bytes(1, bad)
+        with pytest.raises(ValueError):
+            units.bytes_to_sectors(512, bad)
+        with pytest.raises(ValueError):
+            units.sectors_to_bytes(1, bad)
+
+
+class TestAliases:
+    def test_aliases_are_plain_types(self):
+        # Deliberately NOT typing.NewType: annotating an API must never
+        # force call sites to wrap values (see the module docstring).
+        assert units.Ns is int
+        assert units.Bytes is int
+        assert units.Lpn is int
+        assert units.Ppa is int
+        assert units.Count is int
+        assert units.Sec is float
+
+    def test_public_surface_is_declared(self):
+        for name in units.__all__:
+            assert hasattr(units, name)
